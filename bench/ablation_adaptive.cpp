@@ -1,0 +1,52 @@
+// Ablation: the ADAPTIVE hybrid (paper SVIII's "better net-based (or
+// hybrid) coloring approach" direction) against the fixed schedules it
+// generalizes. The hybrid picks net kernels from the live queue size:
+// net coloring while |W| is a majority (at most twice), net conflict
+// removal while |W| >= 5% of the vertices.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "greedcolor/graph/datasets.hpp"
+#include "greedcolor/util/argparse.hpp"
+#include "greedcolor/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gcol;
+  const ArgParser args(argc, argv);
+  const auto datasets = args.has("datasets")
+                            ? std::vector<std::string>{args.get_string(
+                                  "datasets", "")}
+                            : dataset_names();
+  const int threads = static_cast<int>(args.get_int("threads", 16));
+  const int reps = static_cast<int>(args.get_int("reps", 3));
+
+  bench::SweepConfig banner;
+  banner.datasets = datasets;
+  banner.threads = {threads};
+  banner.reps = reps;
+  bench::print_banner("Ablation: ADAPTIVE hybrid vs fixed schedules",
+                      banner);
+
+  TextTable t;
+  t.set_header({"dataset", "algo", "ms", "colors", "rounds", "work"},
+               {TextTable::Align::kLeft, TextTable::Align::kLeft});
+  for (const auto& name : datasets) {
+    const BipartiteGraph g = load_bipartite(name);
+    for (const std::string algo : {"V-N2", "N1-N2", "N2-N2", "ADAPTIVE"}) {
+      ColoringOptions opt = bgpc_preset(algo);
+      opt.num_threads = threads;
+      const auto rec = bench::run_bgpc_once(g, name, opt, {}, reps, true);
+      t.add_row({name, algo, TextTable::fmt(rec.seconds * 1e3) +
+                                 (rec.valid ? "" : "!"),
+                 TextTable::fmt_sep(rec.colors),
+                 TextTable::fmt(static_cast<std::int64_t>(rec.rounds)),
+                 TextTable::fmt_sep(static_cast<std::int64_t>(rec.work))});
+    }
+    t.add_rule();
+  }
+  std::cout << t.to_string()
+            << "\nexpected shape: ADAPTIVE tracks the best fixed schedule "
+               "per instance —\nN1/N2-like on skewed graphs, V-N2-like "
+               "once conflicts are sparse — without tuning.\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Ablation: OpenMP dynamic chunk size x conflict-queue strategy.
+//
+// Decomposes the paper's V-V -> V-V-64 -> V-V-64D progression (its
+// "basic optimizations", worth 1.47x on 16 cores) into its two axes:
+// scheduling granularity and shared-atomic vs thread-private lazy
+// queues.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "greedcolor/graph/datasets.hpp"
+#include "greedcolor/util/argparse.hpp"
+#include "greedcolor/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gcol;
+  const ArgParser args(argc, argv);
+  const auto datasets =
+      args.has("datasets")
+          ? std::vector<std::string>{args.get_string("datasets", "")}
+          : std::vector<std::string>{"copapers_s", "movielens_s"};
+  const int threads = static_cast<int>(args.get_int("threads", 16));
+  const int reps = static_cast<int>(args.get_int("reps", 3));
+  const std::vector<int> chunks = args.get_int_list(
+      "chunks", {1, 16, 64, 256, 1024});
+
+  bench::SweepConfig banner;
+  banner.datasets = datasets;
+  banner.threads = {threads};
+  banner.reps = reps;
+  bench::print_banner("Ablation: chunk size x queue policy (V-V family)",
+                      banner);
+
+  for (const auto& name : datasets) {
+    const BipartiteGraph g = load_bipartite(name);
+    std::cout << "--- " << name << " ---\n";
+    TextTable t;
+    t.set_header({"chunk", "shared ms", "lazy ms", "shared colors",
+                  "lazy colors"});
+    for (const int chunk : chunks) {
+      std::vector<std::string> row = {TextTable::fmt(
+          static_cast<std::int64_t>(chunk))};
+      std::vector<std::string> colors;
+      for (const auto queue : {QueuePolicy::kShared, QueuePolicy::kLazy}) {
+        ColoringOptions opt;
+        opt.name = "V-V-c" + std::to_string(chunk) +
+                   (queue == QueuePolicy::kLazy ? "D" : "");
+        opt.chunk_size = chunk;
+        opt.queue = queue;
+        opt.num_threads = threads;
+        const auto rec = bench::run_bgpc_once(g, name, opt, {}, reps, true);
+        row.push_back(TextTable::fmt(rec.seconds * 1e3) +
+                      (rec.valid ? "" : "!"));
+        colors.push_back(TextTable::fmt_sep(rec.colors));
+      }
+      row.insert(row.end(), colors.begin(), colors.end());
+      t.add_row(std::move(row));
+    }
+    std::cout << t.to_string() << "\n";
+  }
+  std::cout << "paper: chunk 64 + lazy queues ('64D') buys 1.47x over "
+               "chunk-1 shared on 16\ncores; on one core the gap is "
+               "scheduling overhead only.\n";
+  return 0;
+}

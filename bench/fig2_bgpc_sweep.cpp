@@ -1,0 +1,74 @@
+// Figure 2 reproduction: execution times (t = 2,4,8,16) and color
+// counts for all eight BGPC algorithms on all eight datasets, natural
+// order. Prints one block per dataset (the figure's subplots) and
+// writes the full series to CSV for plotting.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "greedcolor/graph/datasets.hpp"
+#include "greedcolor/util/argparse.hpp"
+#include "greedcolor/util/csv.hpp"
+#include "greedcolor/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gcol;
+  const ArgParser args(argc, argv);
+  bench::SweepConfig config;
+  config.datasets = args.has("datasets")
+                        ? std::vector<std::string>{args.get_string(
+                              "datasets", "")}
+                        : dataset_names();
+  config.algos = bgpc_preset_names();
+  config.threads = args.get_int_list("threads", {2, 4, 8, 16});
+  config.reps = static_cast<int>(args.get_int("reps", 1));
+  const std::string csv_path = args.get_string("csv", "fig2_bgpc_sweep.csv");
+
+  bench::print_banner("Figure 2: BGPC time & colors, all algorithms",
+                      config);
+  const auto records = bench::run_bgpc_sweep(config);
+
+  CsvWriter csv(csv_path);
+  csv.write_row({"dataset", "algorithm", "threads", "seconds", "colors",
+                 "rounds", "work"});
+
+  for (const auto& dataset : config.datasets) {
+    std::cout << "--- " << dataset << " ---\n";
+    TextTable t;
+    std::vector<std::string> header = {"algorithm"};
+    for (const int th : config.threads)
+      header.push_back("t=" + std::to_string(th) + " ms");
+    header.push_back("#colors(t=max)");
+    header.push_back("work(t=max)");
+    t.set_header(std::move(header), {TextTable::Align::kLeft});
+
+    const auto& seq = bench::find(records, dataset, "seq", 1);
+    t.add_row({"seq V-V", TextTable::fmt(seq.seconds * 1e3), "", "", "",
+               TextTable::fmt_sep(seq.colors),
+               TextTable::fmt_sep(static_cast<std::int64_t>(seq.work))});
+    t.add_rule();
+    for (const auto& algo : config.algos) {
+      std::vector<std::string> row = {algo};
+      const bench::SweepRecord* last = nullptr;
+      for (const int th : config.threads) {
+        const auto& r = bench::find(records, dataset, algo, th);
+        row.push_back(TextTable::fmt(r.seconds * 1e3) +
+                      (r.valid ? "" : "!"));
+        last = &r;
+      }
+      row.push_back(TextTable::fmt_sep(last->colors));
+      row.push_back(TextTable::fmt_sep(static_cast<std::int64_t>(last->work)));
+      t.add_row(std::move(row));
+      for (const int th : config.threads) {
+        const auto& r = bench::find(records, dataset, algo, th);
+        csv.row(dataset, algo, r.threads, r.seconds, r.colors, r.rounds,
+                r.work);
+      }
+    }
+    std::cout << t.to_string() << "\n";
+  }
+  std::cout << "series written to " << csv_path << "\n"
+            << "paper shape: V-N* beat V-V everywhere; N1-N2 is the "
+               "fastest on 16 real cores\n(here the work column carries "
+               "that comparison; '!' marks an invalid run).\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+// The paper's introductory motivation, measured: "the execution time of
+// a sequential D1GC algorithm is less than a second for many real-life
+// graphs. However, for D2GC and BGPC, the overhead can be in the order
+// of minutes." This harness prints the sequential D1GC / BGPC / D2GC
+// times and work counts side by side, plus the parallel D1 baselines
+// (speculative and Jones-Plassmann) for context.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "greedcolor/core/d1gc.hpp"
+#include "greedcolor/core/d2gc.hpp"
+#include "greedcolor/graph/builder.hpp"
+#include "greedcolor/graph/datasets.hpp"
+#include "greedcolor/util/argparse.hpp"
+#include "greedcolor/util/env.hpp"
+#include "greedcolor/util/table.hpp"
+#include "greedcolor/util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gcol;
+  const ArgParser args(argc, argv);
+  const auto datasets =
+      args.has("datasets")
+          ? std::vector<std::string>{args.get_string("datasets", "")}
+          : dataset_names(/*d2gc_only=*/true);
+
+  std::cout << "=== Intro claim: D1GC is cheap, BGPC/D2GC are not ===\n"
+            << env_banner() << "\n\n";
+
+  TextTable t;
+  t.set_header({"graph", "D1 ms", "D1 col", "BGPC ms", "BGPC col",
+                "D2 ms", "D2 col", "D2/D1 work"},
+               {TextTable::Align::kLeft});
+  for (const auto& name : datasets) {
+    const Graph g = load_graph(name);
+    const BipartiteGraph bg = load_bipartite(name);
+
+    const auto d1 = color_d1gc_sequential(g);
+    const auto bgpc = color_bgpc_sequential(bg);
+    const auto d2 = color_d2gc_sequential(g);
+    const auto w1 = d1.total_color_counters().total_work();
+    const auto w2 = d2.total_color_counters().total_work();
+    t.add_row({name, TextTable::fmt(d1.total_seconds * 1e3),
+               TextTable::fmt_sep(d1.num_colors),
+               TextTable::fmt(bgpc.total_seconds * 1e3),
+               TextTable::fmt_sep(bgpc.num_colors),
+               TextTable::fmt(d2.total_seconds * 1e3),
+               TextTable::fmt_sep(d2.num_colors),
+               TextTable::fmt(w1 ? static_cast<double>(w2) /
+                                       static_cast<double>(w1)
+                                 : 0.0)});
+  }
+  std::cout << t.to_string() << "\n";
+
+  // Parallel D1 context: speculative loop vs Jones-Plassmann.
+  TextTable p;
+  p.set_header({"graph", "spec ms", "spec col", "JP ms", "JP col",
+                "JP rounds"},
+               {TextTable::Align::kLeft});
+  const int threads = static_cast<int>(args.get_int("threads", 16));
+  for (const auto& name : datasets) {
+    const Graph g = load_graph(name);
+    ColoringOptions opt = bgpc_preset("V-V-64D");
+    opt.num_threads = threads;
+    WallTimer timer;
+    const auto spec = color_d1gc(g, opt);
+    const double spec_ms = timer.milliseconds();
+    timer.reset();
+    const auto jp = color_d1gc_jones_plassmann(g, 1, threads);
+    const double jp_ms = timer.milliseconds();
+    const bool ok = is_valid_d1gc(g, spec.colors) &&
+                    is_valid_d1gc(g, jp.colors);
+    p.add_row({name, TextTable::fmt(spec_ms),
+               TextTable::fmt_sep(spec.num_colors), TextTable::fmt(jp_ms),
+               TextTable::fmt_sep(jp.num_colors) + (ok ? "" : "!"),
+               TextTable::fmt(static_cast<std::int64_t>(jp.rounds))});
+  }
+  std::cout << p.to_string()
+            << "\nexpected shape: D2/BGPC are one to two orders of "
+               "magnitude more work than D1\non the same graph (the "
+               "D2/D1 work column), which is why the paper bothers\n"
+               "parallelizing them.\n";
+  return 0;
+}

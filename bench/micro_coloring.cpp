@@ -1,0 +1,104 @@
+// Micro-benchmarks for the coloring kernels themselves: sequential
+// baseline, each parallel preset at one thread (pure work comparison),
+// balancing overhead, verification, and recoloring.
+#include <benchmark/benchmark.h>
+
+#include "greedcolor/core/bgpc.hpp"
+#include "greedcolor/core/d2gc.hpp"
+#include "greedcolor/core/recolor.hpp"
+#include "greedcolor/core/verify.hpp"
+#include "greedcolor/graph/builder.hpp"
+#include "greedcolor/graph/generators.hpp"
+
+namespace {
+
+using namespace gcol;
+
+const BipartiteGraph& bench_graph() {
+  static const BipartiteGraph g =
+      build_bipartite(gen_clique_union(8000, 2800, 2, 120, 1.7, 77));
+  return g;
+}
+
+const Graph& bench_unigraph() {
+  static const Graph g = build_graph(gen_mesh2d(60, 60, 1));
+  return g;
+}
+
+void BM_Bgpc_Sequential(benchmark::State& state) {
+  const auto& g = bench_graph();
+  for (auto _ : state) {
+    auto r = color_bgpc_sequential(g);
+    benchmark::DoNotOptimize(r.num_colors);
+  }
+  state.counters["edges"] = static_cast<double>(g.num_edges());
+}
+BENCHMARK(BM_Bgpc_Sequential);
+
+void BM_Bgpc_Preset(benchmark::State& state, const char* name,
+                    int threads) {
+  const auto& g = bench_graph();
+  ColoringOptions opt = bgpc_preset(name);
+  opt.num_threads = threads;
+  opt.collect_iteration_stats = false;
+  for (auto _ : state) {
+    auto r = color_bgpc(g, opt);
+    benchmark::DoNotOptimize(r.num_colors);
+  }
+}
+BENCHMARK_CAPTURE(BM_Bgpc_Preset, VV_t1, "V-V", 1);
+BENCHMARK_CAPTURE(BM_Bgpc_Preset, VV64D_t1, "V-V-64D", 1);
+BENCHMARK_CAPTURE(BM_Bgpc_Preset, VN2_t1, "V-N2", 1);
+BENCHMARK_CAPTURE(BM_Bgpc_Preset, N1N2_t1, "N1-N2", 1);
+BENCHMARK_CAPTURE(BM_Bgpc_Preset, N2N2_t1, "N2-N2", 1);
+BENCHMARK_CAPTURE(BM_Bgpc_Preset, VN2_t4, "V-N2", 4);
+BENCHMARK_CAPTURE(BM_Bgpc_Preset, N1N2_t4, "N1-N2", 4);
+
+void BM_Bgpc_Balance(benchmark::State& state, BalancePolicy policy) {
+  const auto& g = bench_graph();
+  ColoringOptions opt = bgpc_preset("V-N2");
+  opt.balance = policy;
+  opt.num_threads = 1;
+  opt.collect_iteration_stats = false;
+  for (auto _ : state) {
+    auto r = color_bgpc(g, opt);
+    benchmark::DoNotOptimize(r.num_colors);
+  }
+}
+BENCHMARK_CAPTURE(BM_Bgpc_Balance, U, BalancePolicy::kNone);
+BENCHMARK_CAPTURE(BM_Bgpc_Balance, B1, BalancePolicy::kB1);
+BENCHMARK_CAPTURE(BM_Bgpc_Balance, B2, BalancePolicy::kB2);
+
+void BM_D2gc_Preset(benchmark::State& state, const char* name) {
+  const auto& g = bench_unigraph();
+  ColoringOptions opt = d2gc_preset(name);
+  opt.num_threads = 1;
+  opt.collect_iteration_stats = false;
+  for (auto _ : state) {
+    auto r = color_d2gc(g, opt);
+    benchmark::DoNotOptimize(r.num_colors);
+  }
+}
+BENCHMARK_CAPTURE(BM_D2gc_Preset, VV64D, "V-V-64D");
+BENCHMARK_CAPTURE(BM_D2gc_Preset, N1N2, "N1-N2");
+
+void BM_Verify_Bgpc(benchmark::State& state) {
+  const auto& g = bench_graph();
+  const auto r = color_bgpc_sequential(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(is_valid_bgpc(g, r.colors));
+  }
+}
+BENCHMARK(BM_Verify_Bgpc);
+
+void BM_Recolor_Bgpc(benchmark::State& state) {
+  const auto& g = bench_graph();
+  const auto base = color_bgpc_sequential(g);
+  for (auto _ : state) {
+    auto colors = base.colors;
+    benchmark::DoNotOptimize(recolor_bgpc(g, colors));
+  }
+}
+BENCHMARK(BM_Recolor_Bgpc);
+
+}  // namespace

@@ -1,0 +1,109 @@
+// Micro-benchmarks for the runtime substrate: marker sets (the
+// forbidden-color arrays), the two work-queue strategies, orderings,
+// and generators. google-benchmark based.
+#include <benchmark/benchmark.h>
+
+#include "greedcolor/graph/builder.hpp"
+#include "greedcolor/graph/generators.hpp"
+#include "greedcolor/order/ordering.hpp"
+#include "greedcolor/util/marker_set.hpp"
+#include "greedcolor/util/prng.hpp"
+#include "greedcolor/util/work_queue.hpp"
+
+namespace {
+
+using namespace gcol;
+
+void BM_MarkerSet_ClearInsertProbe(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  MarkerSet set(n);
+  Xoshiro256 rng(1);
+  std::vector<std::int64_t> keys(n);
+  for (auto& k : keys) k = static_cast<std::int64_t>(rng.bounded(n));
+  for (auto _ : state) {
+    set.clear();
+    for (const auto k : keys) set.insert(k);
+    std::int64_t hits = 0;
+    for (const auto k : keys) hits += set.contains(k);
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n));
+}
+BENCHMARK(BM_MarkerSet_ClearInsertProbe)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_SharedQueue_Push(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  SharedWorkQueue q(n);
+  for (auto _ : state) {
+    q.reset(n);
+    for (std::size_t i = 0; i < n; ++i) q.push(static_cast<vid_t>(i));
+    benchmark::DoNotOptimize(q.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SharedQueue_Push)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_LazyQueue_PushMerge(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  LocalWorkQueues q(1);
+  std::vector<vid_t> out;
+  for (auto _ : state) {
+    q.begin_round();
+    for (std::size_t i = 0; i < n; ++i) q.push(0, static_cast<vid_t>(i));
+    q.merge_into(out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_LazyQueue_PushMerge)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_Ordering(benchmark::State& state, OrderingKind kind) {
+  PowerLawBipartiteParams p;
+  p.rows = 2000;
+  p.cols = 8000;
+  p.min_deg = 3;
+  p.max_deg = 200;
+  p.seed = 5;
+  const BipartiteGraph g = build_bipartite(gen_powerlaw_bipartite(p));
+  for (auto _ : state) {
+    auto order = make_ordering(g, kind, 1);
+    benchmark::DoNotOptimize(order.data());
+  }
+}
+BENCHMARK_CAPTURE(BM_Ordering, natural, OrderingKind::kNatural);
+BENCHMARK_CAPTURE(BM_Ordering, random, OrderingKind::kRandom);
+BENCHMARK_CAPTURE(BM_Ordering, largest_first, OrderingKind::kLargestFirst);
+BENCHMARK_CAPTURE(BM_Ordering, smallest_last, OrderingKind::kSmallestLast);
+BENCHMARK_CAPTURE(BM_Ordering, incidence_degree,
+                  OrderingKind::kIncidenceDegree);
+
+void BM_Generator_Mesh2d(benchmark::State& state) {
+  for (auto _ : state) {
+    auto coo = gen_mesh2d(128, 128, 2);
+    benchmark::DoNotOptimize(coo.rows.data());
+  }
+}
+BENCHMARK(BM_Generator_Mesh2d);
+
+void BM_Build_Bipartite(benchmark::State& state) {
+  const Coo coo = gen_mesh2d(128, 128, 2);
+  for (auto _ : state) {
+    Coo copy = coo;
+    auto g = build_bipartite(std::move(copy));
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+}
+BENCHMARK(BM_Build_Bipartite);
+
+void BM_Prng_Bounded(benchmark::State& state) {
+  Xoshiro256 rng(9);
+  std::uint64_t acc = 0;
+  for (auto _ : state) acc += rng.bounded(12345);
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_Prng_Bounded);
+
+}  // namespace

@@ -1,0 +1,53 @@
+// Table II reproduction: dataset properties plus the sequential BGPC
+// execution time and color count under the natural and smallest-last
+// column orders (ordering time excluded, as in the paper).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "greedcolor/graph/datasets.hpp"
+#include "greedcolor/graph/graph_stats.hpp"
+#include "greedcolor/util/argparse.hpp"
+#include "greedcolor/util/env.hpp"
+#include "greedcolor/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gcol;
+  const ArgParser args(argc, argv);
+  const int reps = static_cast<int>(args.get_int("reps", 3));
+
+  std::cout << "=== Table II: datasets and sequential BGPC baselines ===\n"
+            << env_banner() << "\n\n";
+
+  TextTable t;
+  t.set_header({"Matrix-Graph", "mimics", "#rows", "#cols", "#nnz",
+                "deg.max", "deg.sd", "nat. s", "nat. #col", "SL s",
+                "SL #col", "BGPC/D2GC"},
+               {TextTable::Align::kLeft, TextTable::Align::kLeft});
+  for (const auto& info : dataset_registry()) {
+    const BipartiteGraph g = load_bipartite(info.name);
+    const DegreeStats nd = net_degree_stats(g);
+
+    const auto natural =
+        bench::run_bgpc_sequential(g, info.name, {}, reps);
+    const auto sl_order = make_ordering(g, OrderingKind::kSmallestLast);
+    const auto sl = bench::run_bgpc_sequential(g, info.name, sl_order, reps);
+
+    t.add_row({info.name, info.mimics, TextTable::fmt_sep(g.num_nets()),
+               TextTable::fmt_sep(g.num_vertices()),
+               TextTable::fmt_sep(g.num_edges()),
+               TextTable::fmt_sep(nd.max), TextTable::fmt(nd.stddev),
+               TextTable::fmt(natural.seconds, 3),
+               TextTable::fmt_sep(natural.colors),
+               TextTable::fmt(sl.seconds, 3), TextTable::fmt_sep(sl.colors),
+               std::string(info.used_for_bgpc ? "Y" : "-") + "/" +
+                   (info.used_for_d2gc ? "Y" : "-")});
+  }
+  std::cout << t.to_string()
+            << "\npaper shape: deg.max is the color lower bound; "
+               "smallest-last lowers #colors\non the irregular graphs "
+               "while costing sequential time (the natural numbering\n"
+               "of the synthetic meshes is already lexicographic-optimal,"
+               " so SL gains show\nmainly on movielens_s/copapers_s-style "
+               "skew).\n";
+  return 0;
+}

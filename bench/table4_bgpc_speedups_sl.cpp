@@ -1,0 +1,35 @@
+// Table IV reproduction: geometric-mean BGPC speedups over the
+// sequential and parallel V-V baselines with ColPack's SMALLEST-LAST
+// column order (ordering time excluded, as in the paper).
+//
+// Paper reference (16 physical cores): V-V 3.78x over seq, V-V-64D
+// 6.86x, V-N2 10.09x, N1-N2 16.76x (4.43x over parallel V-V, +9%
+// colors).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "greedcolor/graph/datasets.hpp"
+#include "greedcolor/util/argparse.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gcol;
+  const ArgParser args(argc, argv);
+  bench::SweepConfig config;
+  config.datasets = args.has("datasets")
+                        ? std::vector<std::string>{args.get_string(
+                              "datasets", "")}
+                        : dataset_names();
+  config.algos = bgpc_preset_names();
+  config.threads = args.get_int_list("threads", {2, 4, 8, 16});
+  config.order = OrderingKind::kSmallestLast;
+  config.reps = static_cast<int>(args.get_int("reps", 1));
+  bench::print_bgpc_speedup_table(
+      config, "Table IV: BGPC speedups, smallest-last order");
+  std::cout
+      << "\npaper (16 cores): colors/V-V: 0.99..1.10; t=16 speedups "
+         "3.78 (V-V), 6.41 (V-V-64),\n6.86 (V-V-64D), 9.20 (V-Ninf), "
+         "10.07 (V-N1), 10.09 (V-N2), 16.76 (N1-N2),\n11.19 (N2-N2). "
+         "SL makes the sequential baseline slower, so all speedups "
+         "rise\nrelative to Table III.\n";
+  return 0;
+}

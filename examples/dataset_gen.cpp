@@ -1,0 +1,112 @@
+// dataset_gen: export the bundled synthetic datasets (or custom
+// generator runs) as MatrixMarket or greedcolor binary files — so the
+// test-bed can be inspected, plotted, or fed to other tools (e.g.
+// ColPack itself, for an external cross-check).
+//
+// Usage:
+//   dataset_gen --dataset copapers_s --out copapers.mtx
+//   dataset_gen --dataset bone_s --out bone.bin --format bin
+//   dataset_gen --kind mesh2d --nx 100 --ny 100 --radius 2 --out m.mtx
+//   dataset_gen --kind powerlaw --rows 1000 --cols 5000 --alpha 1.1
+//               --max-deg 800 --out p.mtx
+#include <cstdlib>
+#include <iostream>
+
+#include "greedcolor/graph/binary_io.hpp"
+#include "greedcolor/graph/builder.hpp"
+#include "greedcolor/graph/datasets.hpp"
+#include "greedcolor/graph/generators.hpp"
+#include "greedcolor/graph/graph_stats.hpp"
+#include "greedcolor/graph/mtx_io.hpp"
+#include "greedcolor/util/argparse.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gcol;
+  const ArgParser args(argc, argv);
+  if (args.has("help")) {
+    std::cout << "usage: dataset_gen (--dataset NAME | --kind KIND opts) "
+                 "--out FILE [--format mtx|bin]\n"
+                 "kinds: mesh2d(nx,ny,radius) mesh3d(nx,ny,nz,radius,box) "
+                 "powerlaw(rows,cols,\n  min-deg,max-deg,alpha,col-skew) "
+                 "cliques(n,count,min,max,alpha) pa(n,edges)\n  "
+                 "blockrows(n,row-deg,bandwidth,offband) "
+                 "geometric(n,radius) random(rows,cols,nnz)\n"
+                 "common: --seed S\n";
+    return EXIT_SUCCESS;
+  }
+
+  Coo coo;
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 1));
+  if (args.has("dataset")) {
+    coo = find_dataset(args.get_string("dataset", "")).make();
+  } else {
+    const std::string kind = args.get_string("kind", "mesh2d");
+    if (kind == "mesh2d") {
+      coo = gen_mesh2d(static_cast<vid_t>(args.get_int("nx", 100)),
+                       static_cast<vid_t>(args.get_int("ny", 100)),
+                       static_cast<int>(args.get_int("radius", 1)));
+    } else if (kind == "mesh3d") {
+      coo = gen_mesh3d(static_cast<vid_t>(args.get_int("nx", 30)),
+                       static_cast<vid_t>(args.get_int("ny", 30)),
+                       static_cast<vid_t>(args.get_int("nz", 30)),
+                       static_cast<int>(args.get_int("radius", 1)),
+                       args.get_bool("box", false));
+    } else if (kind == "powerlaw") {
+      PowerLawBipartiteParams p;
+      p.rows = static_cast<vid_t>(args.get_int("rows", 1000));
+      p.cols = static_cast<vid_t>(args.get_int("cols", 4000));
+      p.min_deg = static_cast<vid_t>(args.get_int("min-deg", 2));
+      p.max_deg = static_cast<vid_t>(args.get_int("max-deg", 0));
+      p.alpha = args.get_double("alpha", 1.5);
+      p.col_skew = args.get_double("col-skew", 0.0);
+      p.seed = seed;
+      coo = gen_powerlaw_bipartite(p);
+    } else if (kind == "cliques") {
+      coo = gen_clique_union(static_cast<vid_t>(args.get_int("n", 10000)),
+                             static_cast<vid_t>(args.get_int("count", 4000)),
+                             static_cast<vid_t>(args.get_int("min", 2)),
+                             static_cast<vid_t>(args.get_int("max", 100)),
+                             args.get_double("alpha", 1.8), seed);
+    } else if (kind == "pa") {
+      coo = gen_preferential_attachment(
+          static_cast<vid_t>(args.get_int("n", 20000)),
+          static_cast<vid_t>(args.get_int("edges", 5)), seed);
+    } else if (kind == "blockrows") {
+      coo = gen_block_rows(static_cast<vid_t>(args.get_int("n", 5000)),
+                           static_cast<vid_t>(args.get_int("row-deg", 60)),
+                           static_cast<vid_t>(args.get_int("bandwidth", 300)),
+                           args.get_double("offband", 0.25), seed);
+    } else if (kind == "geometric") {
+      coo = gen_random_geometric(static_cast<vid_t>(args.get_int("n", 10000)),
+                                 args.get_double("radius", 0.015), seed);
+    } else if (kind == "random") {
+      coo = gen_random_bipartite(
+          static_cast<vid_t>(args.get_int("rows", 1000)),
+          static_cast<vid_t>(args.get_int("cols", 1000)),
+          static_cast<eid_t>(args.get_int("nnz", 10000)), seed);
+    } else {
+      std::cerr << "unknown kind: " << kind << " (see --help)\n";
+      return EXIT_FAILURE;
+    }
+  }
+
+  const std::string out = args.get_string("out", "");
+  if (out.empty()) {
+    std::cerr << "--out FILE is required\n";
+    return EXIT_FAILURE;
+  }
+  const std::string format = args.get_string(
+      "format", out.size() > 4 && out.substr(out.size() - 4) == ".bin"
+                    ? "bin"
+                    : "mtx");
+  const BipartiteGraph g = build_bipartite(Coo(coo));
+  if (format == "bin") {
+    write_binary_file(out, g);
+  } else {
+    write_matrix_market_file(out, coo);
+  }
+  std::cout << "wrote " << out << " (" << format
+            << "): " << signature(g) << "\n";
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,88 @@
+// Jacobian compression via BGPC — the numerical-optimization use case
+// the paper's introduction cites (Coleman & Moré; "What color is your
+// Jacobian?").
+//
+// A sparse Jacobian J (m x n) whose columns are partitioned into p
+// structurally-orthogonal groups can be evaluated with only p
+// forward-difference passes instead of n: compute B = J * S where
+// S(j,c) = 1 iff color(j) == c, then read every nonzero J(i,j) directly
+// from B(i, color(j)). A valid BGPC coloring of J's pattern is exactly
+// such a partition.
+//
+// The demo builds a synthetic banded Jacobian, colors it with N1-N2,
+// simulates the p compressed evaluations, recovers all nonzeros, and
+// reports the compression factor and recovery error.
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "greedcolor/core/bgpc.hpp"
+#include "greedcolor/core/verify.hpp"
+#include "greedcolor/graph/builder.hpp"
+#include "greedcolor/graph/sparse_matrix.hpp"
+#include "greedcolor/order/ordering.hpp"
+#include "greedcolor/util/argparse.hpp"
+#include "greedcolor/util/env.hpp"
+#include "greedcolor/util/prng.hpp"
+#include "greedcolor/util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gcol;
+  const ArgParser args(argc, argv);
+  const vid_t m = static_cast<vid_t>(args.get_int("rows", 20000));
+  const vid_t n = static_cast<vid_t>(args.get_int("cols", 24000));
+  const vid_t row_deg = static_cast<vid_t>(args.get_int("row-deg", 12));
+  std::cout << env_banner() << "\n";
+
+  // 1. Synthesize a banded sparse Jacobian pattern with values.
+  Xoshiro256 rng(args.get_int("seed", 7));
+  Coo jac;
+  jac.num_rows = m;
+  jac.num_cols = n;
+  for (vid_t r = 0; r < m; ++r) {
+    const vid_t base = static_cast<vid_t>(
+        (static_cast<eid_t>(r) * n) / m);
+    for (vid_t k = 0; k < row_deg; ++k) {
+      const vid_t c = static_cast<vid_t>(
+          (base + rng.bounded(static_cast<std::uint64_t>(4 * row_deg))) %
+          static_cast<std::uint64_t>(n));
+      jac.add(r, c, 1.0 + rng.uniform());
+    }
+  }
+  jac.sort_and_dedup();
+  const CsrMatrix a = CsrMatrix::from_coo(jac);
+  std::cout << "Jacobian: " << m << " x " << n << ", nnz = " << a.nnz()
+            << "\n";
+
+  // 2. Color the columns (partial distance-2 on the bipartite pattern).
+  const BipartiteGraph g = build_bipartite(jac);  // copies the pattern
+  ColoringOptions opt = bgpc_preset(args.get_string("algo", "N1-N2"));
+  opt.num_threads = static_cast<int>(args.get_int("threads", 0));
+  const auto order = make_ordering(
+      g, ordering_from_string(args.get_string("order", "smallest-last")));
+  WallTimer timer;
+  const auto res = color_bgpc(g, opt, order);
+  const double color_ms = timer.milliseconds();
+  if (!is_valid_bgpc(g, res.colors)) {
+    std::cerr << "coloring invalid — aborting\n";
+    return EXIT_FAILURE;
+  }
+  const color_t p = res.num_colors;
+  std::cout << "coloring: " << p << " groups (lower bound "
+            << g.max_net_degree() << ") in " << color_ms << " ms via "
+            << opt.name << "\n";
+
+  // 3. "Evaluate" the compressed Jacobian: B = J * S. Each of the p
+  // seed vectors corresponds to one forward-difference pass.
+  const std::vector<double> compressed = compress_columns(a, res.colors, p);
+
+  // 4. Recover every structural nonzero and measure the error (exact
+  // recovery is guaranteed by structural orthogonality).
+  const double max_err = recovery_error(a, res.colors, p, compressed);
+
+  std::cout << "function evaluations: " << p << " instead of " << n
+            << "  (compression " << static_cast<double>(n) / p << "x)\n"
+            << "max recovery error: " << max_err
+            << (max_err == 0.0 ? "  (exact, as guaranteed)" : "") << "\n";
+  return max_err == 0.0 ? EXIT_SUCCESS : EXIT_FAILURE;
+}

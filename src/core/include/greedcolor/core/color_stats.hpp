@@ -1,0 +1,31 @@
+// Color-set cardinality statistics: the quantities Table VI and
+// Figure 3 report for the balancing heuristics.
+#pragma once
+
+#include <vector>
+
+#include "greedcolor/util/types.hpp"
+
+namespace gcol {
+
+struct ColorClassStats {
+  color_t num_colors = 0;         ///< number of non-empty color sets
+  std::vector<vid_t> cardinality; ///< size of each color set, by color id
+  double mean = 0.0;              ///< average cardinality
+  double stddev = 0.0;            ///< Table VI's balance metric
+  vid_t min = 0;
+  vid_t max = 0;
+  /// Color sets with fewer than 2 members — the skew symptom the paper's
+  /// Section V motivation describes.
+  vid_t singleton_sets = 0;
+
+  /// Cardinalities sorted descending (the Figure 3 x-axis).
+  [[nodiscard]] std::vector<vid_t> sorted_cardinalities() const;
+};
+
+/// Compute the per-color cardinalities and dispersion statistics.
+/// Uncolored entries (kNoColor) are ignored.
+[[nodiscard]] ColorClassStats color_class_stats(
+    const std::vector<color_t>& colors);
+
+}  // namespace gcol

@@ -1,0 +1,35 @@
+// Distance-k graph coloring: the paper's Section VIII future-work
+// extension. A sequential reference (BFS-ball greedy) plus a parallel
+// speculative variant built by reducing to BGPC on distance-(k-1)
+// ball nets.
+#pragma once
+
+#include <vector>
+
+#include "greedcolor/core/options.hpp"
+#include "greedcolor/core/result.hpp"
+#include "greedcolor/graph/csr.hpp"
+
+namespace gcol {
+
+/// Sequential greedy distance-k coloring (first-fit over natural
+/// order); k >= 1. k=1 is classic D1GC, k=2 matches
+/// color_d2gc_sequential.
+[[nodiscard]] ColoringResult color_dkgc_sequential(const Graph& g, int k);
+
+/// Parallel distance-k coloring via the BGPC engine: net v := the
+/// distance-⌈k/2⌉-ball... more precisely, vertices u,w are distance-<=k
+/// adjacent iff they share a distance-⌊k/2⌋-ball net around some middle
+/// vertex when k is even, or u lies in the ⌈k/2⌉-ball and w in the
+/// ⌊k/2⌋-ball. For simplicity and correctness we build nets as
+/// distance-⌈k/2⌉ balls, which *over-covers* for odd k (colors remain
+/// valid, possibly a few more than necessary). k in [1, 6].
+[[nodiscard]] ColoringResult color_dkgc(const Graph& g, int k,
+                                        const ColoringOptions& options = {});
+
+/// Validity check by explicit BFS to depth k from every vertex.
+/// O(n * ball size) — intended for tests on small graphs.
+[[nodiscard]] bool is_valid_dkgc(const Graph& g, int k,
+                                 const std::vector<color_t>& colors);
+
+}  // namespace gcol

@@ -1,0 +1,51 @@
+// Iterated-greedy recoloring (Culberson-style): a sequential post-pass
+// that never increases and often decreases the number of colors.
+// Implements the paper's related-work improvement path ("iterative
+// recoloring", ref [30]) as an optional extension.
+#pragma once
+
+#include <vector>
+
+#include "greedcolor/graph/bipartite.hpp"
+#include "greedcolor/graph/csr.hpp"
+#include "greedcolor/util/types.hpp"
+
+namespace gcol {
+
+/// One iterated-greedy pass for BGPC: vertices are re-greedy-colored
+/// grouped by current color, largest color first. The class structure
+/// guarantees the new color count is <= the old one. Returns the new
+/// color count.
+color_t recolor_bgpc(const BipartiteGraph& g, std::vector<color_t>& colors);
+
+/// Same for D2GC.
+color_t recolor_d2gc(const Graph& g, std::vector<color_t>& colors);
+
+/// Repeat recolor passes until no improvement (at most `max_passes`).
+color_t recolor_bgpc_to_fixpoint(const BipartiteGraph& g,
+                                 std::vector<color_t>& colors,
+                                 int max_passes = 16);
+
+/// Class-processing order for an iterated-greedy pass. Culberson's
+/// guarantee (colors never increase) holds for ANY order that keeps
+/// each color class contiguous.
+enum class RecolorOrder {
+  kReverseColors,    ///< largest color id first (the default pass)
+  kRandomClasses,    ///< seeded random class permutation
+  kDecreasingSize,   ///< biggest class first (tends to compact hardest)
+};
+
+color_t recolor_bgpc_with(const BipartiteGraph& g,
+                          std::vector<color_t>& colors, RecolorOrder order,
+                          std::uint64_t seed = 0);
+
+/// The "expensive" balancing alternative the paper's Section V declines
+/// to run online: a sequential post-pass that re-assigns every vertex to
+/// the least-populated color among its allowed ones, maintaining exact
+/// cardinalities. Never increases the color count; typically shrinks
+/// the cardinality stddev far below B1/B2 at the cost of a full
+/// sequential sweep. Returns the (possibly smaller) color count.
+color_t balanced_recolor_bgpc(const BipartiteGraph& g,
+                              std::vector<color_t>& colors);
+
+}  // namespace gcol

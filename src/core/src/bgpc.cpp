@@ -1,0 +1,201 @@
+#include "greedcolor/core/bgpc.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "bgpc_kernels.hpp"
+#include "greedcolor/util/marker_set.hpp"
+#include "greedcolor/util/timer.hpp"
+#include "kernels_common.hpp"
+
+namespace gcol {
+
+namespace {
+
+std::vector<vid_t> natural_order(vid_t n) {
+  std::vector<vid_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), vid_t{0});
+  return order;
+}
+
+/// Color every remaining uncolored vertex sequentially (first-fit):
+/// the guaranteed-termination fallback behind ColoringOptions::max_rounds.
+void sequential_cleanup(const BipartiteGraph& g, std::vector<color_t>& c,
+                        const std::vector<vid_t>& pending,
+                        MarkerSet& forbidden) {
+  std::uint64_t probes = 0;
+  for (const vid_t w : pending) {
+    if (c[static_cast<std::size_t>(w)] != kNoColor) continue;
+    forbidden.clear();
+    for (const vid_t v : g.nets(w))
+      for (const vid_t u : g.vtxs(v))
+        if (u != w && c[static_cast<std::size_t>(u)] != kNoColor)
+          forbidden.insert(c[static_cast<std::size_t>(u)]);
+    c[static_cast<std::size_t>(w)] = detail::pick_up(forbidden, 0, probes);
+  }
+}
+
+}  // namespace
+
+color_t bgpc_color_bound(const BipartiteGraph& g) {
+  eid_t best = 0;
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    eid_t d2 = 0;
+    for (const vid_t v : g.nets(u)) d2 += g.net_degree(v) - 1;
+    best = std::max(best, d2);
+  }
+  return static_cast<color_t>(best + 1);
+}
+
+ColoringResult color_bgpc(const BipartiteGraph& g,
+                          const ColoringOptions& options,
+                          const std::vector<vid_t>& order) {
+  options.validate();
+  const vid_t n = g.num_vertices();
+  if (!order.empty() && order.size() != static_cast<std::size_t>(n))
+    throw std::invalid_argument("color_bgpc: order size mismatch");
+
+  const int threads = detail::resolve_threads(options.num_threads);
+  const auto marker_cap =
+      static_cast<std::size_t>(bgpc_color_bound(g)) + 2;
+  std::vector<ThreadWorkspace> workspaces(
+      static_cast<std::size_t>(threads));
+  for (auto& ws : workspaces)
+    ws.prepare(marker_cap, static_cast<std::size_t>(g.max_net_degree()));
+
+  ColoringResult result;
+  result.colors.assign(static_cast<std::size_t>(n), kNoColor);
+  color_t* c = result.colors.data();
+
+  // Initial work queue: the requested permutation, minus isolated
+  // vertices (no nets => no conflicts; net-based kernels never see
+  // them, so they are colored up front).
+  std::vector<vid_t> w;
+  w.reserve(static_cast<std::size_t>(n));
+  const std::vector<vid_t>& base = order.empty() ? natural_order(n) : order;
+  for (const vid_t u : base) {
+    if (g.vertex_degree(u) == 0)
+      result.colors[static_cast<std::size_t>(u)] = 0;
+    else
+      w.push_back(u);
+  }
+
+  WallTimer total;
+  std::vector<vid_t> wnext;
+  int round = 0;
+  int net_color_uses = 0;
+  while (!w.empty()) {
+    ++round;
+    bool net_color, net_conflict;
+    if (options.adaptive_threshold > 0.0) {
+      // Hybrid rule. Net *conflict removal* is O(|E|) and beats the
+      // vertex-based scan while W is a sizable fraction of V. Net
+      // *coloring* is only worth it when W is a majority — and looping
+      // it regenerates conflicts (the paper's observation 5), so it is
+      // capped at two uses.
+      const double frac =
+          static_cast<double>(w.size()) / static_cast<double>(n);
+      net_color = frac >= std::max(options.adaptive_threshold, 0.5) &&
+                  net_color_uses < 2;
+      if (net_color) ++net_color_uses;
+      net_conflict = net_color || frac >= options.adaptive_threshold;
+    } else {
+      net_color = round <= options.net_color_rounds;
+      net_conflict = options.net_conflict_rounds == -1 ||
+                     round <= options.net_conflict_rounds;
+    }
+
+    IterationStats stats;
+    stats.round = round;
+    stats.queue_size = w.size();
+    stats.net_based_coloring = net_color;
+    stats.net_based_conflict = net_conflict;
+
+    WallTimer phase;
+    if (net_color) {
+      if (options.net_v1)
+        detail::bgpc_color_net_v1(g, c, workspaces, options.net_v1_reverse,
+                                  options.chunk_size, threads,
+                                  stats.color_counters);
+      else
+        detail::bgpc_color_net(g, c, workspaces, options.balance,
+                               options.chunk_size, threads,
+                               stats.color_counters);
+    } else {
+      detail::bgpc_color_vertex(g, w, c, workspaces, options.balance,
+                                options.chunk_size, threads,
+                                stats.color_counters);
+    }
+    stats.color_seconds = phase.seconds();
+
+    phase.reset();
+    if (net_conflict) {
+      detail::bgpc_conflict_net(g, c, workspaces, options.chunk_size,
+                                threads, wnext, stats.conflict_counters);
+    } else {
+      detail::bgpc_conflict_vertex(g, w, c, workspaces, options.queue,
+                                   options.chunk_size, threads, wnext,
+                                   stats.conflict_counters);
+    }
+    stats.conflict_seconds = phase.seconds();
+    stats.conflicts = wnext.size();
+
+    if (options.collect_iteration_stats)
+      result.iterations.push_back(stats);
+    std::swap(w, wnext);
+    wnext.clear();
+
+    if (round >= options.max_rounds && !w.empty()) {
+      sequential_cleanup(g, result.colors, w, workspaces.front().forbidden);
+      result.sequential_fallback = true;
+      break;
+    }
+  }
+
+  result.total_seconds = total.seconds();
+  result.rounds = round;
+  result.num_colors = count_colors(result.colors);
+  return result;
+}
+
+ColoringResult color_bgpc_sequential(const BipartiteGraph& g,
+                                     const std::vector<vid_t>& order) {
+  const vid_t n = g.num_vertices();
+  if (!order.empty() && order.size() != static_cast<std::size_t>(n))
+    throw std::invalid_argument("color_bgpc_sequential: order size mismatch");
+
+  ColoringResult result;
+  result.colors.assign(static_cast<std::size_t>(n), kNoColor);
+  MarkerSet forbidden(static_cast<std::size_t>(bgpc_color_bound(g)) + 2);
+
+  WallTimer total;
+  IterationStats stats;
+  stats.round = 1;
+  stats.queue_size = static_cast<std::size_t>(n);
+  std::uint64_t probes = 0;
+  const std::vector<vid_t>& base = order.empty() ? natural_order(n) : order;
+  for (const vid_t w : base) {
+    forbidden.clear();
+    for (const vid_t v : g.nets(w)) {
+      for (const vid_t u : g.vtxs(v)) {
+        GCOL_COUNT(++stats.color_counters.edges_visited);
+        if (u == w) continue;
+        const color_t cu = result.colors[static_cast<std::size_t>(u)];
+        if (cu != kNoColor) forbidden.insert(cu);
+      }
+    }
+    result.colors[static_cast<std::size_t>(w)] =
+        detail::pick_up(forbidden, 0, probes);
+    GCOL_COUNT(++stats.color_counters.colored);
+  }
+  GCOL_COUNT(stats.color_counters.color_probes = probes);
+  stats.color_seconds = total.seconds();
+  result.total_seconds = stats.color_seconds;
+  result.rounds = 1;
+  result.iterations.push_back(stats);
+  result.num_colors = count_colors(result.colors);
+  return result;
+}
+
+}  // namespace gcol

@@ -1,0 +1,255 @@
+#include "bgpc_kernels.hpp"
+
+#include <omp.h>
+
+#include "greedcolor/util/parallel.hpp"
+#include "kernels_common.hpp"
+
+namespace gcol::detail {
+
+namespace {
+
+/// Merge a thread-local counter into the phase aggregate.
+void merge_counters(KernelCounters& into, const KernelCounters& from) {
+#pragma omp critical(gcol_counter_merge)
+  into += from;
+}
+
+template <BalancePolicy B>
+void color_vertex_impl(const BipartiteGraph& g, const std::vector<vid_t>& w,
+                       color_t* c, std::vector<ThreadWorkspace>& ws,
+                       int chunk, int threads, KernelCounters& counters) {
+  const auto n = static_cast<std::int64_t>(w.size());
+#pragma omp parallel num_threads(threads)
+  {
+    ThreadWorkspace& tws = ws[static_cast<std::size_t>(current_thread())];
+    MarkerSet& f = tws.forbidden;
+    PolicyState st;
+    KernelCounters local;
+#pragma omp for schedule(dynamic, chunk) nowait
+    for (std::int64_t i = 0; i < n; ++i) {
+      const vid_t wv = w[static_cast<std::size_t>(i)];
+      f.clear();
+      for (const vid_t v : g.nets(wv)) {
+        for (const vid_t u : g.vtxs(v)) {
+          GCOL_COUNT(++local.edges_visited);
+          if (u == wv) continue;
+          const color_t cu = load_color(c, u);
+          if (cu != kNoColor) f.insert(cu);
+        }
+      }
+      const color_t col = pick_vertex_color<B>(st, f, wv, local.color_probes);
+      store_color(c, wv, col);
+      GCOL_COUNT(++local.colored);
+    }
+    merge_counters(counters, local);
+  }
+}
+
+template <BalancePolicy B>
+void color_net_impl(const BipartiteGraph& g, color_t* c,
+                    std::vector<ThreadWorkspace>& ws, int chunk, int threads,
+                    KernelCounters& counters) {
+  const auto nn = static_cast<std::int64_t>(g.num_nets());
+#pragma omp parallel num_threads(threads)
+  {
+    ThreadWorkspace& tws = ws[static_cast<std::size_t>(current_thread())];
+    MarkerSet& f = tws.forbidden;
+    std::vector<vid_t>& wlocal = tws.local_queue;
+    PolicyState st;
+    KernelCounters local;
+#pragma omp for schedule(dynamic, chunk) nowait
+    for (std::int64_t vi = 0; vi < nn; ++vi) {
+      const vid_t v = static_cast<vid_t>(vi);
+      f.clear();
+      wlocal.clear();
+      // Pass 1 (Alg. 8 lines 4-8): mark forbidden colors, queue the
+      // vertices that are uncolored or locally color-duplicated.
+      for (const vid_t u : g.vtxs(v)) {
+        GCOL_COUNT(++local.edges_visited);
+        const color_t cu = load_color(c, u);
+        if (cu != kNoColor && !f.contains(cu))
+          f.insert(cu);
+        else
+          wlocal.push_back(u);
+      }
+      if (wlocal.empty()) continue;
+      // Pass 2 (lines 9-14): reverse first-fit from |vtxs(v)|-1, or the
+      // balancing variant.
+      color_local_queue<B>(st, f, wlocal, v, g.net_degree(v) - 1, c,
+                           local.color_probes, local.colored);
+    }
+    merge_counters(counters, local);
+  }
+}
+
+void color_net_v1_impl(const BipartiteGraph& g, color_t* c,
+                       std::vector<ThreadWorkspace>& ws, bool reverse,
+                       int chunk, int threads, KernelCounters& counters) {
+  const auto nn = static_cast<std::int64_t>(g.num_nets());
+#pragma omp parallel num_threads(threads)
+  {
+    ThreadWorkspace& tws = ws[static_cast<std::size_t>(current_thread())];
+    MarkerSet& f = tws.forbidden;
+    KernelCounters local;
+#pragma omp for schedule(dynamic, chunk) nowait
+    for (std::int64_t vi = 0; vi < nn; ++vi) {
+      const vid_t v = static_cast<vid_t>(vi);
+      f.clear();
+      const color_t deg = g.net_degree(v);
+      color_t col = reverse ? deg - 1 : 0;  // net-level running cursor
+      for (const vid_t u : g.vtxs(v)) {
+        GCOL_COUNT(++local.edges_visited);
+        color_t cu = load_color(c, u);
+        if (cu == kNoColor || f.contains(cu)) {
+          if (reverse) {
+            col = pick_down(f, col, local.color_probes);
+            if (col == kNoColor) col = pick_up(f, deg, local.color_probes);
+          } else {
+            col = pick_up(f, col, local.color_probes);
+          }
+          cu = col;
+          store_color(c, u, cu);
+          GCOL_COUNT(++local.colored);
+        }
+        f.insert(cu);
+      }
+    }
+    merge_counters(counters, local);
+  }
+}
+
+}  // namespace
+
+void bgpc_color_vertex(const BipartiteGraph& g, const std::vector<vid_t>& w,
+                       color_t* c, std::vector<ThreadWorkspace>& ws,
+                       BalancePolicy balance, int chunk, int threads,
+                       KernelCounters& counters) {
+  switch (balance) {
+    case BalancePolicy::kNone:
+      return color_vertex_impl<BalancePolicy::kNone>(g, w, c, ws, chunk,
+                                                     threads, counters);
+    case BalancePolicy::kB1:
+      return color_vertex_impl<BalancePolicy::kB1>(g, w, c, ws, chunk,
+                                                   threads, counters);
+    case BalancePolicy::kB2:
+      return color_vertex_impl<BalancePolicy::kB2>(g, w, c, ws, chunk,
+                                                   threads, counters);
+  }
+}
+
+void bgpc_color_net(const BipartiteGraph& g, color_t* c,
+                    std::vector<ThreadWorkspace>& ws, BalancePolicy balance,
+                    int chunk, int threads, KernelCounters& counters) {
+  switch (balance) {
+    case BalancePolicy::kNone:
+      return color_net_impl<BalancePolicy::kNone>(g, c, ws, chunk, threads,
+                                                  counters);
+    case BalancePolicy::kB1:
+      return color_net_impl<BalancePolicy::kB1>(g, c, ws, chunk, threads,
+                                                counters);
+    case BalancePolicy::kB2:
+      return color_net_impl<BalancePolicy::kB2>(g, c, ws, chunk, threads,
+                                                counters);
+  }
+}
+
+void bgpc_color_net_v1(const BipartiteGraph& g, color_t* c,
+                       std::vector<ThreadWorkspace>& ws, bool reverse,
+                       int chunk, int threads, KernelCounters& counters) {
+  color_net_v1_impl(g, c, ws, reverse, chunk, threads, counters);
+}
+
+void bgpc_conflict_vertex(const BipartiteGraph& g, const std::vector<vid_t>& w,
+                          color_t* c, std::vector<ThreadWorkspace>& ws,
+                          QueuePolicy queue, int chunk, int threads,
+                          std::vector<vid_t>& wnext,
+                          KernelCounters& counters) {
+  (void)ws;
+  const auto n = static_cast<std::int64_t>(w.size());
+  SharedWorkQueue shared;
+  LocalWorkQueues lazy;
+  const bool use_shared = queue == QueuePolicy::kShared;
+  if (use_shared)
+    shared.reset(w.size());
+  else
+    lazy.configure(threads), lazy.begin_round();
+
+#pragma omp parallel num_threads(threads)
+  {
+    const int tid = current_thread();
+    KernelCounters local;
+#pragma omp for schedule(dynamic, chunk) nowait
+    for (std::int64_t i = 0; i < n; ++i) {
+      const vid_t wv = w[static_cast<std::size_t>(i)];
+      const color_t cw = load_color(c, wv);
+      if (cw == kNoColor) continue;  // already uncolored by a peer race
+      bool conflicted = false;
+      for (const vid_t v : g.nets(wv)) {
+        for (const vid_t u : g.vtxs(v)) {
+          GCOL_COUNT(++local.edges_visited);
+          if (u == wv) continue;
+          // Tie-break (Alg. 3 line 4): the larger id loses.
+          if (load_color(c, u) == cw && wv > u) {
+            conflicted = true;
+            break;
+          }
+        }
+        if (conflicted) break;
+      }
+      if (conflicted) {
+        GCOL_COUNT(++local.conflicts);
+        store_color(c, wv, kNoColor);
+        if (use_shared)
+          shared.push(wv);
+        else
+          lazy.push(tid, wv);
+      }
+    }
+    merge_counters(counters, local);
+  }
+  if (use_shared)
+    shared.swap_into(wnext);
+  else
+    lazy.merge_into(wnext);
+}
+
+void bgpc_conflict_net(const BipartiteGraph& g, color_t* c,
+                       std::vector<ThreadWorkspace>& ws, int chunk,
+                       int threads, std::vector<vid_t>& wnext,
+                       KernelCounters& counters) {
+  const auto nn = static_cast<std::int64_t>(g.num_nets());
+  LocalWorkQueues lazy(threads);
+  lazy.begin_round();
+#pragma omp parallel num_threads(threads)
+  {
+    const int tid = current_thread();
+    ThreadWorkspace& tws = ws[static_cast<std::size_t>(tid)];
+    MarkerSet& f = tws.forbidden;
+    KernelCounters local;
+#pragma omp for schedule(dynamic, chunk) nowait
+    for (std::int64_t vi = 0; vi < nn; ++vi) {
+      const vid_t v = static_cast<vid_t>(vi);
+      f.clear();
+      for (const vid_t u : g.vtxs(v)) {
+        GCOL_COUNT(++local.edges_visited);
+        const color_t cu = load_color(c, u);
+        if (cu == kNoColor) continue;
+        if (f.contains(cu)) {
+          // First occurrence keeps the color; the exchange deduplicates
+          // pushes when another net uncolors u concurrently.
+          if (exchange_uncolor(c, u) != kNoColor) {
+            lazy.push(tid, u);
+            GCOL_COUNT(++local.conflicts);
+          }
+        } else {
+          f.insert(cu);
+        }
+      }
+    }
+    merge_counters(counters, local);
+  }
+  lazy.merge_into(wnext);
+}
+
+}  // namespace gcol::detail

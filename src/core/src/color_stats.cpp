@@ -1,0 +1,53 @@
+#include "greedcolor/core/color_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "greedcolor/core/result.hpp"
+
+namespace gcol {
+
+color_t count_colors(const std::vector<color_t>& colors) {
+  color_t max_color = -1;
+  for (const color_t c : colors) max_color = std::max(max_color, c);
+  return max_color + 1;
+}
+
+std::vector<vid_t> ColorClassStats::sorted_cardinalities() const {
+  std::vector<vid_t> sorted = cardinality;
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  return sorted;
+}
+
+ColorClassStats color_class_stats(const std::vector<color_t>& colors) {
+  ColorClassStats s;
+  const color_t k = count_colors(colors);
+  s.cardinality.assign(static_cast<std::size_t>(std::max<color_t>(k, 0)), 0);
+  vid_t colored = 0;
+  for (const color_t c : colors) {
+    if (c < 0) continue;
+    ++s.cardinality[static_cast<std::size_t>(c)];
+    ++colored;
+  }
+  // Drop empty classes (can appear when a post-pass eliminated a color).
+  std::erase(s.cardinality, 0);
+  s.num_colors = static_cast<color_t>(s.cardinality.size());
+  if (s.num_colors == 0) return s;
+
+  double sum = 0.0, sumsq = 0.0;
+  s.min = s.cardinality.front();
+  s.max = s.cardinality.front();
+  for (const vid_t card : s.cardinality) {
+    sum += card;
+    sumsq += static_cast<double>(card) * card;
+    s.min = std::min(s.min, card);
+    s.max = std::max(s.max, card);
+    if (card < 2) ++s.singleton_sets;
+  }
+  s.mean = sum / s.num_colors;
+  s.stddev = std::sqrt(
+      std::max(0.0, sumsq / s.num_colors - s.mean * s.mean));
+  return s;
+}
+
+}  // namespace gcol

@@ -1,0 +1,328 @@
+#include "greedcolor/core/d1gc.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "greedcolor/util/marker_set.hpp"
+#include "greedcolor/util/parallel.hpp"
+#include "greedcolor/util/prng.hpp"
+#include "greedcolor/util/timer.hpp"
+#include "greedcolor/util/work_queue.hpp"
+#include "kernels_common.hpp"
+
+namespace gcol {
+
+namespace {
+
+std::vector<vid_t> natural_order(vid_t n) {
+  std::vector<vid_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), vid_t{0});
+  return order;
+}
+
+template <BalancePolicy B>
+void d1_color_round(const Graph& g, const std::vector<vid_t>& w, color_t* c,
+                    std::vector<ThreadWorkspace>& ws, int chunk, int threads,
+                    KernelCounters& counters) {
+  const auto n = static_cast<std::int64_t>(w.size());
+#pragma omp parallel num_threads(threads)
+  {
+    ThreadWorkspace& tws = ws[static_cast<std::size_t>(current_thread())];
+    MarkerSet& f = tws.forbidden;
+    detail::PolicyState st;
+    KernelCounters local;
+#pragma omp for schedule(dynamic, chunk) nowait
+    for (std::int64_t i = 0; i < n; ++i) {
+      const vid_t wv = w[static_cast<std::size_t>(i)];
+      f.clear();
+      for (const vid_t u : g.neighbors(wv)) {
+        GCOL_COUNT(++local.edges_visited);
+        const color_t cu = detail::load_color(c, u);
+        if (cu != kNoColor) f.insert(cu);
+      }
+      const color_t col =
+          detail::pick_vertex_color<B>(st, f, wv, local.color_probes);
+      detail::store_color(c, wv, col);
+      GCOL_COUNT(++local.colored);
+    }
+#pragma omp critical(gcol_counter_merge_d1)
+    counters += local;
+  }
+}
+
+void d1_conflict_round(const Graph& g, const std::vector<vid_t>& w,
+                       color_t* c, QueuePolicy queue, int chunk, int threads,
+                       std::vector<vid_t>& wnext, KernelCounters& counters) {
+  const auto n = static_cast<std::int64_t>(w.size());
+  SharedWorkQueue shared;
+  LocalWorkQueues lazy;
+  const bool use_shared = queue == QueuePolicy::kShared;
+  if (use_shared)
+    shared.reset(w.size());
+  else
+    lazy.configure(threads), lazy.begin_round();
+#pragma omp parallel num_threads(threads)
+  {
+    const int tid = current_thread();
+    KernelCounters local;
+#pragma omp for schedule(dynamic, chunk) nowait
+    for (std::int64_t i = 0; i < n; ++i) {
+      const vid_t wv = w[static_cast<std::size_t>(i)];
+      const color_t cw = detail::load_color(c, wv);
+      if (cw == kNoColor) continue;
+      bool conflicted = false;
+      for (const vid_t u : g.neighbors(wv)) {
+        GCOL_COUNT(++local.edges_visited);
+        if (detail::load_color(c, u) == cw && wv > u) {
+          conflicted = true;
+          break;
+        }
+      }
+      if (conflicted) {
+        GCOL_COUNT(++local.conflicts);
+        detail::store_color(c, wv, kNoColor);
+        if (use_shared)
+          shared.push(wv);
+        else
+          lazy.push(tid, wv);
+      }
+    }
+#pragma omp critical(gcol_counter_merge_d1)
+    counters += local;
+  }
+  if (use_shared)
+    shared.swap_into(wnext);
+  else
+    lazy.merge_into(wnext);
+}
+
+}  // namespace
+
+color_t d1gc_color_bound(const Graph& g) { return g.max_degree() + 1; }
+
+ColoringResult color_d1gc_sequential(const Graph& g,
+                                     const std::vector<vid_t>& order) {
+  const vid_t n = g.num_vertices();
+  if (!order.empty() && order.size() != static_cast<std::size_t>(n))
+    throw std::invalid_argument("color_d1gc_sequential: order size mismatch");
+  ColoringResult result;
+  result.colors.assign(static_cast<std::size_t>(n), kNoColor);
+  MarkerSet forbidden(static_cast<std::size_t>(d1gc_color_bound(g)) + 1);
+  std::uint64_t probes = 0;
+
+  WallTimer total;
+  IterationStats stats;
+  stats.round = 1;
+  stats.queue_size = static_cast<std::size_t>(n);
+  const std::vector<vid_t>& base = order.empty() ? natural_order(n) : order;
+  for (const vid_t w : base) {
+    forbidden.clear();
+    for (const vid_t u : g.neighbors(w)) {
+      GCOL_COUNT(++stats.color_counters.edges_visited);
+      const color_t cu = result.colors[static_cast<std::size_t>(u)];
+      if (cu != kNoColor) forbidden.insert(cu);
+    }
+    result.colors[static_cast<std::size_t>(w)] =
+        detail::pick_up(forbidden, 0, probes);
+    GCOL_COUNT(++stats.color_counters.colored);
+  }
+  GCOL_COUNT(stats.color_counters.color_probes = probes);
+  stats.color_seconds = total.seconds();
+  result.total_seconds = stats.color_seconds;
+  result.rounds = 1;
+  result.iterations.push_back(stats);
+  result.num_colors = count_colors(result.colors);
+  return result;
+}
+
+ColoringResult color_d1gc(const Graph& g, const ColoringOptions& options,
+                          const std::vector<vid_t>& order) {
+  options.validate();
+  if (options.net_color_rounds != 0 || options.net_conflict_rounds != 0)
+    throw std::invalid_argument(
+        "color_d1gc: net-based rounds are undefined for distance-1");
+  const vid_t n = g.num_vertices();
+  if (!order.empty() && order.size() != static_cast<std::size_t>(n))
+    throw std::invalid_argument("color_d1gc: order size mismatch");
+
+  const int threads = detail::resolve_threads(options.num_threads);
+  std::vector<ThreadWorkspace> workspaces(
+      static_cast<std::size_t>(threads));
+  for (auto& ws : workspaces)
+    ws.prepare(static_cast<std::size_t>(d1gc_color_bound(g)) + 2, 0);
+
+  ColoringResult result;
+  result.colors.assign(static_cast<std::size_t>(n), kNoColor);
+  color_t* c = result.colors.data();
+  std::vector<vid_t> w = order.empty() ? natural_order(n) : order;
+
+  WallTimer total;
+  std::vector<vid_t> wnext;
+  int round = 0;
+  while (!w.empty() && round < options.max_rounds) {
+    ++round;
+    IterationStats stats;
+    stats.round = round;
+    stats.queue_size = w.size();
+
+    WallTimer phase;
+    switch (options.balance) {
+      case BalancePolicy::kNone:
+        d1_color_round<BalancePolicy::kNone>(g, w, c, workspaces,
+                                             options.chunk_size, threads,
+                                             stats.color_counters);
+        break;
+      case BalancePolicy::kB1:
+        d1_color_round<BalancePolicy::kB1>(g, w, c, workspaces,
+                                           options.chunk_size, threads,
+                                           stats.color_counters);
+        break;
+      case BalancePolicy::kB2:
+        d1_color_round<BalancePolicy::kB2>(g, w, c, workspaces,
+                                           options.chunk_size, threads,
+                                           stats.color_counters);
+        break;
+    }
+    stats.color_seconds = phase.seconds();
+
+    phase.reset();
+    d1_conflict_round(g, w, c, options.queue, options.chunk_size, threads,
+                      wnext, stats.conflict_counters);
+    stats.conflict_seconds = phase.seconds();
+    stats.conflicts = wnext.size();
+
+    if (options.collect_iteration_stats)
+      result.iterations.push_back(stats);
+    std::swap(w, wnext);
+    wnext.clear();
+  }
+  // Speculative D1 always terminates (the smallest conflicting vertex
+  // keeps its color each round); max_rounds is an assertion of that.
+  if (!w.empty())
+    throw std::logic_error("color_d1gc: round limit exceeded");
+
+  result.total_seconds = total.seconds();
+  result.rounds = round;
+  result.num_colors = count_colors(result.colors);
+  return result;
+}
+
+ColoringResult color_d1gc_jones_plassmann(const Graph& g, std::uint64_t seed,
+                                          int num_threads) {
+  const vid_t n = g.num_vertices();
+  const int threads = detail::resolve_threads(num_threads);
+
+  ColoringResult result;
+  result.colors.assign(static_cast<std::size_t>(n), kNoColor);
+  color_t* c = result.colors.data();
+
+  // Random priorities; ties broken by vertex id.
+  std::vector<std::uint64_t> priority(static_cast<std::size_t>(n));
+  for (vid_t v = 0; v < n; ++v)
+    priority[static_cast<std::size_t>(v)] =
+        mix64(seed ^ static_cast<std::uint64_t>(v));
+  auto wins = [&](vid_t a, vid_t b) {
+    const auto pa = priority[static_cast<std::size_t>(a)];
+    const auto pb = priority[static_cast<std::size_t>(b)];
+    return pa != pb ? pa > pb : a > b;
+  };
+
+  std::vector<ThreadWorkspace> workspaces(
+      static_cast<std::size_t>(threads));
+  for (auto& ws : workspaces)
+    ws.prepare(static_cast<std::size_t>(d1gc_color_bound(g)) + 1, 0);
+
+  std::vector<vid_t> w = natural_order(n);
+  std::vector<vid_t> wnext;
+  LocalWorkQueues lazy(threads);
+  // Round-start snapshot of "still uncolored": the local-max test and
+  // the forbidden sets only consult prior-round state, which makes the
+  // whole run a deterministic function of (graph, seed).
+  std::vector<std::uint8_t> active(static_cast<std::size_t>(n), 1);
+
+  WallTimer total;
+  int round = 0;
+  while (!w.empty()) {
+    ++round;
+    IterationStats stats;
+    stats.round = round;
+    stats.queue_size = w.size();
+    lazy.begin_round();
+    const auto sz = static_cast<std::int64_t>(w.size());
+
+    WallTimer phase;
+#pragma omp parallel num_threads(threads)
+    {
+      const int tid = current_thread();
+      ThreadWorkspace& tws = workspaces[static_cast<std::size_t>(tid)];
+      MarkerSet& f = tws.forbidden;
+      KernelCounters local;
+#pragma omp for schedule(dynamic, 64) nowait
+      for (std::int64_t i = 0; i < sz; ++i) {
+        const vid_t v = w[static_cast<std::size_t>(i)];
+        // v colors this round iff it beats every still-active neighbor
+        // (the Jones-Plassmann independent set). Two adjacent winners
+        // are impossible, so the concurrent stores below never clash.
+        bool local_max = true;
+        for (const vid_t u : g.neighbors(v)) {
+          GCOL_COUNT(++local.edges_visited);
+          if (active[static_cast<std::size_t>(u)] && wins(u, v)) {
+            local_max = false;
+            break;
+          }
+        }
+        if (!local_max) {
+          lazy.push(tid, v);
+          continue;
+        }
+        f.clear();
+        for (const vid_t u : g.neighbors(v)) {
+          if (active[static_cast<std::size_t>(u)]) continue;  // uncolored
+          const color_t cu = detail::load_color(c, u);
+          if (cu != kNoColor) f.insert(cu);
+        }
+        detail::store_color(c, v, detail::pick_up(f, 0, local.color_probes));
+        GCOL_COUNT(++local.colored);
+      }
+#pragma omp critical(gcol_counter_merge_jp)
+      stats.color_counters += local;
+    }
+    stats.color_seconds = phase.seconds();
+    lazy.merge_into(wnext);
+    stats.conflicts = wnext.size();
+    result.iterations.push_back(stats);
+    for (const vid_t v : w) active[static_cast<std::size_t>(v)] = 0;
+    for (const vid_t v : wnext) active[static_cast<std::size_t>(v)] = 1;
+    std::swap(w, wnext);
+    wnext.clear();
+  }
+  result.total_seconds = total.seconds();
+  result.rounds = round;
+  result.num_colors = count_colors(result.colors);
+  return result;
+}
+
+std::optional<ColoringViolation> check_d1gc(
+    const Graph& g, const std::vector<color_t>& colors) {
+  if (colors.size() != static_cast<std::size_t>(g.num_vertices()))
+    return ColoringViolation{kInvalidVertex, kInvalidVertex, kInvalidVertex,
+                             "color array size mismatch"};
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (colors[static_cast<std::size_t>(v)] < 0)
+      return ColoringViolation{v, kInvalidVertex, kInvalidVertex,
+                               "uncolored vertex"};
+    for (const vid_t u : g.neighbors(v)) {
+      if (colors[static_cast<std::size_t>(u)] ==
+          colors[static_cast<std::size_t>(v)])
+        return ColoringViolation{v, u, kInvalidVertex,
+                                 "adjacent vertices share a color"};
+    }
+  }
+  return std::nullopt;
+}
+
+bool is_valid_d1gc(const Graph& g, const std::vector<color_t>& colors) {
+  return !check_d1gc(g, colors).has_value();
+}
+
+}  // namespace gcol

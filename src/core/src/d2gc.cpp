@@ -1,0 +1,197 @@
+#include "greedcolor/core/d2gc.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "d2gc_kernels.hpp"
+#include "greedcolor/util/timer.hpp"
+#include "kernels_common.hpp"
+
+namespace gcol {
+
+namespace {
+
+std::vector<vid_t> natural_order(vid_t n) {
+  std::vector<vid_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), vid_t{0});
+  return order;
+}
+
+void sequential_cleanup(const Graph& g, std::vector<color_t>& c,
+                        const std::vector<vid_t>& pending,
+                        MarkerSet& forbidden) {
+  std::uint64_t probes = 0;
+  for (const vid_t w : pending) {
+    if (c[static_cast<std::size_t>(w)] != kNoColor) continue;
+    forbidden.clear();
+    for (const vid_t u : g.neighbors(w)) {
+      if (c[static_cast<std::size_t>(u)] != kNoColor)
+        forbidden.insert(c[static_cast<std::size_t>(u)]);
+      for (const vid_t x : g.neighbors(u)) {
+        if (x != w && c[static_cast<std::size_t>(x)] != kNoColor)
+          forbidden.insert(c[static_cast<std::size_t>(x)]);
+      }
+    }
+    c[static_cast<std::size_t>(w)] = detail::pick_up(forbidden, 0, probes);
+  }
+}
+
+// In the BGPC presets `net_conflict_rounds >= net_color_rounds` is
+// enforced because a net-colored round has no explicit queue. Same
+// constraint applies here; ColoringOptions::validate covers it.
+
+}  // namespace
+
+color_t d2gc_color_bound(const Graph& g) {
+  eid_t best = 0;
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    eid_t d2 = g.degree(v);
+    for (const vid_t u : g.neighbors(v)) d2 += g.degree(u) - 1;
+    best = std::max(best, d2);
+  }
+  return static_cast<color_t>(best + 2);
+}
+
+ColoringResult color_d2gc(const Graph& g, const ColoringOptions& options,
+                          const std::vector<vid_t>& order) {
+  options.validate();
+  if (options.net_v1)
+    throw std::invalid_argument("color_d2gc: net_v1 is BGPC-only");
+  const vid_t n = g.num_vertices();
+  if (!order.empty() && order.size() != static_cast<std::size_t>(n))
+    throw std::invalid_argument("color_d2gc: order size mismatch");
+
+  const int threads = detail::resolve_threads(options.num_threads);
+  const auto marker_cap = static_cast<std::size_t>(d2gc_color_bound(g)) + 2;
+  std::vector<ThreadWorkspace> workspaces(
+      static_cast<std::size_t>(threads));
+  for (auto& ws : workspaces)
+    ws.prepare(marker_cap, static_cast<std::size_t>(g.max_degree()) + 1);
+
+  ColoringResult result;
+  result.colors.assign(static_cast<std::size_t>(n), kNoColor);
+  color_t* c = result.colors.data();
+
+  std::vector<vid_t> w;
+  w.reserve(static_cast<std::size_t>(n));
+  const std::vector<vid_t>& base = order.empty() ? natural_order(n) : order;
+  for (const vid_t u : base) {
+    if (g.degree(u) == 0)
+      result.colors[static_cast<std::size_t>(u)] = 0;  // isolated
+    else
+      w.push_back(u);
+  }
+
+  WallTimer total;
+  std::vector<vid_t> wnext;
+  int round = 0;
+  int net_color_uses = 0;
+  while (!w.empty()) {
+    ++round;
+    bool net_color, net_conflict;
+    if (options.adaptive_threshold > 0.0) {
+      // See bgpc.cpp: net coloring only for majority-sized W (capped at
+      // two uses, the paper's observation 5); net conflict removal down
+      // to the threshold fraction.
+      const double frac =
+          static_cast<double>(w.size()) / static_cast<double>(n);
+      net_color = frac >= std::max(options.adaptive_threshold, 0.5) &&
+                  net_color_uses < 2;
+      if (net_color) ++net_color_uses;
+      net_conflict = net_color || frac >= options.adaptive_threshold;
+    } else {
+      net_color = round <= options.net_color_rounds;
+      net_conflict = options.net_conflict_rounds == -1 ||
+                     round <= options.net_conflict_rounds;
+    }
+
+    IterationStats stats;
+    stats.round = round;
+    stats.queue_size = w.size();
+    stats.net_based_coloring = net_color;
+    stats.net_based_conflict = net_conflict;
+
+    WallTimer phase;
+    if (net_color)
+      detail::d2gc_color_net(g, c, workspaces, options.balance,
+                             options.chunk_size, threads,
+                             stats.color_counters);
+    else
+      detail::d2gc_color_vertex(g, w, c, workspaces, options.balance,
+                                options.chunk_size, threads,
+                                stats.color_counters);
+    stats.color_seconds = phase.seconds();
+
+    phase.reset();
+    if (net_conflict)
+      detail::d2gc_conflict_net(g, c, workspaces, options.chunk_size,
+                                threads, wnext, stats.conflict_counters);
+    else
+      detail::d2gc_conflict_vertex(g, w, c, workspaces, options.queue,
+                                   options.chunk_size, threads, wnext,
+                                   stats.conflict_counters);
+    stats.conflict_seconds = phase.seconds();
+    stats.conflicts = wnext.size();
+
+    if (options.collect_iteration_stats)
+      result.iterations.push_back(stats);
+    std::swap(w, wnext);
+    wnext.clear();
+
+    if (round >= options.max_rounds && !w.empty()) {
+      sequential_cleanup(g, result.colors, w, workspaces.front().forbidden);
+      result.sequential_fallback = true;
+      break;
+    }
+  }
+
+  result.total_seconds = total.seconds();
+  result.rounds = round;
+  result.num_colors = count_colors(result.colors);
+  return result;
+}
+
+ColoringResult color_d2gc_sequential(const Graph& g,
+                                     const std::vector<vid_t>& order) {
+  const vid_t n = g.num_vertices();
+  if (!order.empty() && order.size() != static_cast<std::size_t>(n))
+    throw std::invalid_argument("color_d2gc_sequential: order size mismatch");
+
+  ColoringResult result;
+  result.colors.assign(static_cast<std::size_t>(n), kNoColor);
+  MarkerSet forbidden(static_cast<std::size_t>(d2gc_color_bound(g)) + 2);
+
+  WallTimer total;
+  IterationStats stats;
+  stats.round = 1;
+  stats.queue_size = static_cast<std::size_t>(n);
+  std::uint64_t probes = 0;
+  const std::vector<vid_t>& base = order.empty() ? natural_order(n) : order;
+  for (const vid_t w : base) {
+    forbidden.clear();
+    for (const vid_t u : g.neighbors(w)) {
+      GCOL_COUNT(++stats.color_counters.edges_visited);
+      const color_t cu = result.colors[static_cast<std::size_t>(u)];
+      if (cu != kNoColor) forbidden.insert(cu);
+      for (const vid_t x : g.neighbors(u)) {
+        GCOL_COUNT(++stats.color_counters.edges_visited);
+        if (x == w) continue;
+        const color_t cx = result.colors[static_cast<std::size_t>(x)];
+        if (cx != kNoColor) forbidden.insert(cx);
+      }
+    }
+    result.colors[static_cast<std::size_t>(w)] =
+        detail::pick_up(forbidden, 0, probes);
+    GCOL_COUNT(++stats.color_counters.colored);
+  }
+  GCOL_COUNT(stats.color_counters.color_probes = probes);
+  stats.color_seconds = total.seconds();
+  result.total_seconds = stats.color_seconds;
+  result.rounds = 1;
+  result.iterations.push_back(stats);
+  result.num_colors = count_colors(result.colors);
+  return result;
+}
+
+}  // namespace gcol

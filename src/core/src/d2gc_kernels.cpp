@@ -1,0 +1,226 @@
+#include "d2gc_kernels.hpp"
+
+#include <omp.h>
+
+#include "greedcolor/util/parallel.hpp"
+#include "greedcolor/util/work_queue.hpp"
+#include "kernels_common.hpp"
+
+namespace gcol::detail {
+
+namespace {
+
+void merge_counters(KernelCounters& into, const KernelCounters& from) {
+#pragma omp critical(gcol_counter_merge_d2)
+  into += from;
+}
+
+template <BalancePolicy B>
+void color_vertex_impl(const Graph& g, const std::vector<vid_t>& w,
+                       color_t* c, std::vector<ThreadWorkspace>& ws,
+                       int chunk, int threads, KernelCounters& counters) {
+  const auto n = static_cast<std::int64_t>(w.size());
+#pragma omp parallel num_threads(threads)
+  {
+    ThreadWorkspace& tws = ws[static_cast<std::size_t>(current_thread())];
+    MarkerSet& f = tws.forbidden;
+    PolicyState st;
+    KernelCounters local;
+#pragma omp for schedule(dynamic, chunk) nowait
+    for (std::int64_t i = 0; i < n; ++i) {
+      const vid_t wv = w[static_cast<std::size_t>(i)];
+      f.clear();
+      for (const vid_t u : g.neighbors(wv)) {
+        GCOL_COUNT(++local.edges_visited);
+        const color_t cu = load_color(c, u);
+        if (cu != kNoColor) f.insert(cu);  // distance-1 neighbor
+        for (const vid_t x : g.neighbors(u)) {
+          GCOL_COUNT(++local.edges_visited);
+          if (x == wv) continue;
+          const color_t cx = load_color(c, x);
+          if (cx != kNoColor) f.insert(cx);  // distance-2 neighbor
+        }
+      }
+      const color_t col = pick_vertex_color<B>(st, f, wv, local.color_probes);
+      store_color(c, wv, col);
+      GCOL_COUNT(++local.colored);
+    }
+    merge_counters(counters, local);
+  }
+}
+
+template <BalancePolicy B>
+void color_net_impl(const Graph& g, color_t* c,
+                    std::vector<ThreadWorkspace>& ws, int chunk, int threads,
+                    KernelCounters& counters) {
+  const auto n = static_cast<std::int64_t>(g.num_vertices());
+#pragma omp parallel num_threads(threads)
+  {
+    ThreadWorkspace& tws = ws[static_cast<std::size_t>(current_thread())];
+    MarkerSet& f = tws.forbidden;
+    std::vector<vid_t>& wlocal = tws.local_queue;
+    PolicyState st;
+    KernelCounters local;
+#pragma omp for schedule(dynamic, chunk) nowait
+    for (std::int64_t vi = 0; vi < n; ++vi) {
+      const vid_t v = static_cast<vid_t>(vi);
+      f.clear();
+      wlocal.clear();
+      // Alg. 9 lines 4-7: the middle vertex itself is part of the net.
+      const color_t cv = load_color(c, v);
+      if (cv != kNoColor)
+        f.insert(cv);
+      else
+        wlocal.push_back(v);
+      // Lines 8-12: distance-1 neighbors.
+      for (const vid_t u : g.neighbors(v)) {
+        GCOL_COUNT(++local.edges_visited);
+        const color_t cu = load_color(c, u);
+        if (cu != kNoColor && !f.contains(cu))
+          f.insert(cu);
+        else
+          wlocal.push_back(u);
+      }
+      if (wlocal.empty()) continue;
+      // Lines 13-18: reverse first-fit from |nbor(v)| (one more than
+      // BGPC's start: the middle vertex occupies a slot too).
+      color_local_queue<B>(st, f, wlocal, v, g.degree(v), c,
+                           local.color_probes, local.colored);
+    }
+    merge_counters(counters, local);
+  }
+}
+
+}  // namespace
+
+void d2gc_color_vertex(const Graph& g, const std::vector<vid_t>& w,
+                       color_t* c, std::vector<ThreadWorkspace>& ws,
+                       BalancePolicy balance, int chunk, int threads,
+                       KernelCounters& counters) {
+  switch (balance) {
+    case BalancePolicy::kNone:
+      return color_vertex_impl<BalancePolicy::kNone>(g, w, c, ws, chunk,
+                                                     threads, counters);
+    case BalancePolicy::kB1:
+      return color_vertex_impl<BalancePolicy::kB1>(g, w, c, ws, chunk,
+                                                   threads, counters);
+    case BalancePolicy::kB2:
+      return color_vertex_impl<BalancePolicy::kB2>(g, w, c, ws, chunk,
+                                                   threads, counters);
+  }
+}
+
+void d2gc_color_net(const Graph& g, color_t* c,
+                    std::vector<ThreadWorkspace>& ws, BalancePolicy balance,
+                    int chunk, int threads, KernelCounters& counters) {
+  switch (balance) {
+    case BalancePolicy::kNone:
+      return color_net_impl<BalancePolicy::kNone>(g, c, ws, chunk, threads,
+                                                  counters);
+    case BalancePolicy::kB1:
+      return color_net_impl<BalancePolicy::kB1>(g, c, ws, chunk, threads,
+                                                counters);
+    case BalancePolicy::kB2:
+      return color_net_impl<BalancePolicy::kB2>(g, c, ws, chunk, threads,
+                                                counters);
+  }
+}
+
+void d2gc_conflict_vertex(const Graph& g, const std::vector<vid_t>& w,
+                          color_t* c, std::vector<ThreadWorkspace>& ws,
+                          QueuePolicy queue, int chunk, int threads,
+                          std::vector<vid_t>& wnext,
+                          KernelCounters& counters) {
+  (void)ws;
+  const auto n = static_cast<std::int64_t>(w.size());
+  SharedWorkQueue shared;
+  LocalWorkQueues lazy;
+  const bool use_shared = queue == QueuePolicy::kShared;
+  if (use_shared)
+    shared.reset(w.size());
+  else
+    lazy.configure(threads), lazy.begin_round();
+
+#pragma omp parallel num_threads(threads)
+  {
+    const int tid = current_thread();
+    KernelCounters local;
+#pragma omp for schedule(dynamic, chunk) nowait
+    for (std::int64_t i = 0; i < n; ++i) {
+      const vid_t wv = w[static_cast<std::size_t>(i)];
+      const color_t cw = load_color(c, wv);
+      if (cw == kNoColor) continue;
+      bool conflicted = false;
+      for (const vid_t u : g.neighbors(wv)) {
+        GCOL_COUNT(++local.edges_visited);
+        if (load_color(c, u) == cw && wv > u) {  // distance-1 clash
+          conflicted = true;
+          break;
+        }
+        for (const vid_t x : g.neighbors(u)) {
+          GCOL_COUNT(++local.edges_visited);
+          if (x == wv) continue;
+          if (load_color(c, x) == cw && wv > x) {  // distance-2 clash
+            conflicted = true;
+            break;
+          }
+        }
+        if (conflicted) break;
+      }
+      if (conflicted) {
+        GCOL_COUNT(++local.conflicts);
+        store_color(c, wv, kNoColor);
+        if (use_shared)
+          shared.push(wv);
+        else
+          lazy.push(tid, wv);
+      }
+    }
+    merge_counters(counters, local);
+  }
+  if (use_shared)
+    shared.swap_into(wnext);
+  else
+    lazy.merge_into(wnext);
+}
+
+void d2gc_conflict_net(const Graph& g, color_t* c,
+                       std::vector<ThreadWorkspace>& ws, int chunk,
+                       int threads, std::vector<vid_t>& wnext,
+                       KernelCounters& counters) {
+  const auto n = static_cast<std::int64_t>(g.num_vertices());
+  LocalWorkQueues lazy(threads);
+  lazy.begin_round();
+#pragma omp parallel num_threads(threads)
+  {
+    const int tid = current_thread();
+    ThreadWorkspace& tws = ws[static_cast<std::size_t>(tid)];
+    MarkerSet& f = tws.forbidden;
+    KernelCounters local;
+#pragma omp for schedule(dynamic, chunk) nowait
+    for (std::int64_t vi = 0; vi < n; ++vi) {
+      const vid_t v = static_cast<vid_t>(vi);
+      f.clear();
+      // Alg. 10 lines 3-4: seed with the middle vertex's color.
+      const color_t cv = load_color(c, v);
+      if (cv != kNoColor) f.insert(cv);
+      for (const vid_t u : g.neighbors(v)) {
+        GCOL_COUNT(++local.edges_visited);
+        const color_t cu = load_color(c, u);
+        if (cu == kNoColor) continue;
+        if (f.contains(cu)) {
+          if (exchange_uncolor(c, u) != kNoColor) {
+            lazy.push(tid, u);
+            GCOL_COUNT(++local.conflicts);
+          }
+        } else {
+          f.insert(cu);
+        }
+      }
+    }
+    merge_counters(counters, local);
+  }
+  lazy.merge_into(wnext);
+}
+
+}  // namespace gcol::detail

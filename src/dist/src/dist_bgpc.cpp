@@ -1,0 +1,198 @@
+#include "greedcolor/dist/dist_bgpc.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "greedcolor/core/bgpc.hpp"
+#include "greedcolor/util/marker_set.hpp"
+#include "greedcolor/util/prng.hpp"
+#include "greedcolor/util/timer.hpp"
+
+namespace gcol {
+
+namespace {
+
+/// First-fit against an explicit color reader (local-live or
+/// remote-stale, the caller decides per neighbor).
+template <typename ColorReader>
+color_t first_fit(const BipartiteGraph& g, vid_t u, MarkerSet& forbidden,
+                  ColorReader read) {
+  forbidden.clear();
+  for (const vid_t v : g.nets(u)) {
+    for (const vid_t w : g.vtxs(v)) {
+      if (w == u) continue;
+      const color_t cw = read(w);
+      if (cw != kNoColor) forbidden.insert(cw);
+    }
+  }
+  color_t col = 0;
+  while (forbidden.contains(col)) ++col;
+  return col;
+}
+
+}  // namespace
+
+std::vector<int> make_partition(vid_t n, const DistOptions& options) {
+  if (options.num_ranks < 1)
+    throw std::invalid_argument("make_partition: num_ranks must be >= 1");
+  std::vector<int> owner(static_cast<std::size_t>(n));
+  if (options.partition == DistOptions::Partition::kBlock) {
+    for (vid_t u = 0; u < n; ++u)
+      owner[static_cast<std::size_t>(u)] = static_cast<int>(
+          (static_cast<std::int64_t>(u) * options.num_ranks) / std::max<vid_t>(n, 1));
+  } else {
+    for (vid_t u = 0; u < n; ++u)
+      owner[static_cast<std::size_t>(u)] = static_cast<int>(
+          mix64(options.seed ^ static_cast<std::uint64_t>(u)) %
+          static_cast<std::uint64_t>(options.num_ranks));
+  }
+  return owner;
+}
+
+DistResult color_bgpc_distributed(const BipartiteGraph& g,
+                                  const DistOptions& options) {
+  const vid_t n = g.num_vertices();
+  const std::vector<int> owner = make_partition(n, options);
+  WallTimer total;
+
+  DistResult result;
+  result.colors.assign(static_cast<std::size_t>(n), kNoColor);
+
+  // Classify: u is boundary iff some net of u touches a foreign column.
+  // Precompute per-net "touches ranks" lazily via a scan.
+  std::vector<std::uint8_t> boundary(static_cast<std::size_t>(n), 0);
+  std::vector<vid_t> mixed_nets;
+  for (vid_t v = 0; v < g.num_nets(); ++v) {
+    const auto vs = g.vtxs(v);
+    if (vs.empty()) continue;
+    const int first = owner[static_cast<std::size_t>(vs.front())];
+    bool mixed = false;
+    for (const vid_t w : vs) {
+      if (owner[static_cast<std::size_t>(w)] != first) {
+        mixed = true;
+        break;
+      }
+    }
+    if (mixed) {
+      mixed_nets.push_back(v);
+      for (const vid_t w : vs) boundary[static_cast<std::size_t>(w)] = 1;
+    }
+  }
+
+  // Per-rank vertex lists in id order (deterministic local schedules).
+  std::vector<std::vector<vid_t>> interior(
+      static_cast<std::size_t>(options.num_ranks));
+  std::vector<std::vector<vid_t>> pending(
+      static_cast<std::size_t>(options.num_ranks));
+  for (vid_t u = 0; u < n; ++u) {
+    auto& bucket = boundary[static_cast<std::size_t>(u)]
+                       ? pending[static_cast<std::size_t>(
+                             owner[static_cast<std::size_t>(u)])]
+                       : interior[static_cast<std::size_t>(
+                             owner[static_cast<std::size_t>(u)])];
+    bucket.push_back(u);
+    if (boundary[static_cast<std::size_t>(u)])
+      ++result.stats.boundary_vertices;
+    else
+      ++result.stats.interior_vertices;
+  }
+
+  const auto marker_cap =
+      static_cast<std::size_t>(bgpc_color_bound(g)) + 2;
+  MarkerSet forbidden(marker_cap);
+  MarkerSet rank_marks(static_cast<std::size_t>(options.num_ranks));
+  color_t* c = result.colors.data();
+
+  // Phase 1: interior vertices — two interior vertices of different
+  // ranks never share a net, so rank-local greedy is conflict-free and
+  // needs no messages.
+  for (const auto& verts : interior) {
+    for (const vid_t u : verts) {
+      c[static_cast<std::size_t>(u)] = first_fit(
+          g, u, forbidden, [&](vid_t w) { return c[static_cast<std::size_t>(w)]; });
+    }
+  }
+
+  // Phase 2: boundary supersteps. Remote colors are read from the
+  // previous superstep's snapshot; local colors are live. After every
+  // rank has speculated, conflicts are resolved globally (smaller id
+  // keeps its color — the static tie-break of refs [27], [28]).
+  std::vector<color_t> snapshot = result.colors;
+  int superstep = 0;
+  std::size_t remaining = 0;
+  for (const auto& verts : pending) remaining += verts.size();
+
+  while (remaining > 0 && superstep < options.max_supersteps) {
+    ++superstep;
+    // Speculative coloring, rank by rank (each rank is sequential; the
+    // simulation's determinism comes from this fixed order, which does
+    // not affect the semantics — ranks only read remote *snapshot*
+    // colors anyway).
+    for (int rank = 0; rank < options.num_ranks; ++rank) {
+      for (const vid_t u : pending[static_cast<std::size_t>(rank)]) {
+        if (c[static_cast<std::size_t>(u)] != kNoColor) continue;
+        const color_t col = first_fit(g, u, forbidden, [&](vid_t w) {
+          return owner[static_cast<std::size_t>(w)] == rank
+                     ? c[static_cast<std::size_t>(w)]
+                     : snapshot[static_cast<std::size_t>(w)];
+        });
+        c[static_cast<std::size_t>(u)] = col;
+        // One notification per distinct remote rank sharing a net.
+        rank_marks.clear();
+        for (const vid_t v : g.nets(u)) {
+          for (const vid_t w : g.vtxs(v)) {
+            const int rw = owner[static_cast<std::size_t>(w)];
+            if (rw != rank && !rank_marks.contains(rw)) {
+              rank_marks.insert(rw);
+              ++result.stats.messages;
+            }
+          }
+        }
+      }
+    }
+
+    // Global conflict resolution, net-based over the rank-crossing
+    // nets only (same-rank clashes are impossible: a rank reads its own
+    // colors live). The first — i.e. smallest-id — occurrence of each
+    // color keeps it, the static tie-break of refs [27], [28].
+    for (const vid_t v : mixed_nets) {
+      forbidden.clear();
+      for (const vid_t u : g.vtxs(v)) {
+        const color_t cu = c[static_cast<std::size_t>(u)];
+        if (cu == kNoColor) continue;
+        if (forbidden.contains(cu)) {
+          c[static_cast<std::size_t>(u)] = kNoColor;
+          ++result.stats.conflicts;
+        } else {
+          forbidden.insert(cu);
+        }
+      }
+    }
+
+    remaining = 0;
+    for (const auto& verts : pending)
+      for (const vid_t u : verts)
+        remaining += c[static_cast<std::size_t>(u)] == kNoColor;
+    snapshot = result.colors;  // end-of-superstep exchange
+  }
+
+  if (remaining > 0) {
+    // Safety valve: finish sequentially (still valid, extra colors ok).
+    result.stats.fallback = true;
+    for (const auto& verts : pending) {
+      for (const vid_t u : verts) {
+        if (c[static_cast<std::size_t>(u)] != kNoColor) continue;
+        c[static_cast<std::size_t>(u)] = first_fit(
+            g, u, forbidden,
+            [&](vid_t w) { return c[static_cast<std::size_t>(w)]; });
+      }
+    }
+  }
+
+  result.stats.supersteps = superstep;
+  result.num_colors = count_colors(result.colors);
+  result.total_seconds = total.seconds();
+  return result;
+}
+
+}  // namespace gcol

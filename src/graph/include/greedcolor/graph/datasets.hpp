@@ -1,0 +1,41 @@
+// The offline stand-in for the paper's eight-matrix test-bed (Table II).
+//
+// Each registry entry is a deterministic synthetic matrix whose
+// structural signature mimics one UFL/MovieLens matrix, scaled down so
+// the full benchmark suite completes in seconds on a laptop-class
+// machine. DESIGN.md §5 documents the substitution rationale.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "greedcolor/graph/bipartite.hpp"
+#include "greedcolor/graph/coo.hpp"
+#include "greedcolor/graph/csr.hpp"
+
+namespace gcol {
+
+struct DatasetInfo {
+  std::string name;    ///< registry key, e.g. "copapers_s"
+  std::string mimics;  ///< the Table II matrix this stands in for
+  bool structurally_symmetric = false;
+  bool used_for_bgpc = true;
+  bool used_for_d2gc = false;  ///< Table II last column (5 of 8 matrices)
+  std::function<Coo()> make;
+};
+
+/// The eight Table II stand-ins, in the paper's row order.
+[[nodiscard]] const std::vector<DatasetInfo>& dataset_registry();
+
+/// Look up a registry entry by name; throws std::out_of_range if absent.
+[[nodiscard]] const DatasetInfo& find_dataset(const std::string& name);
+
+/// Convenience: generate and convert in one call.
+[[nodiscard]] BipartiteGraph load_bipartite(const std::string& name);
+[[nodiscard]] Graph load_graph(const std::string& name);
+
+/// Names of all datasets (optionally restricted to the D2GC subset).
+[[nodiscard]] std::vector<std::string> dataset_names(bool d2gc_only = false);
+
+}  // namespace gcol

@@ -1,0 +1,86 @@
+// Deterministic synthetic sparse-pattern generators.
+//
+// The paper's evaluation uses eight SuiteSparse/MovieLens matrices that
+// are unavailable in this offline environment. These generators produce
+// patterns with the same *structural signatures* — net-degree maximum,
+// net-degree dispersion, aspect ratio, symmetry — which are the
+// quantities the BGPC/D2GC kernels are sensitive to (the first-iteration
+// work of the vertex-based kernel is Θ(Σ_v |vtxs(v)|²), the net-based
+// one Θ(|V|+|E|), and conflict rates follow the overlap structure).
+// Every generator is fully determined by its arguments and seed.
+#pragma once
+
+#include <cstdint>
+
+#include "greedcolor/graph/coo.hpp"
+
+namespace gcol {
+
+/// 2-D structured mesh matrix: node (i,j) is adjacent to every node in
+/// the (2r+1)×(2r+1) window around it (clipped at borders), diagonal
+/// included. Symmetric, tiny and near-uniform row degrees — the
+/// af_shell10 / channel signature. radius >= 1.
+[[nodiscard]] Coo gen_mesh2d(vid_t nx, vid_t ny, int radius);
+
+/// 3-D structured mesh matrix over an nx×ny×nz grid; radius=1 gives the
+/// 7-point stencil, radius>=1 with `full_box=true` the (2r+1)³ box
+/// stencil. Symmetric — bone010 / channel-flow signature.
+[[nodiscard]] Coo gen_mesh3d(vid_t nx, vid_t ny, vid_t nz, int radius,
+                             bool full_box = false);
+
+/// Rectangular bipartite pattern with Pareto (power-law) net degrees:
+/// each of `rows` nets draws a degree from a truncated Pareto with
+/// minimum `min_deg`, exponent `alpha` (smaller = heavier tail), and cap
+/// `max_deg`, then picks that many distinct columns; column popularity
+/// itself is mildly skewed. The 20M_movielens signature: few nets with
+/// tens of thousands of vertices.
+struct PowerLawBipartiteParams {
+  vid_t rows = 0;
+  vid_t cols = 0;
+  vid_t min_deg = 2;
+  vid_t max_deg = 0;  // 0 = no cap beyond `cols`
+  double alpha = 2.0;
+  double col_skew = 0.0;  // 0 = uniform columns; >0 Zipf-ish popularity
+  std::uint64_t seed = 1;
+};
+[[nodiscard]] Coo gen_powerlaw_bipartite(const PowerLawBipartiteParams& p);
+
+/// Union of cliques over n vertices: `num_cliques` cliques with Pareto
+/// sizes are unioned into a symmetric adjacency matrix (diagonal
+/// included). Co-authorship signature (coPapersDBLP): moderate average
+/// degree with a heavy clique-driven tail.
+[[nodiscard]] Coo gen_clique_union(vid_t n, vid_t num_cliques,
+                                   vid_t min_clique, vid_t max_clique,
+                                   double alpha, std::uint64_t seed);
+
+/// Preferential-attachment (Barabási–Albert style) symmetric adjacency
+/// with `edges_per_vertex` links per arriving vertex; web-graph
+/// signature (uk-2002): power-law degrees, large hubs.
+[[nodiscard]] Coo gen_preferential_attachment(vid_t n,
+                                              vid_t edges_per_vertex,
+                                              std::uint64_t seed);
+
+/// KKT-structured symmetric matrix [[H Aᵀ];[A 0]] where H is an
+/// nh-node 3-D stencil Hessian block and A is an na×nh Jacobian block
+/// with `a_row_deg` entries per row. nlpkkt signature.
+[[nodiscard]] Coo gen_kkt(vid_t nh_x, vid_t nh_y, vid_t nh_z, vid_t na,
+                          vid_t a_row_deg, std::uint64_t seed);
+
+/// Square unsymmetric pattern with near-constant large row degrees laid
+/// out in bands (each row: a contiguous block around the diagonal plus
+/// random fill). CFD signature (HV15R): hundreds of nonzeros per row,
+/// low relative dispersion, unsymmetric.
+[[nodiscard]] Coo gen_block_rows(vid_t n, vid_t row_deg, vid_t bandwidth,
+                                 double offband_frac, std::uint64_t seed);
+
+/// Uniform random bipartite pattern with `nnz` distinct entries.
+[[nodiscard]] Coo gen_random_bipartite(vid_t rows, vid_t cols, eid_t nnz,
+                                       std::uint64_t seed);
+
+/// Random geometric graph on the unit square: vertices within `radius`
+/// are adjacent. Symmetric adjacency with diagonal; used by the
+/// distance-2 scheduling example (wireless-interference model).
+[[nodiscard]] Coo gen_random_geometric(vid_t n, double radius,
+                                       std::uint64_t seed);
+
+}  // namespace gcol

@@ -1,0 +1,29 @@
+// Structural statistics used by Table II and the harness banners.
+#pragma once
+
+#include <string>
+
+#include "greedcolor/graph/bipartite.hpp"
+#include "greedcolor/graph/csr.hpp"
+
+namespace gcol {
+
+struct DegreeStats {
+  vid_t max = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+/// Net-degree (row nonzero count) statistics: Table II's "Column deg."
+/// columns — `max` is the trivial BGPC color lower bound L.
+[[nodiscard]] DegreeStats net_degree_stats(const BipartiteGraph& g);
+
+[[nodiscard]] DegreeStats vertex_degree_stats(const BipartiteGraph& g);
+
+[[nodiscard]] DegreeStats degree_stats(const Graph& g);
+
+/// One-line signature, e.g. "4000x24000 nnz=391k Lmax=5804 sd=712.4".
+[[nodiscard]] std::string signature(const BipartiteGraph& g);
+[[nodiscard]] std::string signature(const Graph& g);
+
+}  // namespace gcol

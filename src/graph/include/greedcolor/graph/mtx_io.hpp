@@ -1,0 +1,31 @@
+// MatrixMarket coordinate-format I/O.
+//
+// The paper's test-bed is eight matrices from the UFL (SuiteSparse)
+// collection distributed as `.mtx` files; this reader lets the tools
+// and harnesses consume real collection files when available, while the
+// synthetic registry (datasets.hpp) provides offline stand-ins.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "greedcolor/graph/coo.hpp"
+
+namespace gcol {
+
+/// Parse a MatrixMarket `coordinate` body (header + entries) into COO.
+/// Supports field types real/integer/pattern/complex (complex keeps the
+/// real part) and symmetry general/symmetric/skew-symmetric (symmetric
+/// variants are expanded). Throws std::runtime_error on malformed input.
+[[nodiscard]] Coo read_matrix_market(std::istream& in);
+
+/// File wrapper around read_matrix_market(std::istream&).
+[[nodiscard]] Coo read_matrix_market_file(const std::string& path);
+
+/// Write a COO pattern (or real matrix when values are present) in
+/// MatrixMarket general coordinate format with 1-based indices.
+void write_matrix_market(std::ostream& out, const Coo& coo);
+
+void write_matrix_market_file(const std::string& path, const Coo& coo);
+
+}  // namespace gcol

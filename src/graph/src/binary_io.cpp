@@ -1,0 +1,145 @@
+#include "greedcolor/graph/binary_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace gcol {
+
+namespace {
+
+constexpr char kMagicBipartite[8] = {'G', 'C', 'O', 'L', 'B', 'P', '0', '1'};
+constexpr char kMagicGraph[8] = {'G', 'C', 'O', 'L', 'G', 'R', '0', '1'};
+
+[[noreturn]] void fail(const std::string& why) {
+  throw std::runtime_error("binary_io: " + why);
+}
+
+template <typename T>
+void write_pod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+void write_vec(std::ostream& out, const std::vector<T>& v) {
+  const std::uint64_t n = v.size();
+  write_pod(out, n);
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(n * sizeof(T)));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!in) fail("truncated stream");
+  return v;
+}
+
+template <typename T>
+std::vector<T> read_vec(std::istream& in, std::uint64_t max_len) {
+  const auto n = read_pod<std::uint64_t>(in);
+  if (n > max_len) fail("implausible array length (corrupt header?)");
+  std::vector<T> v(static_cast<std::size_t>(n));
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(n * sizeof(T)));
+  if (!in) fail("truncated array");
+  return v;
+}
+
+void check_magic(std::istream& in, const char (&magic)[8]) {
+  char got[8];
+  in.read(got, 8);
+  if (!in || std::memcmp(got, magic, 8) != 0)
+    fail("bad magic (not a greedcolor binary of the expected kind)");
+}
+
+}  // namespace
+
+void write_binary(std::ostream& out, const BipartiteGraph& g) {
+  out.write(kMagicBipartite, 8);
+  write_pod(out, static_cast<std::int64_t>(g.num_vertices()));
+  write_pod(out, static_cast<std::int64_t>(g.num_nets()));
+  write_vec(out, g.vptr());
+  write_vec(out, g.vadj());
+  write_vec(out, g.nptr());
+  write_vec(out, g.nadj());
+  if (!out) fail("write failed");
+}
+
+void write_binary(std::ostream& out, const Graph& g) {
+  out.write(kMagicGraph, 8);
+  write_pod(out, static_cast<std::int64_t>(g.num_vertices()));
+  write_vec(out, g.ptr());
+  write_vec(out, g.adj());
+  if (!out) fail("write failed");
+}
+
+BipartiteGraph read_binary_bipartite(std::istream& in) {
+  check_magic(in, kMagicBipartite);
+  const auto nv = read_pod<std::int64_t>(in);
+  const auto nn = read_pod<std::int64_t>(in);
+  if (nv < 0 || nn < 0 || nv > kMaxVertices || nn > kMaxVertices)
+    fail("bad dimensions");
+  constexpr std::uint64_t kMaxEdges = 1ULL << 40;
+  auto vptr = read_vec<eid_t>(in, static_cast<std::uint64_t>(nv) + 1);
+  auto vadj = read_vec<vid_t>(in, kMaxEdges);
+  auto nptr = read_vec<eid_t>(in, static_cast<std::uint64_t>(nn) + 1);
+  auto nadj = read_vec<vid_t>(in, kMaxEdges);
+  BipartiteGraph g(static_cast<vid_t>(nv), static_cast<vid_t>(nn),
+                   std::move(vptr), std::move(vadj), std::move(nptr),
+                   std::move(nadj));
+  if (!g.validate()) fail("structural validation failed");
+  return g;
+}
+
+Graph read_binary_graph(std::istream& in) {
+  check_magic(in, kMagicGraph);
+  const auto nv = read_pod<std::int64_t>(in);
+  if (nv < 0 || nv > kMaxVertices) fail("bad dimensions");
+  constexpr std::uint64_t kMaxEdges = 1ULL << 40;
+  auto ptr = read_vec<eid_t>(in, static_cast<std::uint64_t>(nv) + 1);
+  auto adj = read_vec<vid_t>(in, kMaxEdges);
+  Graph g(static_cast<vid_t>(nv), std::move(ptr), std::move(adj));
+  if (!g.validate()) fail("structural validation failed");
+  return g;
+}
+
+std::string binary_kind(std::istream& in) {
+  char got[8];
+  const auto pos = in.tellg();
+  in.read(got, 8);
+  in.clear();
+  in.seekg(pos);
+  if (in.gcount() != 8) return "";
+  if (std::memcmp(got, kMagicBipartite, 8) == 0) return "bipartite";
+  if (std::memcmp(got, kMagicGraph, 8) == 0) return "graph";
+  return "";
+}
+
+void write_binary_file(const std::string& path, const BipartiteGraph& g) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) fail("cannot open " + path);
+  write_binary(out, g);
+}
+
+void write_binary_file(const std::string& path, const Graph& g) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) fail("cannot open " + path);
+  write_binary(out, g);
+}
+
+BipartiteGraph read_binary_bipartite_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail("cannot open " + path);
+  return read_binary_bipartite(in);
+}
+
+Graph read_binary_graph_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail("cannot open " + path);
+  return read_binary_graph(in);
+}
+
+}  // namespace gcol

@@ -1,0 +1,65 @@
+#include "greedcolor/graph/bipartite.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gcol {
+
+BipartiteGraph::BipartiteGraph(vid_t num_vertices, vid_t num_nets,
+                               std::vector<eid_t> vptr,
+                               std::vector<vid_t> vadj,
+                               std::vector<eid_t> nptr,
+                               std::vector<vid_t> nadj)
+    : num_vertices_(num_vertices),
+      num_nets_(num_nets),
+      vptr_(std::move(vptr)),
+      vadj_(std::move(vadj)),
+      nptr_(std::move(nptr)),
+      nadj_(std::move(nadj)) {
+  if (vptr_.size() != static_cast<std::size_t>(num_vertices_) + 1 ||
+      nptr_.size() != static_cast<std::size_t>(num_nets_) + 1)
+    throw std::invalid_argument("BipartiteGraph: bad ptr array length");
+  if (vptr_.back() != static_cast<eid_t>(vadj_.size()) ||
+      nptr_.back() != static_cast<eid_t>(nadj_.size()) ||
+      vadj_.size() != nadj_.size())
+    throw std::invalid_argument("BipartiteGraph: halves disagree on |E|");
+}
+
+vid_t BipartiteGraph::max_net_degree() const {
+  vid_t best = 0;
+  for (vid_t v = 0; v < num_nets_; ++v) best = std::max(best, net_degree(v));
+  return best;
+}
+
+vid_t BipartiteGraph::max_vertex_degree() const {
+  vid_t best = 0;
+  for (vid_t u = 0; u < num_vertices_; ++u)
+    best = std::max(best, vertex_degree(u));
+  return best;
+}
+
+bool BipartiteGraph::validate() const {
+  for (vid_t u = 0; u < num_vertices_; ++u) {
+    const auto ns = nets(u);
+    for (std::size_t i = 0; i < ns.size(); ++i) {
+      const vid_t v = ns[i];
+      if (v < 0 || v >= num_nets_) return false;
+      if (i > 0 && ns[i - 1] >= v) return false;
+      const auto back = vtxs(v);
+      if (!std::binary_search(back.begin(), back.end(), u)) return false;
+    }
+  }
+  for (vid_t v = 0; v < num_nets_; ++v) {
+    const auto vs = vtxs(v);
+    for (std::size_t i = 0; i < vs.size(); ++i) {
+      const vid_t u = vs[i];
+      if (u < 0 || u >= num_vertices_) return false;
+      if (i > 0 && vs[i - 1] >= u) return false;
+      const auto fwd = nets(u);
+      if (!std::binary_search(fwd.begin(), fwd.end(), v)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace gcol

@@ -1,0 +1,100 @@
+#include "greedcolor/graph/builder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gcol {
+
+namespace {
+
+/// Counting-sort style CSR construction for one direction of a COO
+/// pattern. `keys` selects the CSR side, `values` the adjacency payload.
+void build_csr_side(vid_t num_keys, const std::vector<vid_t>& keys,
+                    const std::vector<vid_t>& values,
+                    std::vector<eid_t>& ptr, std::vector<vid_t>& adj) {
+  ptr.assign(static_cast<std::size_t>(num_keys) + 1, 0);
+  for (const vid_t k : keys) ++ptr[static_cast<std::size_t>(k) + 1];
+  for (std::size_t i = 1; i < ptr.size(); ++i) ptr[i] += ptr[i - 1];
+  adj.resize(keys.size());
+  std::vector<eid_t> cursor(ptr.begin(), ptr.end() - 1);
+  for (std::size_t i = 0; i < keys.size(); ++i)
+    adj[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(keys[i])]++)] = values[i];
+  for (vid_t k = 0; k < num_keys; ++k)
+    std::sort(adj.begin() + static_cast<std::ptrdiff_t>(ptr[static_cast<std::size_t>(k)]),
+              adj.begin() + static_cast<std::ptrdiff_t>(ptr[static_cast<std::size_t>(k) + 1]));
+}
+
+void check_bounds(const Coo& coo) {
+  for (std::size_t i = 0; i < coo.rows.size(); ++i) {
+    if (coo.rows[i] < 0 || coo.rows[i] >= coo.num_rows ||
+        coo.cols[i] < 0 || coo.cols[i] >= coo.num_cols)
+      throw std::out_of_range("builder: COO entry outside matrix bounds");
+  }
+}
+
+}  // namespace
+
+BipartiteGraph build_bipartite(Coo coo) {
+  check_bounds(coo);
+  coo.sort_and_dedup();
+  std::vector<eid_t> vptr, nptr;
+  std::vector<vid_t> vadj, nadj;
+  // Vertex side: cols -> rows (nets of each vertex).
+  build_csr_side(coo.num_cols, coo.cols, coo.rows, vptr, vadj);
+  // Net side: rows -> cols (vtxs of each net).
+  build_csr_side(coo.num_rows, coo.rows, coo.cols, nptr, nadj);
+  return BipartiteGraph(coo.num_cols, coo.num_rows, std::move(vptr),
+                        std::move(vadj), std::move(nptr), std::move(nadj));
+}
+
+Graph build_graph(Coo coo) {
+  if (coo.num_rows != coo.num_cols)
+    throw std::invalid_argument("build_graph: pattern must be square");
+  check_bounds(coo);
+  coo.vals.clear();
+  coo.symmetrize();
+  // Drop self loops.
+  Coo clean;
+  clean.num_rows = coo.num_rows;
+  clean.num_cols = coo.num_cols;
+  clean.reserve(coo.nnz());
+  for (std::size_t i = 0; i < coo.rows.size(); ++i)
+    if (coo.rows[i] != coo.cols[i]) clean.add(coo.rows[i], coo.cols[i]);
+  std::vector<eid_t> ptr;
+  std::vector<vid_t> adj;
+  build_csr_side(clean.num_rows, clean.rows, clean.cols, ptr, adj);
+  return Graph(clean.num_rows, std::move(ptr), std::move(adj));
+}
+
+Graph bipartite_to_graph(const BipartiteGraph& bg) {
+  if (bg.num_vertices() != bg.num_nets())
+    throw std::invalid_argument(
+        "bipartite_to_graph: instance must be square");
+  Coo coo;
+  coo.num_rows = bg.num_nets();
+  coo.num_cols = bg.num_vertices();
+  coo.reserve(bg.num_edges());
+  for (vid_t v = 0; v < bg.num_nets(); ++v)
+    for (const vid_t u : bg.vtxs(v)) coo.add(v, u);
+  return build_graph(std::move(coo));
+}
+
+BipartiteGraph transpose(const BipartiteGraph& g) {
+  return BipartiteGraph(g.num_nets(), g.num_vertices(), g.nptr(), g.nadj(),
+                        g.vptr(), g.vadj());
+}
+
+BipartiteGraph graph_to_bipartite_closed(const Graph& g) {
+  Coo coo;
+  coo.num_rows = g.num_vertices();
+  coo.num_cols = g.num_vertices();
+  coo.reserve(g.num_adjacency_entries() + g.num_vertices());
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    coo.add(v, v);  // closed neighborhood: v belongs to its own net
+    for (const vid_t u : g.neighbors(v)) coo.add(v, u);
+  }
+  return build_bipartite(std::move(coo));
+}
+
+}  // namespace gcol

@@ -1,0 +1,69 @@
+#include "greedcolor/graph/coo.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <tuple>
+
+namespace gcol {
+
+void Coo::sort_and_dedup() {
+  const std::size_t n = rows.size();
+  if (cols.size() != n || (has_values() && vals.size() != n))
+    throw std::invalid_argument("Coo: inconsistent array lengths");
+
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  std::sort(perm.begin(), perm.end(), [&](std::size_t a, std::size_t b) {
+    return std::tie(rows[a], cols[a]) < std::tie(rows[b], cols[b]);
+  });
+
+  std::vector<vid_t> r2, c2;
+  std::vector<double> v2;
+  r2.reserve(n);
+  c2.reserve(n);
+  if (has_values()) v2.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t i = perm[k];
+    if (!r2.empty() && r2.back() == rows[i] && c2.back() == cols[i]) continue;
+    r2.push_back(rows[i]);
+    c2.push_back(cols[i]);
+    if (has_values()) v2.push_back(vals[i]);
+  }
+  rows = std::move(r2);
+  cols = std::move(c2);
+  vals = std::move(v2);
+}
+
+bool Coo::is_structurally_symmetric() const {
+  if (num_rows != num_cols) return false;
+  std::vector<std::pair<vid_t, vid_t>> entries;
+  entries.reserve(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    entries.emplace_back(rows[i], cols[i]);
+  std::sort(entries.begin(), entries.end());
+  entries.erase(std::unique(entries.begin(), entries.end()), entries.end());
+  for (const auto& [r, c] : entries) {
+    if (r == c) continue;
+    if (!std::binary_search(entries.begin(), entries.end(),
+                            std::make_pair(c, r)))
+      return false;
+  }
+  return true;
+}
+
+void Coo::symmetrize() {
+  if (num_rows != num_cols)
+    throw std::invalid_argument("Coo::symmetrize: pattern must be square");
+  const bool keep_vals = has_values();
+  const std::size_t n = rows.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rows[i] == cols[i]) continue;
+    rows.push_back(cols[i]);
+    cols.push_back(rows[i]);
+    if (keep_vals) vals.push_back(vals[i]);
+  }
+  sort_and_dedup();
+}
+
+}  // namespace gcol

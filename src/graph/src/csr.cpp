@@ -1,0 +1,41 @@
+#include "greedcolor/graph/csr.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gcol {
+
+Graph::Graph(vid_t n, std::vector<eid_t> ptr, std::vector<vid_t> adj)
+    : n_(n), ptr_(std::move(ptr)), adj_(std::move(adj)) {
+  if (ptr_.size() != static_cast<std::size_t>(n_) + 1)
+    throw std::invalid_argument("Graph: ptr must have n+1 entries");
+  if (ptr_.front() != 0 ||
+      ptr_.back() != static_cast<eid_t>(adj_.size()))
+    throw std::invalid_argument("Graph: ptr endpoints inconsistent with adj");
+}
+
+vid_t Graph::max_degree() const {
+  vid_t best = 0;
+  for (vid_t v = 0; v < n_; ++v) best = std::max(best, degree(v));
+  return best;
+}
+
+bool Graph::validate() const {
+  for (vid_t v = 0; v < n_; ++v) {
+    if (ptr_[static_cast<std::size_t>(v)] >
+        ptr_[static_cast<std::size_t>(v) + 1])
+      return false;
+    const auto nb = neighbors(v);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      const vid_t u = nb[i];
+      if (u < 0 || u >= n_ || u == v) return false;
+      if (i > 0 && nb[i - 1] >= u) return false;  // sorted, unique
+      // symmetry: v must appear in adj(u)
+      const auto back = neighbors(u);
+      if (!std::binary_search(back.begin(), back.end(), v)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace gcol

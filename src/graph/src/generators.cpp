@@ -1,0 +1,343 @@
+#include "greedcolor/graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+#include "greedcolor/util/prng.hpp"
+
+namespace gcol {
+
+namespace {
+
+void require(bool ok, const char* what) {
+  if (!ok) throw std::invalid_argument(what);
+}
+
+/// Truncated Pareto sample in [lo, hi] with tail exponent alpha > 1.
+vid_t pareto_deg(Xoshiro256& rng, vid_t lo, vid_t hi, double alpha) {
+  if (hi <= lo) return lo;
+  const double u = rng.uniform();
+  const double x = static_cast<double>(lo) / std::pow(1.0 - u, 1.0 / alpha);
+  return std::min<vid_t>(hi, static_cast<vid_t>(x));
+}
+
+}  // namespace
+
+Coo gen_mesh2d(vid_t nx, vid_t ny, int radius) {
+  require(nx > 0 && ny > 0 && radius >= 1, "gen_mesh2d: bad dimensions");
+  const vid_t n = nx * ny;
+  Coo coo;
+  coo.num_rows = coo.num_cols = n;
+  const vid_t window = static_cast<vid_t>(2 * radius + 1);
+  coo.reserve(static_cast<eid_t>(n) * window * window);
+  for (vid_t j = 0; j < ny; ++j) {
+    for (vid_t i = 0; i < nx; ++i) {
+      const vid_t v = j * nx + i;
+      for (int dj = -radius; dj <= radius; ++dj) {
+        for (int di = -radius; di <= radius; ++di) {
+          const vid_t ii = i + di;
+          const vid_t jj = j + dj;
+          if (ii < 0 || ii >= nx || jj < 0 || jj >= ny) continue;
+          coo.add(v, jj * nx + ii);
+        }
+      }
+    }
+  }
+  return coo;
+}
+
+Coo gen_mesh3d(vid_t nx, vid_t ny, vid_t nz, int radius, bool full_box) {
+  require(nx > 0 && ny > 0 && nz > 0 && radius >= 1,
+          "gen_mesh3d: bad dimensions");
+  const vid_t n = nx * ny * nz;
+  Coo coo;
+  coo.num_rows = coo.num_cols = n;
+  auto id = [&](vid_t i, vid_t j, vid_t k) { return (k * ny + j) * nx + i; };
+  for (vid_t k = 0; k < nz; ++k) {
+    for (vid_t j = 0; j < ny; ++j) {
+      for (vid_t i = 0; i < nx; ++i) {
+        const vid_t v = id(i, j, k);
+        for (int dk = -radius; dk <= radius; ++dk) {
+          for (int dj = -radius; dj <= radius; ++dj) {
+            for (int di = -radius; di <= radius; ++di) {
+              if (!full_box &&
+                  std::abs(di) + std::abs(dj) + std::abs(dk) > radius)
+                continue;  // cross (7-point-style) stencil
+              const vid_t ii = i + di, jj = j + dj, kk = k + dk;
+              if (ii < 0 || ii >= nx || jj < 0 || jj >= ny || kk < 0 ||
+                  kk >= nz)
+                continue;
+              coo.add(v, id(ii, jj, kk));
+            }
+          }
+        }
+      }
+    }
+  }
+  return coo;
+}
+
+Coo gen_powerlaw_bipartite(const PowerLawBipartiteParams& p) {
+  require(p.rows > 0 && p.cols > 0 && p.min_deg >= 1 && p.alpha > 0.0,
+          "gen_powerlaw_bipartite: bad parameters");
+  Xoshiro256 rng(p.seed);
+  const vid_t cap =
+      p.max_deg > 0 ? std::min(p.max_deg, p.cols) : p.cols;
+  Coo coo;
+  coo.num_rows = p.rows;
+  coo.num_cols = p.cols;
+  std::vector<bool> used(static_cast<std::size_t>(p.cols), false);
+  std::vector<vid_t> picked;
+  for (vid_t r = 0; r < p.rows; ++r) {
+    const vid_t deg = pareto_deg(rng, p.min_deg, cap, p.alpha);
+    picked.clear();
+    while (static_cast<vid_t>(picked.size()) < deg) {
+      vid_t c;
+      if (p.col_skew > 0.0) {
+        // Skewed popularity: bias toward low column ids by a power map.
+        const double u = rng.uniform();
+        c = static_cast<vid_t>(std::pow(u, 1.0 + p.col_skew) *
+                               static_cast<double>(p.cols));
+        if (c >= p.cols) c = p.cols - 1;
+      } else {
+        c = static_cast<vid_t>(rng.bounded(static_cast<std::uint64_t>(p.cols)));
+      }
+      if (used[static_cast<std::size_t>(c)]) continue;
+      used[static_cast<std::size_t>(c)] = true;
+      picked.push_back(c);
+    }
+    for (const vid_t c : picked) {
+      used[static_cast<std::size_t>(c)] = false;
+      coo.add(r, c);
+    }
+  }
+  return coo;
+}
+
+Coo gen_clique_union(vid_t n, vid_t num_cliques, vid_t min_clique,
+                     vid_t max_clique, double alpha, std::uint64_t seed) {
+  require(n > 0 && num_cliques > 0 && min_clique >= 2 && max_clique >= min_clique,
+          "gen_clique_union: bad parameters");
+  Xoshiro256 rng(seed);
+  Coo coo;
+  coo.num_rows = coo.num_cols = n;
+  std::vector<vid_t> members;
+  std::vector<bool> in_clique(static_cast<std::size_t>(n), false);
+  for (vid_t q = 0; q < num_cliques; ++q) {
+    const vid_t size =
+        std::min<vid_t>(n, pareto_deg(rng, min_clique, max_clique, alpha));
+    members.clear();
+    while (static_cast<vid_t>(members.size()) < size) {
+      const vid_t v =
+          static_cast<vid_t>(rng.bounded(static_cast<std::uint64_t>(n)));
+      if (in_clique[static_cast<std::size_t>(v)]) continue;
+      in_clique[static_cast<std::size_t>(v)] = true;
+      members.push_back(v);
+    }
+    for (const vid_t v : members) in_clique[static_cast<std::size_t>(v)] = false;
+    for (const vid_t a : members)
+      for (const vid_t b : members) coo.add(a, b);  // includes diagonal
+  }
+  // Ensure every vertex appears (isolated vertices keep a diagonal entry
+  // so the matrix has no empty rows/columns).
+  for (vid_t v = 0; v < n; ++v) coo.add(v, v);
+  coo.sort_and_dedup();
+  return coo;
+}
+
+Coo gen_preferential_attachment(vid_t n, vid_t edges_per_vertex,
+                                std::uint64_t seed) {
+  require(n > edges_per_vertex && edges_per_vertex >= 1,
+          "gen_preferential_attachment: bad parameters");
+  Xoshiro256 rng(seed);
+  Coo coo;
+  coo.num_rows = coo.num_cols = n;
+  // Target list with repetition proportional to current degree.
+  std::vector<vid_t> endpoints;
+  endpoints.reserve(static_cast<std::size_t>(2) * n * edges_per_vertex);
+  const vid_t seed_size = edges_per_vertex + 1;
+  for (vid_t v = 0; v < seed_size; ++v) {
+    for (vid_t u = 0; u < v; ++u) {
+      coo.add(v, u);
+      coo.add(u, v);
+      endpoints.push_back(v);
+      endpoints.push_back(u);
+    }
+  }
+  std::vector<vid_t> targets;
+  for (vid_t v = seed_size; v < n; ++v) {
+    targets.clear();
+    while (static_cast<vid_t>(targets.size()) < edges_per_vertex) {
+      const vid_t t = endpoints[static_cast<std::size_t>(
+          rng.bounded(endpoints.size()))];
+      if (t == v ||
+          std::find(targets.begin(), targets.end(), t) != targets.end())
+        continue;
+      targets.push_back(t);
+    }
+    for (const vid_t t : targets) {
+      coo.add(v, t);
+      coo.add(t, v);
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  for (vid_t v = 0; v < n; ++v) coo.add(v, v);  // diagonal
+  coo.sort_and_dedup();
+  return coo;
+}
+
+Coo gen_kkt(vid_t nh_x, vid_t nh_y, vid_t nh_z, vid_t na, vid_t a_row_deg,
+            std::uint64_t seed) {
+  require(na > 0 && a_row_deg >= 1, "gen_kkt: bad parameters");
+  Coo h = gen_mesh3d(nh_x, nh_y, nh_z, 1, false);
+  const vid_t nh = h.num_rows;
+  require(a_row_deg <= nh, "gen_kkt: a_row_deg exceeds H dimension");
+  Xoshiro256 rng(seed);
+  Coo coo;
+  const vid_t n = nh + na;
+  coo.num_rows = coo.num_cols = n;
+  coo.reserve(h.nnz() + static_cast<eid_t>(2) * na * a_row_deg + na);
+  // H block.
+  for (std::size_t i = 0; i < h.rows.size(); ++i)
+    coo.add(h.rows[i], h.cols[i]);
+  // A and Aᵀ blocks: constraint row r touches a_row_deg H-variables,
+  // chosen as a contiguous window plus random fill (typical optimization
+  // constraint locality).
+  std::vector<bool> used(static_cast<std::size_t>(nh), false);
+  std::vector<vid_t> picked;
+  for (vid_t r = 0; r < na; ++r) {
+    picked.clear();
+    const vid_t base = static_cast<vid_t>(
+        (static_cast<eid_t>(r) * nh) / na);
+    for (vid_t k = 0; k < a_row_deg; ++k) {
+      vid_t c;
+      if (k < a_row_deg / 2) {
+        c = static_cast<vid_t>((base + k) % nh);
+      } else {
+        c = static_cast<vid_t>(rng.bounded(static_cast<std::uint64_t>(nh)));
+      }
+      if (used[static_cast<std::size_t>(c)]) continue;
+      used[static_cast<std::size_t>(c)] = true;
+      picked.push_back(c);
+    }
+    for (const vid_t c : picked) {
+      used[static_cast<std::size_t>(c)] = false;
+      coo.add(nh + r, c);
+      coo.add(c, nh + r);
+    }
+    coo.add(nh + r, nh + r);  // keep the (2,2) block non-empty rows
+  }
+  coo.sort_and_dedup();
+  return coo;
+}
+
+Coo gen_block_rows(vid_t n, vid_t row_deg, vid_t bandwidth,
+                   double offband_frac, std::uint64_t seed) {
+  require(n > 0 && row_deg >= 1 && bandwidth >= row_deg && bandwidth <= n,
+          "gen_block_rows: bad parameters");
+  require(offband_frac >= 0.0 && offband_frac <= 1.0,
+          "gen_block_rows: offband_frac in [0,1]");
+  Xoshiro256 rng(seed);
+  Coo coo;
+  coo.num_rows = coo.num_cols = n;
+  coo.reserve(static_cast<eid_t>(n) * row_deg);
+  const vid_t off = static_cast<vid_t>(offband_frac * row_deg);
+  const vid_t in_band = row_deg - off;
+  for (vid_t r = 0; r < n; ++r) {
+    // Contiguous in-band block centered near the diagonal (clipped).
+    vid_t start = r - in_band / 2;
+    start = std::clamp<vid_t>(start, 0, n - in_band);
+    for (vid_t k = 0; k < in_band; ++k) coo.add(r, start + k);
+    // Random off-band fill within a window of `bandwidth` (wraps).
+    for (vid_t k = 0; k < off; ++k) {
+      const vid_t c = static_cast<vid_t>(
+          (r + rng.bounded(static_cast<std::uint64_t>(2 * bandwidth)) +
+           n - bandwidth) %
+          static_cast<std::uint64_t>(n));
+      coo.add(r, c);
+    }
+  }
+  coo.sort_and_dedup();
+  return coo;
+}
+
+Coo gen_random_bipartite(vid_t rows, vid_t cols, eid_t nnz,
+                         std::uint64_t seed) {
+  require(rows > 0 && cols > 0 && nnz >= 0,
+          "gen_random_bipartite: bad parameters");
+  require(nnz <= static_cast<eid_t>(rows) * cols,
+          "gen_random_bipartite: nnz exceeds capacity");
+  Xoshiro256 rng(seed);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(static_cast<std::size_t>(nnz) * 2);
+  Coo coo;
+  coo.num_rows = rows;
+  coo.num_cols = cols;
+  coo.reserve(nnz);
+  while (static_cast<eid_t>(coo.nnz()) < nnz) {
+    const vid_t r =
+        static_cast<vid_t>(rng.bounded(static_cast<std::uint64_t>(rows)));
+    const vid_t c =
+        static_cast<vid_t>(rng.bounded(static_cast<std::uint64_t>(cols)));
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(r) << 32) | static_cast<std::uint32_t>(c);
+    if (!seen.insert(key).second) continue;
+    coo.add(r, c);
+  }
+  coo.sort_and_dedup();
+  return coo;
+}
+
+Coo gen_random_geometric(vid_t n, double radius, std::uint64_t seed) {
+  require(n > 0 && radius > 0.0, "gen_random_geometric: bad parameters");
+  Xoshiro256 rng(seed);
+  std::vector<double> xs(static_cast<std::size_t>(n)),
+      ys(static_cast<std::size_t>(n));
+  for (vid_t v = 0; v < n; ++v) {
+    xs[static_cast<std::size_t>(v)] = rng.uniform();
+    ys[static_cast<std::size_t>(v)] = rng.uniform();
+  }
+  // Grid-bucketed neighbor search keeps this O(n) for fixed density.
+  const int grid = std::max(1, static_cast<int>(1.0 / radius));
+  std::vector<std::vector<vid_t>> cells(
+      static_cast<std::size_t>(grid) * grid);
+  auto cell_of = [&](vid_t v) {
+    const int cx = std::min(grid - 1, static_cast<int>(
+                                          xs[static_cast<std::size_t>(v)] * grid));
+    const int cy = std::min(grid - 1, static_cast<int>(
+                                          ys[static_cast<std::size_t>(v)] * grid));
+    return cy * grid + cx;
+  };
+  for (vid_t v = 0; v < n; ++v)
+    cells[static_cast<std::size_t>(cell_of(v))].push_back(v);
+  Coo coo;
+  coo.num_rows = coo.num_cols = n;
+  const double r2 = radius * radius;
+  for (vid_t v = 0; v < n; ++v) {
+    coo.add(v, v);
+    const int c = cell_of(v);
+    const int cx = c % grid, cy = c / grid;
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        const int nxc = cx + dx, nyc = cy + dy;
+        if (nxc < 0 || nxc >= grid || nyc < 0 || nyc >= grid) continue;
+        for (const vid_t u : cells[static_cast<std::size_t>(nyc * grid + nxc)]) {
+          if (u == v) continue;
+          const double ddx = xs[static_cast<std::size_t>(u)] -
+                             xs[static_cast<std::size_t>(v)];
+          const double ddy = ys[static_cast<std::size_t>(u)] -
+                             ys[static_cast<std::size_t>(v)];
+          if (ddx * ddx + ddy * ddy <= r2) coo.add(v, u);
+        }
+      }
+    }
+  }
+  coo.sort_and_dedup();
+  return coo;
+}
+
+}  // namespace gcol

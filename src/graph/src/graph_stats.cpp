@@ -1,0 +1,69 @@
+#include "greedcolor/graph/graph_stats.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace gcol {
+
+namespace {
+
+template <typename DegreeFn>
+DegreeStats compute(vid_t n, DegreeFn deg) {
+  DegreeStats s;
+  if (n == 0) return s;
+  double sum = 0.0, sumsq = 0.0;
+  for (vid_t v = 0; v < n; ++v) {
+    const double d = static_cast<double>(deg(v));
+    s.max = std::max<vid_t>(s.max, deg(v));
+    sum += d;
+    sumsq += d * d;
+  }
+  s.mean = sum / n;
+  const double var = std::max(0.0, sumsq / n - s.mean * s.mean);
+  s.stddev = std::sqrt(var);
+  return s;
+}
+
+std::string human(eid_t v) {
+  std::ostringstream os;
+  if (v >= 1000000)
+    os << static_cast<double>(v) / 1e6 << "M";
+  else if (v >= 1000)
+    os << static_cast<double>(v) / 1e3 << "k";
+  else
+    os << v;
+  return os.str();
+}
+
+}  // namespace
+
+DegreeStats net_degree_stats(const BipartiteGraph& g) {
+  return compute(g.num_nets(), [&](vid_t v) { return g.net_degree(v); });
+}
+
+DegreeStats vertex_degree_stats(const BipartiteGraph& g) {
+  return compute(g.num_vertices(),
+                 [&](vid_t u) { return g.vertex_degree(u); });
+}
+
+DegreeStats degree_stats(const Graph& g) {
+  return compute(g.num_vertices(), [&](vid_t v) { return g.degree(v); });
+}
+
+std::string signature(const BipartiteGraph& g) {
+  const DegreeStats nd = net_degree_stats(g);
+  std::ostringstream os;
+  os << g.num_nets() << "x" << g.num_vertices() << " nnz="
+     << human(g.num_edges()) << " Lmax=" << nd.max << " sd=" << nd.stddev;
+  return os.str();
+}
+
+std::string signature(const Graph& g) {
+  const DegreeStats d = degree_stats(g);
+  std::ostringstream os;
+  os << g.num_vertices() << " vts adj=" << human(g.num_adjacency_entries())
+     << " dmax=" << d.max << " sd=" << d.stddev;
+  return os.str();
+}
+
+}  // namespace gcol

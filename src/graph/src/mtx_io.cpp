@@ -1,0 +1,117 @@
+#include "greedcolor/graph/mtx_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gcol {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+[[noreturn]] void fail(const std::string& why) {
+  throw std::runtime_error("MatrixMarket: " + why);
+}
+
+}  // namespace
+
+Coo read_matrix_market(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) fail("empty stream");
+
+  std::istringstream banner(line);
+  std::string tag, object, format, field, symmetry;
+  banner >> tag >> object >> format >> field >> symmetry;
+  if (lower(tag) != "%%matrixmarket") fail("missing %%MatrixMarket banner");
+  if (lower(object) != "matrix") fail("unsupported object: " + object);
+  if (lower(format) != "coordinate")
+    fail("only coordinate format is supported");
+  field = lower(field);
+  symmetry = lower(symmetry);
+  const bool pattern = field == "pattern";
+  const bool complex_field = field == "complex";
+  if (!pattern && field != "real" && field != "integer" && !complex_field)
+    fail("unsupported field: " + field);
+  const bool symmetric = symmetry == "symmetric";
+  const bool skew = symmetry == "skew-symmetric";
+  const bool hermitian = symmetry == "hermitian";
+  if (!symmetric && !skew && !hermitian && symmetry != "general")
+    fail("unsupported symmetry: " + symmetry);
+
+  // Skip comments and blank lines to the size line.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream size_line(line);
+  long long nrows = 0, ncols = 0, nnz = 0;
+  if (!(size_line >> nrows >> ncols >> nnz)) fail("bad size line");
+  if (nrows <= 0 || ncols <= 0 || nnz < 0) fail("non-positive dimensions");
+
+  Coo coo;
+  coo.num_rows = static_cast<vid_t>(nrows);
+  coo.num_cols = static_cast<vid_t>(ncols);
+  coo.reserve(nnz);
+
+  for (long long k = 0; k < nnz; ++k) {
+    long long r = 0, c = 0;
+    double v = 1.0;
+    if (!(in >> r >> c)) fail("truncated entry list");
+    if (!pattern) {
+      if (!(in >> v)) fail("missing value");
+      if (complex_field) {
+        double imag;
+        if (!(in >> imag)) fail("missing imaginary part");
+      }
+    }
+    if (r < 1 || r > nrows || c < 1 || c > ncols)
+      fail("entry index out of range");
+    const vid_t ri = static_cast<vid_t>(r - 1);
+    const vid_t ci = static_cast<vid_t>(c - 1);
+    if (pattern)
+      coo.add(ri, ci);
+    else
+      coo.add(ri, ci, v);
+    if ((symmetric || skew || hermitian) && ri != ci) {
+      if (pattern)
+        coo.add(ci, ri);
+      else
+        coo.add(ci, ri, skew ? -v : v);
+    }
+  }
+  coo.sort_and_dedup();
+  return coo;
+}
+
+Coo read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail("cannot open " + path);
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const Coo& coo) {
+  const bool pattern = !coo.has_values();
+  out << "%%MatrixMarket matrix coordinate "
+      << (pattern ? "pattern" : "real") << " general\n";
+  out << coo.num_rows << ' ' << coo.num_cols << ' ' << coo.nnz() << '\n';
+  for (std::size_t i = 0; i < coo.rows.size(); ++i) {
+    out << coo.rows[i] + 1 << ' ' << coo.cols[i] + 1;
+    if (!pattern) out << ' ' << coo.vals[i];
+    out << '\n';
+  }
+}
+
+void write_matrix_market_file(const std::string& path, const Coo& coo) {
+  std::ofstream out(path);
+  if (!out) fail("cannot open " + path + " for writing");
+  write_matrix_market(out, coo);
+}
+
+}  // namespace gcol

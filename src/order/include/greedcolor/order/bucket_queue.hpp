@@ -1,0 +1,131 @@
+// Bucket priority queue over dense integer keys.
+//
+// The workhorse behind the degeneracy-style orderings (smallest-last,
+// incidence-degree) and the DSATUR-style selection: O(1) insert,
+// removal, and key change; extract-min / extract-max via cursors whose
+// total movement is bounded by the key range plus the number of key
+// changes.
+#pragma once
+
+#include <stdexcept>
+#include <vector>
+
+#include "greedcolor/util/types.hpp"
+
+namespace gcol {
+
+class BucketQueue {
+ public:
+  BucketQueue() = default;
+
+  /// Build with one initial key per element; keys in [0, max_key].
+  BucketQueue(std::vector<eid_t> keys, eid_t max_key)
+      : keys_(std::move(keys)),
+        head_(static_cast<std::size_t>(max_key) + 1, kNone),
+        next_(keys_.size(), kNone),
+        prev_(keys_.size(), kNone),
+        in_queue_(keys_.size(), true),
+        queued_(keys_.size()),
+        min_cursor_(max_key),
+        max_cursor_(0) {
+    for (vid_t v = 0; v < static_cast<vid_t>(keys_.size()); ++v) {
+      push_front(v);
+      min_cursor_ = std::min(min_cursor_, keys_[static_cast<std::size_t>(v)]);
+      max_cursor_ = std::max(max_cursor_, keys_[static_cast<std::size_t>(v)]);
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return queued_; }
+  [[nodiscard]] bool empty() const { return queued_ == 0; }
+
+  [[nodiscard]] bool contains(vid_t v) const {
+    return in_queue_[static_cast<std::size_t>(v)];
+  }
+
+  [[nodiscard]] eid_t key(vid_t v) const {
+    return keys_[static_cast<std::size_t>(v)];
+  }
+
+  void remove(vid_t v) {
+    unlink(v);
+    in_queue_[static_cast<std::size_t>(v)] = false;
+    --queued_;
+  }
+
+  /// key[v] -= delta (v must be queued); delta >= 0. Validated before
+  /// any mutation so a thrown error leaves the queue intact.
+  void decrease(vid_t v, eid_t delta) {
+    if (delta == 0) return;
+    auto& k = keys_[static_cast<std::size_t>(v)];
+    if (k - delta < 0) throw std::logic_error("BucketQueue: negative key");
+    unlink(v);
+    k -= delta;
+    push_front(v);
+    min_cursor_ = std::min(min_cursor_, k);
+  }
+
+  /// key[v] += delta (v must be queued). Validated before any mutation.
+  void increase(vid_t v, eid_t delta) {
+    if (delta == 0) return;
+    auto& k = keys_[static_cast<std::size_t>(v)];
+    if (static_cast<std::size_t>(k + delta) >= head_.size())
+      throw std::logic_error("BucketQueue: key above capacity");
+    unlink(v);
+    k += delta;
+    push_front(v);
+    max_cursor_ = std::max(max_cursor_, k);
+  }
+
+  /// Smallest-key queued element, or kInvalidVertex when empty.
+  [[nodiscard]] vid_t find_min() {
+    while (min_cursor_ < static_cast<eid_t>(head_.size()) &&
+           head_[static_cast<std::size_t>(min_cursor_)] == kNone)
+      ++min_cursor_;
+    return min_cursor_ < static_cast<eid_t>(head_.size())
+               ? head_[static_cast<std::size_t>(min_cursor_)]
+               : kInvalidVertex;
+  }
+
+  /// Largest-key queued element, or kInvalidVertex when empty.
+  [[nodiscard]] vid_t find_max() {
+    while (max_cursor_ > 0 &&
+           head_[static_cast<std::size_t>(max_cursor_)] == kNone)
+      --max_cursor_;
+    return head_[static_cast<std::size_t>(max_cursor_)];
+  }
+
+ private:
+  static constexpr vid_t kNone = -1;
+
+  void push_front(vid_t v) {
+    const auto k =
+        static_cast<std::size_t>(keys_[static_cast<std::size_t>(v)]);
+    const vid_t old = head_[k];
+    next_[static_cast<std::size_t>(v)] = old;
+    prev_[static_cast<std::size_t>(v)] = kNone;
+    if (old != kNone) prev_[static_cast<std::size_t>(old)] = v;
+    head_[k] = v;
+  }
+
+  void unlink(vid_t v) {
+    const vid_t p = prev_[static_cast<std::size_t>(v)];
+    const vid_t nx = next_[static_cast<std::size_t>(v)];
+    if (p != kNone)
+      next_[static_cast<std::size_t>(p)] = nx;
+    else
+      head_[static_cast<std::size_t>(keys_[static_cast<std::size_t>(v)])] =
+          nx;
+    if (nx != kNone) prev_[static_cast<std::size_t>(nx)] = p;
+  }
+
+  std::vector<eid_t> keys_;
+  std::vector<vid_t> head_;
+  std::vector<vid_t> next_;
+  std::vector<vid_t> prev_;
+  std::vector<bool> in_queue_;
+  std::size_t queued_ = 0;
+  eid_t min_cursor_ = 0;
+  eid_t max_cursor_ = 0;
+};
+
+}  // namespace gcol

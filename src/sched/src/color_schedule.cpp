@@ -1,0 +1,56 @@
+#include "greedcolor/sched/color_schedule.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gcol {
+
+ColorSchedule ColorSchedule::build(const std::vector<color_t>& colors) {
+  color_t num_classes = 0;
+  for (const color_t c : colors) {
+    if (c < 0)
+      throw std::invalid_argument(
+          "ColorSchedule::build: incomplete coloring (uncolored item)");
+    num_classes = std::max(num_classes, static_cast<color_t>(c + 1));
+  }
+  ColorSchedule s;
+  s.class_ptr_.assign(static_cast<std::size_t>(num_classes) + 1, 0);
+  for (const color_t c : colors)
+    ++s.class_ptr_[static_cast<std::size_t>(c) + 1];
+  for (std::size_t i = 1; i < s.class_ptr_.size(); ++i)
+    s.class_ptr_[i] += s.class_ptr_[i - 1];
+  s.members_.resize(colors.size());
+  std::vector<eid_t> cursor(s.class_ptr_.begin(), s.class_ptr_.end() - 1);
+  for (vid_t v = 0; v < static_cast<vid_t>(colors.size()); ++v)
+    s.members_[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(
+            colors[static_cast<std::size_t>(v)])]++)] = v;
+  return s;
+}
+
+ScheduleStats ColorSchedule::stats(int num_threads) const {
+  if (num_threads < 1)
+    throw std::invalid_argument("ColorSchedule::stats: threads must be >=1");
+  ScheduleStats st;
+  st.num_classes = num_classes();
+  st.total_items = total_items();
+  if (st.num_classes == 0) return st;
+  st.smallest_class = class_size(0);
+  for (color_t c = 0; c < num_classes(); ++c) {
+    const vid_t size = class_size(c);
+    st.smallest_class = std::min(st.smallest_class, size);
+    st.largest_class = std::max(st.largest_class, size);
+    st.span += (static_cast<std::uint64_t>(size) +
+                static_cast<std::uint64_t>(num_threads) - 1) /
+               static_cast<std::uint64_t>(num_threads);
+  }
+  st.efficiency =
+      st.span == 0
+          ? 0.0
+          : static_cast<double>(st.total_items) /
+                (static_cast<double>(num_threads) *
+                 static_cast<double>(st.span));
+  return st;
+}
+
+}  // namespace gcol

@@ -1,0 +1,36 @@
+// CSV writer used by the figure harnesses to dump plottable series
+// (e.g. the Figure 3 color-set cardinality distributions).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace gcol {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Convenience: write a row of doubles/ints mixed as strings upstream.
+  template <typename... Ts>
+  void row(const Ts&... cells) {
+    write_row({to_cell(cells)...});
+  }
+
+ private:
+  template <typename T>
+  static std::string to_cell(const T& v) {
+    if constexpr (std::is_convertible_v<T, std::string>)
+      return std::string(v);
+    else
+      return std::to_string(v);
+  }
+
+  std::ofstream out_;
+};
+
+}  // namespace gcol

@@ -1,0 +1,22 @@
+// Environment self-description printed by every bench harness so runs
+// are reproducible and self-documenting.
+#pragma once
+
+#include <string>
+
+namespace gcol {
+
+struct EnvInfo {
+  int hardware_threads = 1;
+  int omp_max_threads = 1;
+  std::string compiler;
+  bool counters_enabled = false;
+};
+
+[[nodiscard]] EnvInfo query_env();
+
+/// One-line banner, e.g.
+/// "greedcolor | 1 hw thread(s) | omp max 1 | gcc 12.2.0 | counters on".
+[[nodiscard]] std::string env_banner();
+
+}  // namespace gcol

@@ -1,0 +1,76 @@
+// Stamped marker sets: the forbidden-color arrays of the paper.
+//
+// The paper's "Implementation details" paragraph is explicit: the
+// forbidden sets F are allocated once per thread as plain arrays and are
+// *never reset*; a per-use stamp distinguishes live entries. This file
+// implements exactly that idiom.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "greedcolor/util/types.hpp"
+
+namespace gcol {
+
+/// A set over a dense integer universe [0, capacity) supporting O(1)
+/// insert/contains and O(1) clear (stamp bump). Not thread-safe: each
+/// worker thread owns one instance for its forbidden-color bookkeeping.
+class MarkerSet {
+ public:
+  MarkerSet() = default;
+
+  explicit MarkerSet(std::size_t capacity) : marks_(capacity, 0) {}
+
+  /// Grow the universe; existing membership survives (marks keep stamps).
+  void ensure_capacity(std::size_t capacity) {
+    if (marks_.size() < capacity) marks_.resize(capacity, 0);
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return marks_.size(); }
+
+  /// Empty the set in O(1) by invalidating all current stamps.
+  void clear() {
+    if (++stamp_ == 0) {  // stamp wrapped: lazily reset the whole array
+      std::fill(marks_.begin(), marks_.end(), 0);
+      stamp_ = 1;
+    }
+  }
+
+  /// Insert, growing the universe if needed. Growth is rare (color ids
+  /// stay below the structural bound) but keeps speculative races from
+  /// ever writing out of bounds.
+  void insert(std::int64_t key) {
+    assert(key >= 0);
+    if (static_cast<std::size_t>(key) >= marks_.size())
+      marks_.resize(static_cast<std::size_t>(key) + 64, 0);
+    marks_[static_cast<std::size_t>(key)] = stamp_;
+  }
+
+  [[nodiscard]] bool contains(std::int64_t key) const {
+    assert(key >= 0);
+    if (static_cast<std::size_t>(key) >= marks_.size()) return false;
+    return marks_[static_cast<std::size_t>(key)] == stamp_;
+  }
+
+ private:
+  std::vector<std::uint32_t> marks_;
+  std::uint32_t stamp_ = 1;  // marks_ filled with 0 => initially empty
+};
+
+/// Thread-private scratch space for one coloring worker: the forbidden
+/// color set plus the local vertex queue of Algorithm 8 (emptied by
+/// resetting a cursor, never deallocated).
+struct ThreadWorkspace {
+  MarkerSet forbidden;
+  std::vector<vid_t> local_queue;
+
+  void prepare(std::size_t color_capacity, std::size_t queue_capacity) {
+    forbidden.ensure_capacity(color_capacity);
+    if (local_queue.capacity() < queue_capacity)
+      local_queue.reserve(queue_capacity);
+  }
+};
+
+}  // namespace gcol

@@ -1,0 +1,63 @@
+// Thin OpenMP helpers shared by kernels, benches, and tests.
+#pragma once
+
+#if defined(_OPENMP)
+#include <omp.h>
+#endif
+
+namespace gcol {
+
+inline int max_threads() {
+#if defined(_OPENMP)
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+inline int current_thread() {
+#if defined(_OPENMP)
+  return omp_get_thread_num();
+#else
+  return 0;
+#endif
+}
+
+inline int hardware_threads() {
+#if defined(_OPENMP)
+  return omp_get_num_procs();
+#else
+  return 1;
+#endif
+}
+
+/// RAII scope that pins omp_set_num_threads to `n` and restores the
+/// previous value on destruction. Kernels take an explicit thread count
+/// so a sweep over t ∈ {1,2,4,8,16} never leaks state between runs.
+class ThreadCountScope {
+ public:
+  explicit ThreadCountScope(int n) {
+#if defined(_OPENMP)
+    previous_ = omp_get_max_threads();
+    if (n > 0) omp_set_num_threads(n);
+#else
+    (void)n;
+#endif
+  }
+
+  ~ThreadCountScope() {
+#if defined(_OPENMP)
+    omp_set_num_threads(previous_);
+#endif
+  }
+
+  ThreadCountScope(const ThreadCountScope&) = delete;
+  ThreadCountScope& operator=(const ThreadCountScope&) = delete;
+
+ private:
+#if defined(_OPENMP)
+  int previous_ = 1;
+#endif
+};
+
+}  // namespace gcol

@@ -1,0 +1,39 @@
+// Fixed-width text tables: the bench harnesses print the paper's tables
+// with this formatter so the output reads like the originals.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gcol {
+
+class TextTable {
+ public:
+  enum class Align { kLeft, kRight };
+
+  /// Define the header row; alignment applies column-wise to all rows.
+  void set_header(std::vector<std::string> names,
+                  std::vector<Align> aligns = {});
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Insert a horizontal rule before the next added row.
+  void add_rule();
+
+  [[nodiscard]] std::string to_string() const;
+
+  /// Convenience cell formatters.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt(std::int64_t v);
+  static std::string fmt(std::uint64_t v);
+  /// Thousands-separated integer, e.g. 1,508,065 (as in Table II).
+  static std::string fmt_sep(std::int64_t v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == rule
+};
+
+}  // namespace gcol

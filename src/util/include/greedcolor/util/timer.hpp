@@ -1,0 +1,28 @@
+// Minimal wall-clock timing utilities used by the kernels and harnesses.
+#pragma once
+
+#include <chrono>
+
+namespace gcol {
+
+/// Monotonic wall-clock stopwatch. All kernel timings in the paper are
+/// wall times (OpenMP regions), so we use steady_clock throughout.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace gcol

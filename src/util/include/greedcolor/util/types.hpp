@@ -1,0 +1,29 @@
+// Fundamental index and color types shared by every greedcolor module.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace gcol {
+
+/// Vertex identifier. 32-bit signed: the paper's largest graph
+/// (uk-2002, 18.5M vertices) fits comfortably, and signed arithmetic
+/// keeps OpenMP canonical-loop requirements trivially satisfied.
+using vid_t = std::int32_t;
+
+/// Edge/offset identifier for CSR row pointers. 64-bit: nnz counts in
+/// the paper's test-bed reach 298M and adjacency offsets must not wrap.
+using eid_t = std::int64_t;
+
+/// Color identifier. Non-negative integers are valid colors; kNoColor
+/// (-1) marks an uncolored vertex, exactly as in the paper's pseudocode.
+using color_t = std::int32_t;
+
+inline constexpr color_t kNoColor = -1;
+
+inline constexpr vid_t kInvalidVertex = -1;
+
+/// Largest representable vertex count (guard for generator parameters).
+inline constexpr vid_t kMaxVertices = std::numeric_limits<vid_t>::max();
+
+}  // namespace gcol

@@ -1,0 +1,111 @@
+// Work-queue strategies for the speculative coloring loop.
+//
+// The paper distinguishes two ways the conflict-removal phase can build
+// the next iteration's vertex queue W_next:
+//   * ColPack's original scheme (our SharedWorkQueue): every conflicting
+//     vertex is appended immediately to one shared queue via an atomic
+//     cursor (algorithms V-V / V-V-64).
+//   * The "64D" lazy scheme (our LocalWorkQueues): each thread collects
+//     conflicts privately and the private queues are concatenated once
+//     at the end of the iteration.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "greedcolor/util/types.hpp"
+
+namespace gcol {
+
+/// Fixed-capacity multi-producer queue with one atomic cursor.
+/// Capacity must be an upper bound on the number of pushes per round
+/// (|W| is always such a bound for conflict queues).
+class SharedWorkQueue {
+ public:
+  SharedWorkQueue() = default;
+
+  explicit SharedWorkQueue(std::size_t capacity) : slots_(capacity) {}
+
+  void reset(std::size_t capacity) {
+    if (slots_.size() < capacity) slots_.resize(capacity);
+    size_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Thread-safe append. Returns the slot index the item landed in.
+  std::size_t push(vid_t v) {
+    const std::size_t idx = size_.fetch_add(1, std::memory_order_relaxed);
+    assert(idx < slots_.size());
+    slots_[idx] = v;
+    return idx;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    return size_.load(std::memory_order_relaxed);
+  }
+
+  /// Valid only after all producers have finished (e.g. past an OpenMP
+  /// barrier at the end of the parallel region).
+  [[nodiscard]] const vid_t* data() const { return slots_.data(); }
+  [[nodiscard]] vid_t* data() { return slots_.data(); }
+
+  void swap_into(std::vector<vid_t>& out) {
+    out.assign(slots_.begin(), slots_.begin() + static_cast<std::ptrdiff_t>(size()));
+  }
+
+ private:
+  std::vector<vid_t> slots_;
+  std::atomic<std::size_t> size_{0};
+};
+
+/// Per-thread private queues merged with an exclusive scan: the lazy
+/// queue construction of the paper's V-V-64D (and all net-based)
+/// variants. Buffers are allocated once and reused across iterations.
+class LocalWorkQueues {
+ public:
+  LocalWorkQueues() = default;
+
+  explicit LocalWorkQueues(int num_threads)
+      : queues_(static_cast<std::size_t>(num_threads)) {}
+
+  void configure(int num_threads) {
+    queues_.resize(static_cast<std::size_t>(num_threads));
+  }
+
+  [[nodiscard]] int num_threads() const {
+    return static_cast<int>(queues_.size());
+  }
+
+  /// Clear every private queue (cursor reset; storage retained).
+  void begin_round() {
+    for (auto& q : queues_) q.clear();
+  }
+
+  /// Only the owning thread may call this for its own tid.
+  void push(int tid, vid_t v) {
+    queues_[static_cast<std::size_t>(tid)].push_back(v);
+  }
+
+  [[nodiscard]] std::size_t total_size() const {
+    std::size_t n = 0;
+    for (const auto& q : queues_) n += q.size();
+    return n;
+  }
+
+  /// Concatenate all private queues into `out` (resized to fit).
+  void merge_into(std::vector<vid_t>& out) const {
+    out.resize(total_size());
+    std::size_t offset = 0;
+    for (const auto& q : queues_) {
+      std::copy(q.begin(), q.end(), out.begin() + static_cast<std::ptrdiff_t>(offset));
+      offset += q.size();
+    }
+  }
+
+ private:
+  std::vector<std::vector<vid_t>> queues_;
+};
+
+}  // namespace gcol

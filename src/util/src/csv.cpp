@@ -1,0 +1,31 @@
+#include "greedcolor/util/csv.hpp"
+
+#include <stdexcept>
+
+namespace gcol {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    // Quote cells containing separators; our data is numeric/identifier
+    // so this is rarely triggered but keeps the writer safe for labels.
+    const std::string& c = cells[i];
+    if (c.find_first_of(",\"\n") != std::string::npos) {
+      out_ << '"';
+      for (char ch : c) {
+        if (ch == '"') out_ << '"';
+        out_ << ch;
+      }
+      out_ << '"';
+    } else {
+      out_ << c;
+    }
+  }
+  out_ << '\n';
+}
+
+}  // namespace gcol

@@ -1,0 +1,37 @@
+#include "greedcolor/util/env.hpp"
+
+#include <sstream>
+
+#include "greedcolor/util/counters.hpp"
+#include "greedcolor/util/parallel.hpp"
+
+namespace gcol {
+
+EnvInfo query_env() {
+  EnvInfo info;
+  info.hardware_threads = hardware_threads();
+  info.omp_max_threads = max_threads();
+#if defined(__clang__)
+  info.compiler = "clang " + std::to_string(__clang_major__) + "." +
+                  std::to_string(__clang_minor__);
+#elif defined(__GNUC__)
+  info.compiler = "gcc " + std::to_string(__GNUC__) + "." +
+                  std::to_string(__GNUC_MINOR__) + "." +
+                  std::to_string(__GNUC_PATCHLEVEL__);
+#else
+  info.compiler = "unknown";
+#endif
+  info.counters_enabled = kCountersEnabled;
+  return info;
+}
+
+std::string env_banner() {
+  const EnvInfo e = query_env();
+  std::ostringstream os;
+  os << "greedcolor | " << e.hardware_threads << " hw thread(s) | omp max "
+     << e.omp_max_threads << " | " << e.compiler << " | counters "
+     << (e.counters_enabled ? "on" : "off");
+  return os.str();
+}
+
+}  // namespace gcol

@@ -1,0 +1,90 @@
+#include "greedcolor/util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace gcol {
+
+void TextTable::set_header(std::vector<std::string> names,
+                           std::vector<Align> aligns) {
+  header_ = std::move(names);
+  aligns_ = std::move(aligns);
+  aligns_.resize(header_.size(), Align::kRight);
+  if (!aligns_.empty()) aligns_[0] = aligns_[0];  // keep caller's choice
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.empty() ? cells.size() : header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_rule() { rows_.emplace_back(); }
+
+std::string TextTable::to_string() const {
+  const std::size_t ncols =
+      header_.empty()
+          ? (rows_.empty() ? 0 : rows_.front().size())
+          : header_.size();
+  std::vector<std::size_t> width(ncols, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size() && c < ncols; ++c)
+      width[c] = std::max(width[c], row[c].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < ncols; ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      const Align a = c < aligns_.size() ? aligns_[c] : Align::kRight;
+      out << (c == 0 ? "" : "  ");
+      out << std::setw(static_cast<int>(width[c]))
+          << (a == Align::kLeft ? std::left : std::right) << cell;
+    }
+    out << '\n';
+  };
+  auto rule = [&] {
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < ncols; ++c) total += width[c] + (c ? 2 : 0);
+    out << std::string(total, '-') << '\n';
+  };
+
+  if (!header_.empty()) {
+    emit(header_);
+    rule();
+  }
+  for (const auto& r : rows_) {
+    if (r.empty())
+      rule();
+    else
+      emit(r);
+  }
+  return out.str();
+}
+
+std::string TextTable::fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string TextTable::fmt(std::int64_t v) { return std::to_string(v); }
+std::string TextTable::fmt(std::uint64_t v) { return std::to_string(v); }
+
+std::string TextTable::fmt_sep(std::int64_t v) {
+  std::string digits = std::to_string(v < 0 ? -v : v);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  if (v < 0) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace gcol

@@ -1,0 +1,94 @@
+#include "greedcolor/graph/binary_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "greedcolor/graph/builder.hpp"
+#include "greedcolor/graph/generators.hpp"
+#include "test_util.hpp"
+
+namespace gcol {
+namespace {
+
+TEST(BinaryIo, BipartiteRoundTrip) {
+  PowerLawBipartiteParams p;
+  p.rows = 80;
+  p.cols = 300;
+  p.min_deg = 2;
+  p.max_deg = 40;
+  p.seed = 9;
+  const BipartiteGraph g = build_bipartite(gen_powerlaw_bipartite(p));
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary(buf, g);
+  const BipartiteGraph back = read_binary_bipartite(buf);
+  EXPECT_EQ(back.num_vertices(), g.num_vertices());
+  EXPECT_EQ(back.num_nets(), g.num_nets());
+  EXPECT_EQ(back.vptr(), g.vptr());
+  EXPECT_EQ(back.vadj(), g.vadj());
+  EXPECT_EQ(back.nptr(), g.nptr());
+  EXPECT_EQ(back.nadj(), g.nadj());
+}
+
+TEST(BinaryIo, GraphRoundTrip) {
+  const Graph g = build_graph(gen_mesh2d(12, 9, 1));
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary(buf, g);
+  const Graph back = read_binary_graph(buf);
+  EXPECT_EQ(back.num_vertices(), g.num_vertices());
+  EXPECT_EQ(back.ptr(), g.ptr());
+  EXPECT_EQ(back.adj(), g.adj());
+}
+
+TEST(BinaryIo, KindDetection) {
+  const BipartiteGraph bg = testing::single_net(4);
+  const Graph g = build_graph(testing::path_coo(4));
+  std::stringstream b1(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary(b1, bg);
+  EXPECT_EQ(binary_kind(b1), "bipartite");
+  // Peeking must not consume: a full read must still succeed.
+  EXPECT_EQ(read_binary_bipartite(b1).num_vertices(), 4);
+
+  std::stringstream b2(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary(b2, g);
+  EXPECT_EQ(binary_kind(b2), "graph");
+
+  std::stringstream junk("not a greedcolor file");
+  EXPECT_EQ(binary_kind(junk), "");
+}
+
+TEST(BinaryIo, RejectsWrongKind) {
+  const Graph g = build_graph(testing::path_coo(4));
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary(buf, g);
+  EXPECT_THROW(read_binary_bipartite(buf), std::runtime_error);
+}
+
+TEST(BinaryIo, RejectsTruncation) {
+  const BipartiteGraph g = testing::disjoint_nets(3, 3);
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary(buf, g);
+  const std::string full = buf.str();
+  std::stringstream cut(full.substr(0, full.size() / 2),
+                        std::ios::in | std::ios::binary);
+  EXPECT_THROW(read_binary_bipartite(cut), std::runtime_error);
+}
+
+TEST(BinaryIo, RejectsGarbage) {
+  std::stringstream junk("GARBAGEGARBAGEGARBAGE");
+  EXPECT_THROW(read_binary_graph(junk), std::runtime_error);
+}
+
+TEST(BinaryIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "gcol_binary_test.bin";
+  const BipartiteGraph g = testing::disjoint_nets(5, 4);
+  write_binary_file(path, g);
+  const BipartiteGraph back = read_binary_bipartite_file(path);
+  EXPECT_EQ(back.num_edges(), g.num_edges());
+  std::remove(path.c_str());
+  EXPECT_THROW(read_binary_bipartite_file("/no/such/file.bin"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace gcol

@@ -1,0 +1,90 @@
+#include "greedcolor/graph/bipartite.hpp"
+
+#include <gtest/gtest.h>
+
+#include "greedcolor/graph/builder.hpp"
+#include "test_util.hpp"
+
+namespace gcol {
+namespace {
+
+TEST(BipartiteGraph, BuildFromRectangularCoo) {
+  Coo coo;
+  coo.num_rows = 2;  // nets
+  coo.num_cols = 3;  // vertices
+  coo.add(0, 0);
+  coo.add(0, 2);
+  coo.add(1, 1);
+  coo.add(1, 2);
+  const BipartiteGraph g = build_bipartite(std::move(coo));
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_nets(), 2);
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(BipartiteGraph, AdjacencyIsConsistentBothSides) {
+  Coo coo;
+  coo.num_rows = 3;
+  coo.num_cols = 4;
+  coo.add(0, 1);
+  coo.add(0, 3);
+  coo.add(1, 0);
+  coo.add(2, 1);
+  coo.add(2, 2);
+  const BipartiteGraph g = build_bipartite(std::move(coo));
+  // vtxs(0) = {1,3}; nets(1) = {0,2}
+  const auto v0 = g.vtxs(0);
+  EXPECT_EQ(std::vector<vid_t>(v0.begin(), v0.end()),
+            (std::vector<vid_t>{1, 3}));
+  const auto n1 = g.nets(1);
+  EXPECT_EQ(std::vector<vid_t>(n1.begin(), n1.end()),
+            (std::vector<vid_t>{0, 2}));
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(BipartiteGraph, Degrees) {
+  const BipartiteGraph g = testing::disjoint_nets(3, 4);
+  EXPECT_EQ(g.num_vertices(), 12);
+  EXPECT_EQ(g.num_nets(), 3);
+  for (vid_t v = 0; v < 3; ++v) EXPECT_EQ(g.net_degree(v), 4);
+  for (vid_t u = 0; u < 12; ++u) EXPECT_EQ(g.vertex_degree(u), 1);
+  EXPECT_EQ(g.max_net_degree(), 4);
+  EXPECT_EQ(g.max_vertex_degree(), 1);
+}
+
+TEST(BipartiteGraph, DuplicateEntriesCollapse) {
+  Coo coo;
+  coo.num_rows = 1;
+  coo.num_cols = 2;
+  coo.add(0, 1);
+  coo.add(0, 1);
+  coo.add(0, 0);
+  const BipartiteGraph g = build_bipartite(std::move(coo));
+  EXPECT_EQ(g.num_edges(), 2);
+}
+
+TEST(BipartiteGraph, EmptyNetsAndVerticesAllowed) {
+  Coo coo;
+  coo.num_rows = 3;
+  coo.num_cols = 3;
+  coo.add(1, 1);
+  const BipartiteGraph g = build_bipartite(std::move(coo));
+  EXPECT_EQ(g.net_degree(0), 0);
+  EXPECT_EQ(g.vertex_degree(2), 0);
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(BipartiteGraph, CtorRejectsInconsistentHalves) {
+  // vptr claims 1 edge, nptr claims 2.
+  EXPECT_THROW(BipartiteGraph(1, 1, {0, 1}, {0}, {0, 2}, {0, 0}),
+               std::invalid_argument);
+}
+
+TEST(BipartiteGraph, MaxNetDegreeIsLowerBoundSource) {
+  const BipartiteGraph g = testing::single_net(7);
+  EXPECT_EQ(g.max_net_degree(), 7);
+}
+
+}  // namespace
+}  // namespace gcol

@@ -1,0 +1,112 @@
+#include "greedcolor/order/bucket_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "greedcolor/util/prng.hpp"
+
+namespace gcol {
+namespace {
+
+TEST(BucketQueue, MinAndMaxTrackKeys) {
+  BucketQueue q({5, 2, 9, 2}, 10);
+  EXPECT_EQ(q.size(), 4u);
+  EXPECT_EQ(q.key(q.find_min()), 2);
+  EXPECT_EQ(q.find_max(), 2);  // vertex 2 has key 9
+}
+
+TEST(BucketQueue, RemoveShrinksAndSkips) {
+  BucketQueue q({1, 3, 5}, 5);
+  q.remove(0);
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_FALSE(q.contains(0));
+  EXPECT_EQ(q.find_min(), 1);
+  q.remove(1);
+  q.remove(2);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.find_min(), kInvalidVertex);
+}
+
+TEST(BucketQueue, DecreaseMovesBelowCursor) {
+  BucketQueue q({4, 4, 4}, 8);
+  EXPECT_EQ(q.key(q.find_min()), 4);
+  q.decrease(1, 3);
+  EXPECT_EQ(q.find_min(), 1);
+  EXPECT_EQ(q.key(1), 1);
+}
+
+TEST(BucketQueue, IncreaseMovesAboveCursor) {
+  BucketQueue q({0, 0}, 6);
+  (void)q.find_max();
+  q.increase(0, 5);
+  EXPECT_EQ(q.find_max(), 0);
+  EXPECT_EQ(q.key(0), 5);
+}
+
+TEST(BucketQueue, ZeroDeltaIsNoop) {
+  BucketQueue q({2}, 4);
+  q.decrease(0, 0);
+  q.increase(0, 0);
+  EXPECT_EQ(q.key(0), 2);
+}
+
+TEST(BucketQueue, ThrowsOnKeyRangeViolation) {
+  BucketQueue q({2}, 4);
+  EXPECT_THROW(q.decrease(0, 3), std::logic_error);
+  EXPECT_THROW(q.increase(0, 3), std::logic_error);
+}
+
+TEST(BucketQueue, RandomizedHeapEquivalence) {
+  // Drive the queue against a brute-force reference.
+  constexpr int kN = 200;
+  Xoshiro256 rng(77);
+  std::vector<eid_t> keys(kN);
+  for (auto& k : keys) k = static_cast<eid_t>(rng.bounded(50));
+  BucketQueue q(keys, 120);
+  std::vector<bool> alive(kN, true);
+
+  auto ref_min = [&] {
+    vid_t best = kInvalidVertex;
+    for (int v = 0; v < kN; ++v)
+      if (alive[static_cast<std::size_t>(v)] &&
+          (best == kInvalidVertex ||
+           keys[static_cast<std::size_t>(v)] <
+               keys[static_cast<std::size_t>(best)]))
+        best = v;
+    return best;
+  };
+
+  for (int step = 0; step < 2000; ++step) {
+    const auto op = rng.bounded(4);
+    const vid_t v = static_cast<vid_t>(rng.bounded(kN));
+    if (op == 0 && alive[static_cast<std::size_t>(v)]) {
+      q.remove(v);
+      alive[static_cast<std::size_t>(v)] = false;
+    } else if (op == 1 && alive[static_cast<std::size_t>(v)] &&
+               keys[static_cast<std::size_t>(v)] > 0) {
+      const eid_t d = 1 + static_cast<eid_t>(rng.bounded(
+                              static_cast<std::uint64_t>(
+                                  keys[static_cast<std::size_t>(v)])));
+      q.decrease(v, d);
+      keys[static_cast<std::size_t>(v)] -= d;
+    } else if (op == 2 && alive[static_cast<std::size_t>(v)] &&
+               keys[static_cast<std::size_t>(v)] < 100) {
+      q.increase(v, 5);
+      keys[static_cast<std::size_t>(v)] += 5;
+    } else {
+      const vid_t got = q.find_min();
+      const vid_t want = ref_min();
+      if (want == kInvalidVertex) {
+        EXPECT_EQ(got, kInvalidVertex);
+      } else {
+        ASSERT_NE(got, kInvalidVertex);
+        EXPECT_EQ(keys[static_cast<std::size_t>(got)],
+                  keys[static_cast<std::size_t>(want)]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gcol

@@ -1,0 +1,62 @@
+#include "greedcolor/core/color_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "greedcolor/core/result.hpp"
+
+namespace gcol {
+namespace {
+
+TEST(CountColors, Basics) {
+  EXPECT_EQ(count_colors({}), 0);
+  EXPECT_EQ(count_colors({kNoColor, kNoColor}), 0);
+  EXPECT_EQ(count_colors({0}), 1);
+  EXPECT_EQ(count_colors({2, 0, 5}), 6);
+}
+
+TEST(ColorClassStats, ExactHistogram) {
+  // colors: 0 x3, 1 x1, 2 x2
+  const auto s = color_class_stats({0, 0, 0, 1, 2, 2});
+  EXPECT_EQ(s.num_colors, 3);
+  EXPECT_EQ(s.cardinality, (std::vector<vid_t>{3, 1, 2}));
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_EQ(s.min, 1);
+  EXPECT_EQ(s.max, 3);
+  EXPECT_EQ(s.singleton_sets, 1);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.0 / 3.0), 1e-12);
+}
+
+TEST(ColorClassStats, IgnoresUncolored) {
+  const auto s = color_class_stats({0, kNoColor, 0});
+  EXPECT_EQ(s.num_colors, 1);
+  EXPECT_EQ(s.cardinality, (std::vector<vid_t>{2}));
+}
+
+TEST(ColorClassStats, DropsEmptyClasses) {
+  // Color 1 unused.
+  const auto s = color_class_stats({0, 2, 2});
+  EXPECT_EQ(s.num_colors, 2);
+  EXPECT_EQ(s.cardinality, (std::vector<vid_t>{1, 2}));
+}
+
+TEST(ColorClassStats, SortedCardinalitiesDescend) {
+  const auto s = color_class_stats({0, 1, 1, 2, 2, 2});
+  EXPECT_EQ(s.sorted_cardinalities(), (std::vector<vid_t>{3, 2, 1}));
+}
+
+TEST(ColorClassStats, EmptyInput) {
+  const auto s = color_class_stats({});
+  EXPECT_EQ(s.num_colors, 0);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(ColorClassStats, UniformClassesHaveZeroStddev) {
+  const auto s = color_class_stats({0, 1, 2, 0, 1, 2});
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_EQ(s.singleton_sets, 0);
+}
+
+}  // namespace
+}  // namespace gcol

@@ -1,0 +1,102 @@
+#include "greedcolor/graph/csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "greedcolor/graph/builder.hpp"
+#include "test_util.hpp"
+
+namespace gcol {
+namespace {
+
+using testing::complete_coo;
+using testing::cycle_coo;
+using testing::path_coo;
+using testing::star_coo;
+
+TEST(Graph, PathStructure) {
+  const Graph g = build_graph(path_coo(5));
+  EXPECT_EQ(g.num_vertices(), 5);
+  EXPECT_EQ(g.num_adjacency_entries(), 8);  // 4 undirected edges
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(2), 2);
+  EXPECT_EQ(g.max_degree(), 2);
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(Graph, NeighborsAreSortedUnique) {
+  const Graph g = build_graph(cycle_coo(6));
+  for (vid_t v = 0; v < 6; ++v) {
+    const auto nb = g.neighbors(v);
+    ASSERT_EQ(nb.size(), 2u);
+    EXPECT_LT(nb[0], nb[1]);
+  }
+}
+
+TEST(Graph, BuilderSymmetrizesOneDirectionalInput) {
+  Coo coo;
+  coo.num_rows = coo.num_cols = 3;
+  coo.add(0, 1);  // only one direction given
+  coo.add(1, 2);
+  const Graph g = build_graph(std::move(coo));
+  EXPECT_TRUE(g.validate());
+  EXPECT_EQ(g.degree(1), 2);
+}
+
+TEST(Graph, BuilderDropsSelfLoopsAndDuplicates) {
+  Coo coo;
+  coo.num_rows = coo.num_cols = 3;
+  coo.add(0, 0);
+  coo.add(1, 1);
+  coo.add(0, 1);
+  coo.add(0, 1);
+  coo.add(1, 0);
+  const Graph g = build_graph(std::move(coo));
+  EXPECT_EQ(g.num_adjacency_entries(), 2);
+  EXPECT_EQ(g.degree(2), 0);
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(Graph, StarDegrees) {
+  const Graph g = build_graph(star_coo(10));
+  EXPECT_EQ(g.degree(0), 9);
+  for (vid_t v = 1; v < 10; ++v) EXPECT_EQ(g.degree(v), 1);
+}
+
+TEST(Graph, CompleteGraphDegrees) {
+  const Graph g = build_graph(complete_coo(6));
+  for (vid_t v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 5);
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(Graph, RejectsRectangular) {
+  Coo coo;
+  coo.num_rows = 2;
+  coo.num_cols = 3;
+  EXPECT_THROW(build_graph(std::move(coo)), std::invalid_argument);
+}
+
+TEST(Graph, RejectsOutOfRangeEntries) {
+  Coo coo;
+  coo.num_rows = coo.num_cols = 2;
+  coo.add(0, 5);
+  EXPECT_THROW(build_graph(std::move(coo)), std::out_of_range);
+}
+
+TEST(Graph, CtorRejectsBadPtrArray) {
+  EXPECT_THROW(Graph(2, {0, 1}, {1, 0}), std::invalid_argument);
+  EXPECT_THROW(Graph(2, {0, 1, 3}, {1, 0}), std::invalid_argument);
+}
+
+TEST(Graph, EmptyGraph) {
+  const Graph g = build_graph([&] {
+    Coo coo;
+    coo.num_rows = coo.num_cols = 4;
+    return coo;
+  }());
+  EXPECT_EQ(g.num_vertices(), 4);
+  EXPECT_EQ(g.num_adjacency_entries(), 0);
+  EXPECT_EQ(g.max_degree(), 0);
+}
+
+}  // namespace
+}  // namespace gcol

@@ -1,0 +1,170 @@
+#include "greedcolor/core/d2gc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "greedcolor/core/bgpc.hpp"
+#include "greedcolor/core/verify.hpp"
+#include "greedcolor/graph/builder.hpp"
+#include "greedcolor/graph/generators.hpp"
+#include "greedcolor/order/ordering.hpp"
+#include "test_util.hpp"
+
+namespace gcol {
+namespace {
+
+Graph make_test_graph(const std::string& shape) {
+  if (shape == "mesh") return build_graph(gen_mesh2d(35, 35, 1));
+  if (shape == "cliques")
+    return build_graph(gen_clique_union(900, 400, 2, 40, 1.8, 13));
+  if (shape == "pa")
+    return build_graph(gen_preferential_attachment(800, 4, 19));
+  if (shape == "geometric")
+    return build_graph(gen_random_geometric(700, 0.06, 23));
+  throw std::invalid_argument(shape);
+}
+
+TEST(D2gcSequential, PathUsesThreeColors) {
+  const Graph g = build_graph(testing::path_coo(10));
+  const auto r = color_d2gc_sequential(g);
+  EXPECT_EQ(r.num_colors, 3);
+  EXPECT_TRUE(is_valid_d2gc(g, r.colors));
+}
+
+TEST(D2gcSequential, StarNeedsAllColors) {
+  // Every pair in a star is within distance 2.
+  const Graph g = build_graph(testing::star_coo(7));
+  const auto r = color_d2gc_sequential(g);
+  EXPECT_EQ(r.num_colors, 7);
+}
+
+TEST(D2gcSequential, CycleFiveIsFullyPairwise) {
+  const Graph g = build_graph(testing::cycle_coo(5));
+  const auto r = color_d2gc_sequential(g);
+  EXPECT_EQ(r.num_colors, 5);
+}
+
+TEST(D2gcSequential, CompleteGraphDistance2EqualsDistance1Plus) {
+  const Graph g = build_graph(testing::complete_coo(6));
+  const auto r = color_d2gc_sequential(g);
+  EXPECT_EQ(r.num_colors, 6);
+}
+
+TEST(D2gcSequential, LowerBoundRespected) {
+  const Graph g = make_test_graph("pa");
+  const auto r = color_d2gc_sequential(g);
+  EXPECT_GE(r.num_colors, g.max_degree() + 1);
+  EXPECT_LE(r.num_colors, d2gc_color_bound(g));
+  EXPECT_TRUE(is_valid_d2gc(g, r.colors));
+}
+
+TEST(D2gcSequential, Deterministic) {
+  const Graph g = make_test_graph("geometric");
+  EXPECT_EQ(color_d2gc_sequential(g).colors,
+            color_d2gc_sequential(g).colors);
+}
+
+using Param = std::tuple<std::string, std::string, int>;
+
+class D2gcValidity : public ::testing::TestWithParam<Param> {};
+
+TEST_P(D2gcValidity, ProducesValidBoundedColoring) {
+  const auto& [algo, shape, threads] = GetParam();
+  const Graph g = make_test_graph(shape);
+  ColoringOptions opt = d2gc_preset(algo);
+  opt.num_threads = threads;
+  const auto r = color_d2gc(g, opt);
+  const auto violation = check_d2gc(g, r.colors);
+  EXPECT_FALSE(violation.has_value())
+      << (violation ? violation->to_string() : "");
+  EXPECT_FALSE(r.sequential_fallback);
+  EXPECT_GE(r.num_colors, g.max_degree() + 1);
+  EXPECT_LE(r.num_colors, d2gc_color_bound(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PresetsByShapeByThreads, D2gcValidity,
+    ::testing::Combine(
+        ::testing::Values("V-V", "V-V-64D", "V-N1", "V-N2", "N1-N2"),
+        ::testing::Values("mesh", "cliques", "pa", "geometric"),
+        ::testing::Values(1, 2, 4)),
+    [](const auto& info) {
+      std::string n = std::get<0>(info.param) + "_" +
+                      std::get<1>(info.param) + "_t" +
+                      std::to_string(std::get<2>(info.param));
+      std::replace(n.begin(), n.end(), '-', '_');
+      return n;
+    });
+
+TEST(D2gc, SingleThreadVertexKernelMatchesSequential) {
+  const Graph g = make_test_graph("mesh");
+  ColoringOptions opt = d2gc_preset("V-V");
+  opt.num_threads = 1;
+  const auto par = color_d2gc(g, opt);
+  const auto seq = color_d2gc_sequential(g);
+  EXPECT_EQ(par.colors, seq.colors);
+}
+
+TEST(D2gc, AgreesWithBgpcOnClosedNeighborhoodReduction) {
+  // D2GC on G == BGPC on the closed-neighborhood bipartite instance:
+  // any valid result of one must verify under the other's checker.
+  const Graph g = make_test_graph("geometric");
+  const BipartiteGraph bg = graph_to_bipartite_closed(g);
+
+  const auto d2 = color_d2gc(g, d2gc_preset("N1-N2"));
+  EXPECT_TRUE(is_valid_bgpc(bg, d2.colors));
+
+  const auto bp = color_bgpc(bg, bgpc_preset("N1-N2"));
+  EXPECT_TRUE(is_valid_d2gc(g, bp.colors));
+}
+
+TEST(D2gc, SequentialEqualsBgpcSequentialOnReduction) {
+  // Same greedy, same order, same neighborhoods => identical colors.
+  const Graph g = build_graph(gen_mesh2d(15, 15, 1));
+  const BipartiteGraph bg = graph_to_bipartite_closed(g);
+  EXPECT_EQ(color_d2gc_sequential(g).colors,
+            color_bgpc_sequential(bg).colors);
+}
+
+TEST(D2gc, OrderingsApply) {
+  const Graph g = make_test_graph("cliques");
+  const auto sl = make_ordering(g, OrderingKind::kSmallestLast);
+  const auto r = color_d2gc(g, d2gc_preset("V-N1"), sl);
+  EXPECT_TRUE(is_valid_d2gc(g, r.colors));
+}
+
+TEST(D2gc, RejectsNetV1AndBadOptions) {
+  const Graph g = build_graph(testing::path_coo(4));
+  ColoringOptions opt = d2gc_preset("N1-N2");
+  opt.net_v1 = true;
+  EXPECT_THROW(color_d2gc(g, opt), std::invalid_argument);
+  EXPECT_THROW(d2gc_preset("V-N64"), std::invalid_argument);
+  EXPECT_THROW(color_d2gc(g, {}, {0, 1}), std::invalid_argument);
+}
+
+TEST(D2gc, IsolatedVerticesColoredZero) {
+  Coo coo;
+  coo.num_rows = coo.num_cols = 4;
+  coo.add(0, 1);
+  const Graph g = build_graph(std::move(coo));
+  const auto r = color_d2gc(g, d2gc_preset("N1-N2"));
+  EXPECT_TRUE(is_valid_d2gc(g, r.colors));
+  EXPECT_EQ(r.colors[2], 0);
+  EXPECT_EQ(r.colors[3], 0);
+}
+
+TEST(D2gc, ReverseFirstFitStartsAtDegree) {
+  // A single edge {0,1}: net of 0 is {0,1}, |nbor(0)| = 1, so Alg. 9
+  // colors from 1 downward. One thread: first net processed is 0,
+  // its local queue is [0,1] -> colors 1,0.
+  const Graph g = build_graph(testing::path_coo(2));
+  ColoringOptions opt = d2gc_preset("N1-N2");
+  opt.num_threads = 1;
+  const auto r = color_d2gc(g, opt);
+  EXPECT_TRUE(is_valid_d2gc(g, r.colors));
+  EXPECT_EQ(r.colors, (std::vector<color_t>{1, 0}));
+}
+
+}  // namespace
+}  // namespace gcol

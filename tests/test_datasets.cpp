@@ -1,0 +1,85 @@
+#include "greedcolor/graph/datasets.hpp"
+
+#include <gtest/gtest.h>
+
+#include "greedcolor/graph/graph_stats.hpp"
+
+namespace gcol {
+namespace {
+
+TEST(Datasets, RegistryHasEightEntriesInPaperOrder) {
+  const auto& reg = dataset_registry();
+  ASSERT_EQ(reg.size(), 8u);
+  EXPECT_EQ(reg[0].name, "movielens_s");
+  EXPECT_EQ(reg[7].name, "uk2002_s");
+}
+
+TEST(Datasets, FiveAreMarkedForD2gc) {
+  // Table II's last column: 5 of 8 matrices used for D2GC.
+  EXPECT_EQ(dataset_names(/*d2gc_only=*/true).size(), 5u);
+  EXPECT_EQ(dataset_names(false).size(), 8u);
+}
+
+TEST(Datasets, FindByNameAndUnknownThrows) {
+  EXPECT_EQ(find_dataset("bone_s").mimics, "bone010");
+  EXPECT_THROW((void)find_dataset("nope"), std::out_of_range);
+}
+
+TEST(Datasets, SymmetryFlagsMatchGeneratedPatterns) {
+  for (const auto& d : dataset_registry()) {
+    const Coo coo = d.make();
+    EXPECT_EQ(coo.is_structurally_symmetric(), d.structurally_symmetric)
+        << d.name;
+  }
+}
+
+TEST(Datasets, D2gcSubsetIsLoadableAsGraph) {
+  for (const auto& name : dataset_names(true)) {
+    const Graph g = load_graph(name);
+    EXPECT_GT(g.num_vertices(), 0) << name;
+    // No full validate() here (costly); degree sanity only.
+    EXPECT_GT(g.max_degree(), 0) << name;
+  }
+}
+
+TEST(Datasets, NonSymmetricRejectsGraphView) {
+  EXPECT_THROW(load_graph("movielens_s"), std::invalid_argument);
+}
+
+TEST(Datasets, DeterministicGeneration) {
+  const Coo a = find_dataset("hv15r_s").make();
+  const Coo b = find_dataset("hv15r_s").make();
+  EXPECT_EQ(a.rows, b.rows);
+  EXPECT_EQ(a.cols, b.cols);
+}
+
+TEST(Datasets, SignatureShapesMatchTable2Drivers) {
+  // The structural signatures the generators were tuned to: skew for
+  // movielens/copapers/uk2002, near-uniform for the meshes and HV15R.
+  {
+    const auto g = load_bipartite("movielens_s");
+    const auto s = net_degree_stats(g);
+    EXPECT_GT(s.max, 20 * s.mean);  // violent skew
+    EXPECT_LT(g.num_nets(), g.num_vertices());  // rectangular
+  }
+  {
+    const auto g = load_bipartite("afshell_s");
+    const auto s = net_degree_stats(g);
+    EXPECT_LE(s.max, 25);
+    EXPECT_LT(s.stddev, 3.0);
+  }
+  {
+    const auto g = load_bipartite("hv15r_s");
+    const auto s = net_degree_stats(g);
+    EXPECT_GT(s.mean, 50);           // large rows
+    EXPECT_LT(s.stddev / s.mean, 0.1);  // near-constant
+  }
+  {
+    const auto g = load_bipartite("uk2002_s");
+    const auto s = net_degree_stats(g);
+    EXPECT_GT(s.max, 30 * s.mean);  // hubs
+  }
+}
+
+}  // namespace
+}  // namespace gcol

@@ -1,0 +1,169 @@
+#include "greedcolor/dist/dist_bgpc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "greedcolor/core/bgpc.hpp"
+#include "greedcolor/core/verify.hpp"
+#include "greedcolor/graph/builder.hpp"
+#include "greedcolor/graph/generators.hpp"
+#include "test_util.hpp"
+
+namespace gcol {
+namespace {
+
+TEST(DistPartition, BlockCoversAllRanksContiguously) {
+  DistOptions opt;
+  opt.num_ranks = 4;
+  const auto owner = make_partition(100, opt);
+  EXPECT_EQ(owner.front(), 0);
+  EXPECT_EQ(owner.back(), 3);
+  for (std::size_t i = 1; i < owner.size(); ++i)
+    EXPECT_LE(owner[i - 1], owner[i]);  // monotone = contiguous blocks
+}
+
+TEST(DistPartition, HashIsDeterministicAndSpread) {
+  DistOptions opt;
+  opt.num_ranks = 8;
+  opt.partition = DistOptions::Partition::kHash;
+  const auto a = make_partition(1000, opt);
+  const auto b = make_partition(1000, opt);
+  EXPECT_EQ(a, b);
+  std::vector<int> count(8, 0);
+  for (const int r : a) {
+    ASSERT_GE(r, 0);
+    ASSERT_LT(r, 8);
+    ++count[static_cast<std::size_t>(r)];
+  }
+  for (const int ct : count) EXPECT_GT(ct, 60);  // roughly even
+}
+
+TEST(DistPartition, RejectsZeroRanks) {
+  DistOptions opt;
+  opt.num_ranks = 0;
+  EXPECT_THROW(make_partition(10, opt), std::invalid_argument);
+}
+
+using Param = std::tuple<int /*ranks*/, DistOptions::Partition>;
+
+class DistValidity : public ::testing::TestWithParam<Param> {};
+
+TEST_P(DistValidity, ValidColoringAndSaneStats) {
+  const auto& [ranks, partition] = GetParam();
+  PowerLawBipartiteParams p;
+  p.rows = 400;
+  p.cols = 1600;
+  p.min_deg = 3;
+  p.max_deg = 120;
+  p.alpha = 1.2;
+  p.seed = 31;
+  const BipartiteGraph g = build_bipartite(gen_powerlaw_bipartite(p));
+
+  DistOptions opt;
+  opt.num_ranks = ranks;
+  opt.partition = partition;
+  const auto r = color_bgpc_distributed(g, opt);
+  const auto violation = check_bgpc(g, r.colors);
+  EXPECT_FALSE(violation.has_value())
+      << (violation ? violation->to_string() : "");
+  EXPECT_FALSE(r.stats.fallback);
+  EXPECT_EQ(r.stats.interior_vertices + r.stats.boundary_vertices,
+            g.num_vertices());
+  EXPECT_GE(r.num_colors, g.max_net_degree());
+  EXPECT_LE(r.num_colors, bgpc_color_bound(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RanksByPartition, DistValidity,
+    ::testing::Combine(::testing::Values(1, 2, 4, 16),
+                       ::testing::Values(DistOptions::Partition::kBlock,
+                                         DistOptions::Partition::kHash)),
+    [](const auto& info) {
+      return std::string("r") + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) == DistOptions::Partition::kBlock
+                  ? "_block"
+                  : "_hash");
+    });
+
+TEST(Dist, SingleRankIsPureSequentialNoMessages) {
+  const BipartiteGraph g = testing::disjoint_nets(10, 6);
+  DistOptions opt;
+  opt.num_ranks = 1;
+  const auto r = color_bgpc_distributed(g, opt);
+  EXPECT_EQ(r.stats.boundary_vertices, 0);
+  EXPECT_EQ(r.stats.messages, 0u);
+  EXPECT_EQ(r.stats.supersteps, 0);
+  EXPECT_TRUE(is_valid_bgpc(g, r.colors));
+  // With one rank the schedule is the natural sequential greedy.
+  EXPECT_EQ(r.colors, color_bgpc_sequential(g).colors);
+}
+
+TEST(Dist, DisjointNetsAlignedWithBlocksNeedNoCommunication) {
+  // 4 nets x 4 vertices, 4 ranks, block partition of 16: each net's
+  // vertices land in one rank => zero boundary vertices.
+  const BipartiteGraph g = testing::disjoint_nets(4, 4);
+  DistOptions opt;
+  opt.num_ranks = 4;
+  const auto r = color_bgpc_distributed(g, opt);
+  EXPECT_EQ(r.stats.boundary_vertices, 0);
+  EXPECT_EQ(r.stats.messages, 0u);
+  EXPECT_TRUE(is_valid_bgpc(g, r.colors));
+}
+
+TEST(Dist, SingleNetAcrossRanksCommunicates) {
+  const BipartiteGraph g = testing::single_net(16);
+  DistOptions opt;
+  opt.num_ranks = 4;
+  const auto r = color_bgpc_distributed(g, opt);
+  EXPECT_TRUE(is_valid_bgpc(g, r.colors));
+  EXPECT_EQ(r.num_colors, 16);
+  EXPECT_EQ(r.stats.boundary_vertices, 16);
+  EXPECT_GT(r.stats.messages, 0u);
+  EXPECT_GE(r.stats.supersteps, 1);
+  // Staleness forces conflicts: all ranks first-fit into the same low
+  // colors in superstep 1.
+  EXPECT_GT(r.stats.conflicts, 0u);
+}
+
+TEST(Dist, DeterministicForFixedOptions) {
+  const BipartiteGraph g =
+      build_bipartite(gen_clique_union(600, 250, 2, 40, 1.8, 17));
+  DistOptions opt;
+  opt.num_ranks = 8;
+  const auto a = color_bgpc_distributed(g, opt);
+  const auto b = color_bgpc_distributed(g, opt);
+  EXPECT_EQ(a.colors, b.colors);
+  EXPECT_EQ(a.stats.messages, b.stats.messages);
+  EXPECT_EQ(a.stats.supersteps, b.stats.supersteps);
+}
+
+TEST(Dist, MoreRanksMoreBoundary) {
+  const BipartiteGraph g = build_bipartite(gen_mesh2d(30, 30, 1));
+  vid_t prev = 0;
+  for (const int ranks : {2, 4, 8}) {
+    DistOptions opt;
+    opt.num_ranks = ranks;
+    const auto r = color_bgpc_distributed(g, opt);
+    EXPECT_TRUE(is_valid_bgpc(g, r.colors));
+    EXPECT_GE(r.stats.boundary_vertices, prev);
+    prev = r.stats.boundary_vertices;
+  }
+}
+
+TEST(Dist, ColorCountStaysNearSharedMemory) {
+  // The distributed rounds should not blow up the color count relative
+  // to the shared-memory N1-N2 (paper-family quality).
+  const BipartiteGraph g =
+      build_bipartite(gen_clique_union(900, 380, 2, 50, 1.8, 23));
+  DistOptions opt;
+  opt.num_ranks = 8;
+  const auto dist = color_bgpc_distributed(g, opt);
+  const auto shared = color_bgpc(g, bgpc_preset("N1-N2"));
+  EXPECT_TRUE(is_valid_bgpc(g, dist.colors));
+  EXPECT_LE(dist.num_colors,
+            static_cast<color_t>(shared.num_colors * 1.3) + 2);
+}
+
+}  // namespace
+}  // namespace gcol

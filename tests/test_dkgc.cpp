@@ -1,0 +1,86 @@
+#include "greedcolor/core/dkgc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "greedcolor/core/d2gc.hpp"
+#include "greedcolor/core/verify.hpp"
+#include "greedcolor/graph/builder.hpp"
+#include "greedcolor/graph/generators.hpp"
+#include "test_util.hpp"
+
+namespace gcol {
+namespace {
+
+TEST(Dkgc, K1IsProperColoring) {
+  const Graph g = build_graph(gen_random_geometric(300, 0.08, 3));
+  const auto r = color_dkgc_sequential(g, 1);
+  EXPECT_TRUE(is_valid_dkgc(g, 1, r.colors));
+  // k=1 proper coloring: no adjacent pair shares a color.
+  for (vid_t v = 0; v < g.num_vertices(); ++v)
+    for (const vid_t u : g.neighbors(v))
+      EXPECT_NE(r.colors[static_cast<std::size_t>(v)],
+                r.colors[static_cast<std::size_t>(u)]);
+}
+
+TEST(Dkgc, K2MatchesD2gcSequential) {
+  const Graph g = build_graph(gen_mesh2d(12, 12, 1));
+  const auto dk = color_dkgc_sequential(g, 2);
+  const auto d2 = color_d2gc_sequential(g);
+  EXPECT_EQ(dk.colors, d2.colors);
+}
+
+TEST(Dkgc, PathDistanceK) {
+  // On a path, distance-k coloring needs exactly k+1 colors.
+  const Graph g = build_graph(testing::path_coo(20));
+  for (int k = 1; k <= 5; ++k) {
+    const auto r = color_dkgc_sequential(g, k);
+    EXPECT_EQ(r.num_colors, k + 1) << "k=" << k;
+    EXPECT_TRUE(is_valid_dkgc(g, k, r.colors));
+  }
+}
+
+TEST(Dkgc, ColorsAreMonotoneInK) {
+  const Graph g = build_graph(gen_random_geometric(250, 0.07, 8));
+  color_t prev = 0;
+  for (int k = 1; k <= 4; ++k) {
+    const auto r = color_dkgc_sequential(g, k);
+    EXPECT_GE(r.num_colors, prev);
+    prev = r.num_colors;
+  }
+}
+
+TEST(Dkgc, ParallelEngineIsValidForEvenK) {
+  const Graph g = build_graph(gen_random_geometric(400, 0.07, 5));
+  for (int k : {2, 4}) {
+    ColoringOptions opt = bgpc_preset("N1-N2");
+    opt.num_threads = 2;
+    const auto r = color_dkgc(g, k, opt);
+    EXPECT_TRUE(is_valid_dkgc(g, k, r.colors)) << "k=" << k;
+  }
+}
+
+TEST(Dkgc, ParallelEngineOverCoversOddK) {
+  // For odd k the ball-reduction enforces distance-(k+1) separation:
+  // still valid for k, just possibly more colors.
+  const Graph g = build_graph(gen_random_geometric(300, 0.07, 6));
+  const auto r = color_dkgc(g, 3, bgpc_preset("V-N1"));
+  EXPECT_TRUE(is_valid_dkgc(g, 3, r.colors));
+}
+
+TEST(Dkgc, RejectsOutOfRangeK) {
+  const Graph g = build_graph(testing::path_coo(3));
+  EXPECT_THROW(color_dkgc_sequential(g, 0), std::invalid_argument);
+  EXPECT_THROW(color_dkgc_sequential(g, 7), std::invalid_argument);
+  EXPECT_THROW(color_dkgc(g, 0), std::invalid_argument);
+  EXPECT_THROW((void)is_valid_dkgc(g, 9, {0, 1, 2}), std::invalid_argument);
+}
+
+TEST(Dkgc, ValidatorCatchesPlantedViolation) {
+  const Graph g = build_graph(testing::path_coo(5));
+  // d(0,2)=2 <= 3 but same color.
+  EXPECT_FALSE(is_valid_dkgc(g, 3, {0, 1, 0, 2, 3}));
+  EXPECT_FALSE(is_valid_dkgc(g, 2, {0, 1, kNoColor, 2, 3}));
+}
+
+}  // namespace
+}  // namespace gcol

@@ -1,0 +1,122 @@
+#include "greedcolor/core/dsatur.hpp"
+
+#include <gtest/gtest.h>
+
+#include "greedcolor/core/bgpc.hpp"
+#include "greedcolor/core/d1gc.hpp"
+#include "greedcolor/core/verify.hpp"
+#include "greedcolor/graph/builder.hpp"
+#include "greedcolor/graph/generators.hpp"
+#include "test_util.hpp"
+
+namespace gcol {
+namespace {
+
+TEST(DsaturBgpc, ValidOnSkewedInstance) {
+  const BipartiteGraph g =
+      build_bipartite(gen_clique_union(1200, 500, 2, 60, 1.8, 21));
+  const auto r = color_bgpc_dsatur(g);
+  EXPECT_TRUE(is_valid_bgpc(g, r.colors));
+  EXPECT_GE(r.num_colors, g.max_net_degree());
+}
+
+TEST(DsaturBgpc, NeverWorseThanNaturalOnTestSuite) {
+  // DSATUR is a heuristic, not a guarantee, but on these fixed seeds it
+  // should match or beat first-fit-natural — that is its reason to
+  // exist. Deterministic, so no flake risk.
+  for (const std::uint64_t seed : {11u, 22u, 33u}) {
+    const BipartiteGraph g =
+        build_bipartite(gen_clique_union(900, 400, 2, 40, 1.7, seed));
+    const auto dsatur = color_bgpc_dsatur(g);
+    const auto natural = color_bgpc_sequential(g);
+    EXPECT_TRUE(is_valid_bgpc(g, dsatur.colors));
+    EXPECT_LE(dsatur.num_colors, natural.num_colors) << "seed " << seed;
+  }
+}
+
+TEST(DsaturBgpc, ExactOnSingleNet) {
+  const BipartiteGraph g = testing::single_net(12);
+  const auto r = color_bgpc_dsatur(g);
+  EXPECT_EQ(r.num_colors, 12);
+}
+
+TEST(DsaturBgpc, ReusesColorsAcrossDisjointNets) {
+  const BipartiteGraph g = testing::disjoint_nets(8, 5);
+  const auto r = color_bgpc_dsatur(g);
+  EXPECT_EQ(r.num_colors, 5);
+  EXPECT_TRUE(is_valid_bgpc(g, r.colors));
+}
+
+TEST(DsaturBgpc, Deterministic) {
+  PowerLawBipartiteParams p;
+  p.rows = 100;
+  p.cols = 300;
+  p.min_deg = 2;
+  p.max_deg = 40;
+  p.seed = 5;
+  const BipartiteGraph g = build_bipartite(gen_powerlaw_bipartite(p));
+  EXPECT_EQ(color_bgpc_dsatur(g).colors, color_bgpc_dsatur(g).colors);
+}
+
+TEST(DsaturD1, OddCycleOptimal) {
+  // Brélaz colors odd cycles with 3 and even cycles with 2 — exactly.
+  EXPECT_EQ(color_d1gc_dsatur(build_graph(testing::cycle_coo(7)))
+                .num_colors,
+            3);
+  EXPECT_EQ(color_d1gc_dsatur(build_graph(testing::cycle_coo(8)))
+                .num_colors,
+            2);
+}
+
+TEST(DsaturD1, CrownGraphShowcase) {
+  // Crown graph S_n^0 (K_{n,n} minus a perfect matching): first-fit in
+  // natural (alternating) order uses n colors; DSATUR finds the
+  // bipartition and uses 2. The canonical separation example.
+  constexpr vid_t kHalf = 6;
+  Coo coo;
+  coo.num_rows = coo.num_cols = 2 * kHalf;
+  for (vid_t a = 0; a < kHalf; ++a)
+    for (vid_t b = 0; b < kHalf; ++b) {
+      if (a == b) continue;  // the removed matching
+      coo.add(a, kHalf + b);
+      coo.add(kHalf + b, a);
+    }
+  const Graph g = build_graph(std::move(coo));
+
+  // Interleaved order 0, n, 1, n+1, ... is the adversarial one.
+  std::vector<vid_t> interleaved;
+  for (vid_t i = 0; i < kHalf; ++i) {
+    interleaved.push_back(i);
+    interleaved.push_back(kHalf + i);
+  }
+  const auto greedy = color_d1gc_sequential(g, interleaved);
+  const auto dsatur = color_d1gc_dsatur(g);
+  EXPECT_TRUE(is_valid_d1gc(g, dsatur.colors));
+  EXPECT_EQ(greedy.num_colors, kHalf);  // greedy falls in the trap
+  EXPECT_EQ(dsatur.num_colors, 2);      // DSATUR does not
+}
+
+TEST(DsaturD1, ValidOnIrregularGraph) {
+  const Graph g = build_graph(gen_preferential_attachment(1500, 4, 9));
+  const auto r = color_d1gc_dsatur(g);
+  EXPECT_TRUE(is_valid_d1gc(g, r.colors));
+  EXPECT_LE(r.num_colors, d1gc_color_bound(g));
+}
+
+TEST(Dsatur, EmptyAndIsolatedInputs) {
+  Coo iso;
+  iso.num_rows = iso.num_cols = 3;
+  const Graph g = build_graph(std::move(iso));
+  EXPECT_EQ(color_d1gc_dsatur(g).num_colors, 1);
+
+  Coo one;
+  one.num_rows = 1;
+  one.num_cols = 3;
+  one.add(0, 1);
+  const BipartiteGraph bg = build_bipartite(std::move(one));
+  const auto r = color_bgpc_dsatur(bg);
+  EXPECT_TRUE(is_valid_bgpc(bg, r.colors));
+}
+
+}  // namespace
+}  // namespace gcol

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "greedcolor/util/counters.hpp"
+#include "greedcolor/util/env.hpp"
+#include "greedcolor/util/parallel.hpp"
+#include "greedcolor/util/timer.hpp"
+
+namespace gcol {
+namespace {
+
+TEST(Parallel, ThreadCountScopeRestores) {
+  const int before = max_threads();
+  {
+    ThreadCountScope scope(3);
+    EXPECT_EQ(max_threads(), 3);
+    {
+      ThreadCountScope inner(1);
+      EXPECT_EQ(max_threads(), 1);
+    }
+    EXPECT_EQ(max_threads(), 3);
+  }
+  EXPECT_EQ(max_threads(), before);
+}
+
+TEST(Parallel, ZeroRequestLeavesDefault) {
+  const int before = max_threads();
+  ThreadCountScope scope(0);
+  EXPECT_EQ(max_threads(), before);
+}
+
+TEST(Parallel, HardwareThreadsPositive) {
+  EXPECT_GE(hardware_threads(), 1);
+  EXPECT_GE(current_thread(), 0);
+}
+
+TEST(Env, QueryReportsCompilerAndCounters) {
+  const EnvInfo e = query_env();
+  EXPECT_GE(e.hardware_threads, 1);
+  EXPECT_FALSE(e.compiler.empty());
+  EXPECT_EQ(e.counters_enabled, kCountersEnabled);
+}
+
+TEST(Env, BannerMentionsKeyFields) {
+  const std::string b = env_banner();
+  EXPECT_NE(b.find("greedcolor"), std::string::npos);
+  EXPECT_NE(b.find("hw thread"), std::string::npos);
+  EXPECT_NE(b.find("counters"), std::string::npos);
+}
+
+TEST(Counters, AccumulateAndTotalWork) {
+  KernelCounters a, b;
+  a.edges_visited = 10;
+  a.color_probes = 5;
+  a.conflicts = 1;
+  a.colored = 2;
+  b.edges_visited = 1;
+  b.color_probes = 2;
+  b += a;
+  EXPECT_EQ(b.edges_visited, 11u);
+  EXPECT_EQ(b.color_probes, 7u);
+  EXPECT_EQ(b.conflicts, 1u);
+  EXPECT_EQ(b.total_work(), 18u);
+}
+
+TEST(Timer, MeasuresMonotonically) {
+  WallTimer t;
+  const double a = t.seconds();
+  const double b = t.seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+  t.reset();
+  EXPECT_LT(t.seconds(), 1.0);  // reset brings it back near zero
+  // milliseconds() is the same clock scaled by 1e3 (up to read skew).
+  EXPECT_LT(t.seconds() * 1e3, t.milliseconds() + 1.0);
+}
+
+}  // namespace
+}  // namespace gcol

@@ -1,0 +1,127 @@
+// Randomized property sweep: many seeded random instances through every
+// engine, asserting the invariants that must hold universally —
+// validity, bounds, termination without the fallback valve, and
+// cross-engine consistency.
+#include <gtest/gtest.h>
+
+#include "greedcolor/core/bgpc.hpp"
+#include "greedcolor/core/d1gc.hpp"
+#include "greedcolor/core/d2gc.hpp"
+#include "greedcolor/core/dsatur.hpp"
+#include "greedcolor/core/recolor.hpp"
+#include "greedcolor/core/verify.hpp"
+#include "greedcolor/graph/builder.hpp"
+#include "greedcolor/graph/generators.hpp"
+#include "greedcolor/util/prng.hpp"
+
+namespace gcol {
+namespace {
+
+/// A random instance family parameterized by seed: dimensions, density,
+/// and skew all vary with the seed so the sweep covers a broad shape
+/// range, deterministically.
+Coo random_instance(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  const vid_t rows = 20 + static_cast<vid_t>(sm.next() % 400);
+  const vid_t cols = 20 + static_cast<vid_t>(sm.next() % 700);
+  const eid_t max_nnz = static_cast<eid_t>(rows) * cols;
+  const eid_t nnz =
+      std::min<eid_t>(max_nnz, 1 + static_cast<eid_t>(
+                                       sm.next() % (8ULL * rows)));
+  return gen_random_bipartite(rows, cols, nnz, seed);
+}
+
+class FuzzBgpc : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzBgpc, AllPresetsValidOnRandomInstance) {
+  const BipartiteGraph g = build_bipartite(random_instance(GetParam()));
+  for (const auto& name : bgpc_preset_names()) {
+    ColoringOptions opt = bgpc_preset(name);
+    opt.num_threads = 1 + static_cast<int>(GetParam() % 4);
+    const auto r = color_bgpc(g, opt);
+    const auto violation = check_bgpc(g, r.colors);
+    EXPECT_FALSE(violation.has_value())
+        << name << " seed=" << GetParam()
+        << (violation ? ": " + violation->to_string() : "");
+    EXPECT_FALSE(r.sequential_fallback) << name;
+    EXPECT_GE(r.num_colors, g.max_net_degree()) << name;
+    EXPECT_LE(r.num_colors, bgpc_color_bound(g)) << name;
+  }
+}
+
+TEST_P(FuzzBgpc, BalancedVariantsValid) {
+  const BipartiteGraph g = build_bipartite(random_instance(GetParam() ^ 0xB));
+  for (const auto policy : {BalancePolicy::kB1, BalancePolicy::kB2}) {
+    ColoringOptions opt = bgpc_preset("N1-N2");
+    opt.balance = policy;
+    opt.num_threads = 2;
+    const auto r = color_bgpc(g, opt);
+    EXPECT_TRUE(is_valid_bgpc(g, r.colors))
+        << to_string(policy) << " seed=" << GetParam();
+  }
+}
+
+TEST_P(FuzzBgpc, DsaturAndRecolorPreserveValidity) {
+  const BipartiteGraph g = build_bipartite(random_instance(GetParam() ^ 0xD));
+  const auto ds = color_bgpc_dsatur(g);
+  EXPECT_TRUE(is_valid_bgpc(g, ds.colors));
+  auto colors = ds.colors;
+  const color_t after = recolor_bgpc(g, colors);
+  EXPECT_TRUE(is_valid_bgpc(g, colors));
+  EXPECT_LE(after, ds.num_colors);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzBgpc,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+/// Random symmetric graphs for the unipartite engines.
+Coo random_symmetric(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  const vid_t n = 30 + static_cast<vid_t>(sm.next() % 500);
+  Coo coo = gen_random_bipartite(
+      n, n, std::min<eid_t>(static_cast<eid_t>(n) * n, 6 * n), seed);
+  coo.symmetrize();
+  return coo;
+}
+
+class FuzzUnipartite : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzUnipartite, D2gcPresetsValid) {
+  const Graph g = build_graph(random_symmetric(GetParam()));
+  for (const auto& name : d2gc_preset_names()) {
+    ColoringOptions opt = d2gc_preset(name);
+    opt.num_threads = 1 + static_cast<int>(GetParam() % 3);
+    const auto r = color_d2gc(g, opt);
+    EXPECT_TRUE(is_valid_d2gc(g, r.colors))
+        << name << " seed=" << GetParam();
+    EXPECT_FALSE(r.sequential_fallback) << name;
+  }
+}
+
+TEST_P(FuzzUnipartite, D1FamilyAgreesOnValidity) {
+  const Graph g = build_graph(random_symmetric(GetParam() ^ 0x1));
+  const auto seq = color_d1gc_sequential(g);
+  const auto spec = color_d1gc(g, bgpc_preset("V-V-64D"));
+  const auto jp = color_d1gc_jones_plassmann(g, GetParam(), 3);
+  const auto ds = color_d1gc_dsatur(g);
+  EXPECT_TRUE(is_valid_d1gc(g, seq.colors));
+  EXPECT_TRUE(is_valid_d1gc(g, spec.colors));
+  EXPECT_TRUE(is_valid_d1gc(g, jp.colors));
+  EXPECT_TRUE(is_valid_d1gc(g, ds.colors));
+  // D1 never needs more colors than D2 on the same graph.
+  const auto d2 = color_d2gc_sequential(g);
+  EXPECT_LE(seq.num_colors, d2.num_colors);
+}
+
+TEST_P(FuzzUnipartite, D2EqualsBgpcOnClosedNeighborhoods) {
+  const Graph g = build_graph(random_symmetric(GetParam() ^ 0x2));
+  const BipartiteGraph bg = graph_to_bipartite_closed(g);
+  EXPECT_EQ(color_d2gc_sequential(g).colors,
+            color_bgpc_sequential(bg).colors);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzUnipartite,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace gcol

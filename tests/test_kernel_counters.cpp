@@ -1,0 +1,113 @@
+// Exact work-counter accounting: the counters are the bench harnesses'
+// machine-independent evidence, so their values are pinned here against
+// closed-form expectations on clean (conflict-free) runs.
+#include <gtest/gtest.h>
+
+#include "greedcolor/core/bgpc.hpp"
+#include "greedcolor/core/d2gc.hpp"
+#include "greedcolor/graph/builder.hpp"
+#include "greedcolor/graph/generators.hpp"
+#include "test_util.hpp"
+
+namespace gcol {
+namespace {
+
+#if defined(GCOL_COUNTERS)
+
+eid_t vertex_round_edges(const BipartiteGraph& g) {
+  // Alg. 4 over all vertices: every vertex scans all entries of all its
+  // nets (including itself once per containing net).
+  eid_t total = 0;
+  for (vid_t u = 0; u < g.num_vertices(); ++u)
+    for (const vid_t v : g.nets(u)) total += g.net_degree(v);
+  return total;
+}
+
+TEST(Counters, VertexColoringFirstRoundIsSumDegSquared) {
+  PowerLawBipartiteParams p;
+  p.rows = 60;
+  p.cols = 200;
+  p.min_deg = 2;
+  p.max_deg = 30;
+  p.seed = 9;
+  const BipartiteGraph g = build_bipartite(gen_powerlaw_bipartite(p));
+  ColoringOptions opt = bgpc_preset("V-V");
+  opt.num_threads = 1;  // conflict-free => exactly one coloring round
+  const auto r = color_bgpc(g, opt);
+  ASSERT_EQ(r.rounds, 1);
+  EXPECT_EQ(r.iterations[0].color_counters.edges_visited,
+            static_cast<std::uint64_t>(vertex_round_edges(g)));
+  // Conflict removal also scans each vertex's full neighborhood (no
+  // early exits on a conflict-free coloring).
+  EXPECT_EQ(r.iterations[0].conflict_counters.edges_visited,
+            static_cast<std::uint64_t>(vertex_round_edges(g)));
+  EXPECT_EQ(r.iterations[0].conflict_counters.conflicts, 0u);
+  // Isolated columns are pre-colored outside the kernels.
+  std::uint64_t non_isolated = 0;
+  for (vid_t u = 0; u < g.num_vertices(); ++u)
+    non_isolated += g.vertex_degree(u) > 0;
+  EXPECT_EQ(r.iterations[0].color_counters.colored, non_isolated);
+}
+
+TEST(Counters, NetRoundsAreLinearInEdges) {
+  const BipartiteGraph g = build_bipartite(gen_mesh2d(20, 20, 1));
+  ColoringOptions opt = bgpc_preset("N1-N2");
+  opt.num_threads = 1;
+  const auto r = color_bgpc(g, opt);
+  // Net coloring pass 1 visits every (net, vertex) incidence once.
+  EXPECT_EQ(r.iterations[0].color_counters.edges_visited,
+            static_cast<std::uint64_t>(g.num_edges()));
+  // Net conflict removal likewise.
+  EXPECT_EQ(r.iterations[0].conflict_counters.edges_visited,
+            static_cast<std::uint64_t>(g.num_edges()));
+}
+
+TEST(Counters, SequentialMatchesSingleThreadVV) {
+  const BipartiteGraph g = testing::disjoint_nets(7, 5);
+  const auto seq = color_bgpc_sequential(g);
+  ColoringOptions opt = bgpc_preset("V-V");
+  opt.num_threads = 1;
+  const auto par = color_bgpc(g, opt);
+  EXPECT_EQ(seq.iterations[0].color_counters.edges_visited,
+            par.iterations[0].color_counters.edges_visited);
+  EXPECT_EQ(seq.iterations[0].color_counters.colored,
+            par.iterations[0].color_counters.colored);
+}
+
+TEST(Counters, ProbesCountFirstFitScans) {
+  // Single net of width k, sequential: vertex i probes i+1 colors.
+  const BipartiteGraph g = testing::single_net(6);
+  const auto r = color_bgpc_sequential(g);
+  // 1 + 2 + ... + 6 = 21.
+  EXPECT_EQ(r.iterations[0].color_counters.color_probes, 21u);
+}
+
+TEST(Counters, TotalsAggregateAcrossRounds) {
+  const BipartiteGraph g =
+      build_bipartite(gen_clique_union(500, 200, 2, 30, 1.8, 3));
+  ColoringOptions opt = bgpc_preset("N1-N2");
+  opt.num_threads = 4;
+  const auto r = color_bgpc(g, opt);
+  KernelCounters sum;
+  for (const auto& it : r.iterations) sum += it.color_counters;
+  EXPECT_EQ(sum.edges_visited,
+            r.total_color_counters().edges_visited);
+  EXPECT_EQ(sum.color_probes, r.total_color_counters().color_probes);
+  EXPECT_GT(r.total_color_counters().total_work(), 0u);
+}
+
+TEST(Counters, D2gcNetRoundLinear) {
+  const Graph g = build_graph(gen_mesh2d(15, 15, 1));
+  ColoringOptions opt = d2gc_preset("N1-N2");
+  opt.num_threads = 1;
+  const auto r = color_d2gc(g, opt);
+  EXPECT_EQ(r.iterations[0].color_counters.edges_visited,
+            static_cast<std::uint64_t>(g.num_adjacency_entries()));
+}
+
+#else
+TEST(Counters, DisabledBuild) { GTEST_SKIP() << "GCOL_COUNTERS off"; }
+#endif
+
+}  // namespace
+}  // namespace gcol

@@ -1,0 +1,80 @@
+#include "greedcolor/util/marker_set.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gcol {
+namespace {
+
+TEST(MarkerSet, StartsEmpty) {
+  MarkerSet s(16);
+  for (int k = 0; k < 16; ++k) EXPECT_FALSE(s.contains(k));
+}
+
+TEST(MarkerSet, InsertThenContains) {
+  MarkerSet s(8);
+  s.insert(3);
+  s.insert(7);
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_TRUE(s.contains(7));
+  EXPECT_FALSE(s.contains(0));
+  EXPECT_FALSE(s.contains(4));
+}
+
+TEST(MarkerSet, ClearIsConstantTimeEmpty) {
+  MarkerSet s(8);
+  for (int k = 0; k < 8; ++k) s.insert(k);
+  s.clear();
+  for (int k = 0; k < 8; ++k) EXPECT_FALSE(s.contains(k));
+}
+
+TEST(MarkerSet, ReusableAcrossManyRounds) {
+  MarkerSet s(4);
+  for (int round = 0; round < 1000; ++round) {
+    s.clear();
+    s.insert(round % 4);
+    for (int k = 0; k < 4; ++k)
+      EXPECT_EQ(s.contains(k), k == round % 4) << "round " << round;
+  }
+}
+
+TEST(MarkerSet, AutoGrowsOnInsert) {
+  MarkerSet s(4);
+  s.insert(100);  // beyond initial capacity
+  EXPECT_TRUE(s.contains(100));
+  EXPECT_GE(s.capacity(), 101u);
+  EXPECT_FALSE(s.contains(50));
+}
+
+TEST(MarkerSet, ContainsBeyondCapacityIsFalse) {
+  MarkerSet s(4);
+  EXPECT_FALSE(s.contains(1000000));
+}
+
+TEST(MarkerSet, GrowPreservesMembership) {
+  MarkerSet s(4);
+  s.insert(2);
+  s.ensure_capacity(1024);
+  EXPECT_TRUE(s.contains(2));
+  EXPECT_FALSE(s.contains(512));
+}
+
+TEST(MarkerSet, DefaultConstructedGrowsFromZero) {
+  MarkerSet s;
+  EXPECT_EQ(s.capacity(), 0u);
+  s.insert(0);
+  EXPECT_TRUE(s.contains(0));
+}
+
+TEST(ThreadWorkspace, PrepareReservesBothStructures) {
+  ThreadWorkspace ws;
+  ws.prepare(128, 64);
+  EXPECT_GE(ws.forbidden.capacity(), 128u);
+  EXPECT_GE(ws.local_queue.capacity(), 64u);
+  // prepare() must not shrink.
+  ws.prepare(16, 8);
+  EXPECT_GE(ws.forbidden.capacity(), 128u);
+  EXPECT_GE(ws.local_queue.capacity(), 64u);
+}
+
+}  // namespace
+}  // namespace gcol

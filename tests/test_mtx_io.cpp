@@ -1,0 +1,138 @@
+#include "greedcolor/graph/mtx_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace gcol {
+namespace {
+
+TEST(MtxIo, ParsesGeneralPattern) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "% a comment\n"
+      "3 4 3\n"
+      "1 1\n"
+      "2 4\n"
+      "3 2\n");
+  const Coo coo = read_matrix_market(in);
+  EXPECT_EQ(coo.num_rows, 3);
+  EXPECT_EQ(coo.num_cols, 4);
+  EXPECT_EQ(coo.nnz(), 3);
+  EXPECT_FALSE(coo.has_values());
+  EXPECT_EQ(coo.rows, (std::vector<vid_t>{0, 1, 2}));
+  EXPECT_EQ(coo.cols, (std::vector<vid_t>{0, 3, 1}));
+}
+
+TEST(MtxIo, ParsesRealValues) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 2\n"
+      "1 2 3.5\n"
+      "2 1 -1e2\n");
+  const Coo coo = read_matrix_market(in);
+  ASSERT_TRUE(coo.has_values());
+  EXPECT_DOUBLE_EQ(coo.vals[0], 3.5);
+  EXPECT_DOUBLE_EQ(coo.vals[1], -100.0);
+}
+
+TEST(MtxIo, ExpandsSymmetric) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 2\n"
+      "2 1 5\n"
+      "3 3 7\n");
+  const Coo coo = read_matrix_market(in);
+  EXPECT_EQ(coo.nnz(), 3);  // (1,0) + mirror (0,1) + diagonal (2,2)
+  EXPECT_TRUE(coo.is_structurally_symmetric());
+}
+
+TEST(MtxIo, SkewSymmetricNegatesMirror) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+      "2 2 1\n"
+      "2 1 4\n");
+  const Coo coo = read_matrix_market(in);
+  ASSERT_EQ(coo.nnz(), 2);
+  // sorted: (0,1)=-4, (1,0)=4
+  EXPECT_DOUBLE_EQ(coo.vals[0], -4.0);
+  EXPECT_DOUBLE_EQ(coo.vals[1], 4.0);
+}
+
+TEST(MtxIo, ParsesIntegerAndComplexFields) {
+  std::istringstream i1(
+      "%%MatrixMarket matrix coordinate integer general\n"
+      "1 1 1\n"
+      "1 1 9\n");
+  EXPECT_DOUBLE_EQ(read_matrix_market(i1).vals[0], 9.0);
+  std::istringstream i2(
+      "%%MatrixMarket matrix coordinate complex general\n"
+      "1 1 1\n"
+      "1 1 2.5 -1.0\n");
+  EXPECT_DOUBLE_EQ(read_matrix_market(i2).vals[0], 2.5);
+}
+
+TEST(MtxIo, RejectsMalformedInput) {
+  std::istringstream no_banner("1 1 1\n1 1\n");
+  EXPECT_THROW(read_matrix_market(no_banner), std::runtime_error);
+
+  std::istringstream bad_format(
+      "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n");
+  EXPECT_THROW(read_matrix_market(bad_format), std::runtime_error);
+
+  std::istringstream out_of_range(
+      "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n3 1\n");
+  EXPECT_THROW(read_matrix_market(out_of_range), std::runtime_error);
+
+  std::istringstream truncated(
+      "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n");
+  EXPECT_THROW(read_matrix_market(truncated), std::runtime_error);
+}
+
+TEST(MtxIo, CaseInsensitiveHeader) {
+  std::istringstream in(
+      "%%matrixmarket MATRIX Coordinate Pattern General\n"
+      "1 1 1\n"
+      "1 1\n");
+  EXPECT_EQ(read_matrix_market(in).nnz(), 1);
+}
+
+TEST(MtxIo, WriteReadRoundTripPattern) {
+  Coo coo;
+  coo.num_rows = 3;
+  coo.num_cols = 5;
+  coo.add(0, 4);
+  coo.add(2, 0);
+  coo.sort_and_dedup();
+
+  std::stringstream buf;
+  write_matrix_market(buf, coo);
+  const Coo back = read_matrix_market(buf);
+  EXPECT_EQ(back.num_rows, coo.num_rows);
+  EXPECT_EQ(back.num_cols, coo.num_cols);
+  EXPECT_EQ(back.rows, coo.rows);
+  EXPECT_EQ(back.cols, coo.cols);
+}
+
+TEST(MtxIo, WriteReadRoundTripValues) {
+  Coo coo;
+  coo.num_rows = coo.num_cols = 2;
+  coo.add(0, 1, 0.125);
+  coo.add(1, 0, -8.0);
+  coo.sort_and_dedup();
+
+  std::stringstream buf;
+  write_matrix_market(buf, coo);
+  const Coo back = read_matrix_market(buf);
+  ASSERT_TRUE(back.has_values());
+  EXPECT_DOUBLE_EQ(back.vals[0], 0.125);
+  EXPECT_DOUBLE_EQ(back.vals[1], -8.0);
+}
+
+TEST(MtxIo, FileNotFoundThrows) {
+  EXPECT_THROW(read_matrix_market_file("/no/such/file.mtx"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace gcol

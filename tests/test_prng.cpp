@@ -1,0 +1,62 @@
+#include "greedcolor/util/prng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace gcol {
+namespace {
+
+TEST(SplitMix64, DeterministicSequence) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.next() == b.next();
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Xoshiro256, DeterministicForSeed) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, BoundedStaysInRange) {
+  Xoshiro256 rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.bounded(17);
+    EXPECT_LT(v, 17u);
+  }
+}
+
+TEST(Xoshiro256, BoundedCoversRange) {
+  Xoshiro256 rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.bounded(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Xoshiro256, UniformInHalfOpenUnitInterval) {
+  Xoshiro256 rng(123);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);  // law of large numbers sanity
+}
+
+TEST(Mix64, IsAPermutationLikeHash) {
+  // Distinct inputs should essentially never collide on 64 bits.
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t x = 0; x < 4096; ++x) seen.insert(mix64(x));
+  EXPECT_EQ(seen.size(), 4096u);
+}
+
+}  // namespace
+}  // namespace gcol

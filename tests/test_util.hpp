@@ -1,0 +1,79 @@
+// Shared fixtures: tiny graphs with known coloring structure.
+#pragma once
+
+#include <vector>
+
+#include "greedcolor/graph/builder.hpp"
+#include "greedcolor/graph/coo.hpp"
+
+namespace gcol::testing {
+
+/// Path graph P_n (vertices 0-1-2-...-n-1).
+inline Coo path_coo(vid_t n) {
+  Coo coo;
+  coo.num_rows = coo.num_cols = n;
+  for (vid_t v = 0; v + 1 < n; ++v) {
+    coo.add(v, v + 1);
+    coo.add(v + 1, v);
+  }
+  return coo;
+}
+
+/// Cycle graph C_n.
+inline Coo cycle_coo(vid_t n) {
+  Coo coo = path_coo(n);
+  coo.add(n - 1, 0);
+  coo.add(0, n - 1);
+  return coo;
+}
+
+/// Star K_{1,n-1} with center 0.
+inline Coo star_coo(vid_t n) {
+  Coo coo;
+  coo.num_rows = coo.num_cols = n;
+  for (vid_t v = 1; v < n; ++v) {
+    coo.add(0, v);
+    coo.add(v, 0);
+  }
+  return coo;
+}
+
+/// Complete graph K_n (no diagonal).
+inline Coo complete_coo(vid_t n) {
+  Coo coo;
+  coo.num_rows = coo.num_cols = n;
+  for (vid_t a = 0; a < n; ++a)
+    for (vid_t b = 0; b < n; ++b)
+      if (a != b) coo.add(a, b);
+  return coo;
+}
+
+/// BGPC instance: one net covering all `cols` vertices (rows = 1).
+inline BipartiteGraph single_net(vid_t cols) {
+  Coo coo;
+  coo.num_rows = 1;
+  coo.num_cols = cols;
+  for (vid_t c = 0; c < cols; ++c) coo.add(0, c);
+  return build_bipartite(std::move(coo));
+}
+
+/// BGPC instance: `rows` disjoint nets of `width` vertices each.
+inline BipartiteGraph disjoint_nets(vid_t rows, vid_t width) {
+  Coo coo;
+  coo.num_rows = rows;
+  coo.num_cols = rows * width;
+  for (vid_t r = 0; r < rows; ++r)
+    for (vid_t k = 0; k < width; ++k) coo.add(r, r * width + k);
+  return build_bipartite(std::move(coo));
+}
+
+/// Identity pattern: n nets, one vertex each (every vertex isolated
+/// from every other — 1 color suffices).
+inline BipartiteGraph identity_pattern(vid_t n) {
+  Coo coo;
+  coo.num_rows = coo.num_cols = n;
+  for (vid_t i = 0; i < n; ++i) coo.add(i, i);
+  return build_bipartite(std::move(coo));
+}
+
+}  // namespace gcol::testing

@@ -1,0 +1,100 @@
+#include "greedcolor/util/work_queue.hpp"
+
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace gcol {
+namespace {
+
+TEST(SharedWorkQueue, SequentialPushes) {
+  SharedWorkQueue q(10);
+  q.reset(10);
+  for (vid_t v = 0; v < 5; ++v) q.push(v * 2);
+  EXPECT_EQ(q.size(), 5u);
+  std::vector<vid_t> out;
+  q.swap_into(out);
+  EXPECT_EQ(out, (std::vector<vid_t>{0, 2, 4, 6, 8}));
+}
+
+TEST(SharedWorkQueue, ConcurrentPushesLoseNothing) {
+  constexpr int kN = 10000;
+  SharedWorkQueue q;
+  q.reset(kN);
+#pragma omp parallel for num_threads(4)
+  for (int i = 0; i < kN; ++i) q.push(static_cast<vid_t>(i));
+  EXPECT_EQ(q.size(), static_cast<std::size_t>(kN));
+  std::vector<vid_t> out;
+  q.swap_into(out);
+  std::sort(out.begin(), out.end());
+  for (int i = 0; i < kN; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SharedWorkQueue, ResetReusesStorage) {
+  SharedWorkQueue q(4);
+  q.reset(4);
+  q.push(1);
+  q.reset(4);
+  EXPECT_EQ(q.size(), 0u);
+  q.push(9);
+  std::vector<vid_t> out;
+  q.swap_into(out);
+  EXPECT_EQ(out, (std::vector<vid_t>{9}));
+}
+
+TEST(LocalWorkQueues, MergePreservesAllItems) {
+  LocalWorkQueues q(3);
+  q.begin_round();
+  q.push(0, 1);
+  q.push(1, 2);
+  q.push(1, 3);
+  q.push(2, 4);
+  EXPECT_EQ(q.total_size(), 4u);
+  std::vector<vid_t> out;
+  q.merge_into(out);
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, (std::vector<vid_t>{1, 2, 3, 4}));
+}
+
+TEST(LocalWorkQueues, MergeConcatenatesByThread) {
+  LocalWorkQueues q(2);
+  q.begin_round();
+  q.push(0, 10);
+  q.push(0, 11);
+  q.push(1, 20);
+  std::vector<vid_t> out;
+  q.merge_into(out);
+  EXPECT_EQ(out, (std::vector<vid_t>{10, 11, 20}));
+}
+
+TEST(LocalWorkQueues, BeginRoundClears) {
+  LocalWorkQueues q(2);
+  q.begin_round();
+  q.push(0, 5);
+  q.begin_round();
+  EXPECT_EQ(q.total_size(), 0u);
+}
+
+TEST(LocalWorkQueues, ConcurrentOwnerOnlyPushes) {
+  const int threads = 4;
+  LocalWorkQueues q(threads);
+  q.begin_round();
+#pragma omp parallel num_threads(threads)
+  {
+    const int tid = omp_get_thread_num();
+    for (int i = 0; i < 1000; ++i)
+      q.push(tid, static_cast<vid_t>(tid * 1000 + i));
+  }
+  // Oversubscribed single-core machines may run fewer threads; all
+  // pushes from the threads that did run must survive.
+  std::vector<vid_t> out;
+  q.merge_into(out);
+  EXPECT_EQ(out.size(), q.total_size());
+  EXPECT_EQ(out.size() % 1000, 0u);
+  EXPECT_GE(out.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace gcol

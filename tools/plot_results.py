@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Plot the CSV series the figure harnesses emit.
+
+Usage:
+  python3 tools/plot_results.py fig2_bgpc_sweep.csv         # time bars
+  python3 tools/plot_results.py fig3_balance_distribution.csv
+  python3 tools/plot_results.py fig1_iteration_breakdown.csv
+
+Requires matplotlib; writes <input>.png next to the CSV. The harnesses
+print the same data as text tables, so this is optional sugar.
+"""
+import csv
+import sys
+from collections import defaultdict
+
+
+def load(path):
+    with open(path, newline="") as f:
+        rows = list(csv.DictReader(f))
+    return rows
+
+
+def plot_fig2(rows, out):
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    datasets = sorted({r["dataset"] for r in rows})
+    fig, axes = plt.subplots(
+        (len(datasets) + 3) // 4, 4, figsize=(18, 4 * ((len(datasets) + 3) // 4))
+    )
+    axes = axes.flatten() if hasattr(axes, "flatten") else [axes]
+    for ax, ds in zip(axes, datasets):
+        series = defaultdict(dict)
+        for r in rows:
+            if r["dataset"] != ds:
+                continue
+            series[r["algorithm"]][int(r["threads"])] = float(r["seconds"]) * 1e3
+        for algo, pts in series.items():
+            xs = sorted(pts)
+            ax.plot(xs, [pts[x] for x in xs], marker="o", label=algo)
+        ax.set_title(ds)
+        ax.set_xlabel("threads")
+        ax.set_ylabel("ms")
+        ax.set_xscale("log", base=2)
+    axes[0].legend(fontsize=7)
+    fig.tight_layout()
+    fig.savefig(out, dpi=130)
+
+
+def plot_fig3(rows, out):
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    fig, ax = plt.subplots(figsize=(9, 5))
+    series = defaultdict(list)
+    for r in rows:
+        series[(r["algorithm"], r["balance"])].append(
+            (int(r["rank"]), int(r["cardinality"]))
+        )
+    for (algo, bal), pts in series.items():
+        pts.sort()
+        ax.plot([p[0] for p in pts], [p[1] for p in pts], label=f"{algo}-{bal}")
+    ax.set_yscale("log")
+    ax.set_xlabel("color set (sorted by cardinality)")
+    ax.set_ylabel("#vertices in the color set (log)")
+    ax.legend()
+    fig.tight_layout()
+    fig.savefig(out, dpi=130)
+
+
+def plot_fig1(rows, out):
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    algos = []
+    bars = defaultdict(list)
+    for r in rows:
+        key = (r["algorithm"], int(r["round"]))
+        if key not in algos:
+            algos.append(key)
+        bars[r["phase"]].append((key, float(r["msec"])))
+    fig, ax = plt.subplots(figsize=(12, 5))
+    xs = range(len(algos))
+    for phase, color in (("color", "#4477aa"), ("conflict", "#ee6677")):
+        vals = dict(bars[phase])
+        ax.bar(
+            xs,
+            [vals.get(k, 0.0) for k in algos],
+            bottom=None if phase == "color" else [dict(bars["color"]).get(k, 0.0) for k in algos],
+            label=phase,
+            color=color,
+        )
+    ax.set_xticks(list(xs))
+    ax.set_xticklabels([f"{a}\nr{r}" for a, r in algos], fontsize=6)
+    ax.set_yscale("log")
+    ax.set_ylabel("ms (log)")
+    ax.legend()
+    fig.tight_layout()
+    fig.savefig(out, dpi=130)
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__)
+        return 1
+    path = sys.argv[1]
+    rows = load(path)
+    out = path.rsplit(".", 1)[0] + ".png"
+    if "balance" in rows[0]:
+        plot_fig3(rows, out)
+    elif "phase" in rows[0]:
+        plot_fig1(rows, out)
+    else:
+        plot_fig2(rows, out)
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
