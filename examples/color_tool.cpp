@@ -19,6 +19,9 @@
 #include "greedcolor/core/recolor.hpp"
 #include "greedcolor/core/verify.hpp"
 #include "greedcolor/dist/dist_bgpc.hpp"
+#include "greedcolor/robust/error.hpp"
+#include "greedcolor/robust/fault.hpp"
+#include "greedcolor/robust/verified.hpp"
 #include "greedcolor/graph/binary_io.hpp"
 #include "greedcolor/graph/builder.hpp"
 #include "greedcolor/graph/datasets.hpp"
@@ -54,6 +57,11 @@ void print_report(const gcol::ColoringResult& result,
             << "\n"
             << "work (conflict)  edges=" << kc.edges_visited
             << " conflicts=" << kc.conflicts << "\n";
+  std::cout << "robust           degraded=" << (result.degraded ? "yes" : "no")
+            << " rounds_capped=" << (result.rounds_capped ? "yes" : "no")
+            << " deadline_hit=" << (result.deadline_hit ? "yes" : "no")
+            << " repaired=" << result.repaired_vertices
+            << " faults_injected=" << result.faults_injected << "\n";
   TextTable t;
   t.set_header({"round", "|W|", "conflicts", "color ms", "conflict ms",
                 "kernels"},
@@ -72,7 +80,7 @@ void print_report(const gcol::ColoringResult& result,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace gcol;
   const ArgParser args(argc, argv);
 
@@ -92,7 +100,12 @@ int main(int argc, char** argv) {
            "  --threads N          0 = OpenMP default\n"
            "  --ranks N            dist: simulated MPI ranks (default 4)\n"
            "  --recolor            run iterated-greedy post-pass (bgpc)\n"
-           "  --stats-only         print dataset statistics and exit\n";
+           "  --stats-only         print dataset statistics and exit\n"
+           "  --deadline-ms N      convergence-watchdog wall deadline\n"
+           "  --max-rounds N       speculative round / superstep budget\n"
+           "  --fault-plan SPEC    inject faults, e.g. "
+           "'seed=7,stale=0.1,drop=0.2'\n"
+           "exit codes: 0 ok, 1 usage, 2 bad input (typed), 3 internal\n";
     return EXIT_SUCCESS;
   }
   if (args.has("list")) {
@@ -128,6 +141,23 @@ int main(int argc, char** argv) {
       ordering_from_string(args.get_string("order", "natural"));
   const std::string balance = args.get_string("balance", "U");
 
+  // Robustness controls: watchdog budgets and the fault-injection plan.
+  const double deadline_seconds =
+      static_cast<double>(args.get_int("deadline-ms", 0)) / 1e3;
+  const int max_rounds = static_cast<int>(args.get_int("max-rounds", 0));
+  FaultPlan fault_plan;
+  bool have_fault_plan = false;
+  if (args.has("fault-plan")) {
+    fault_plan = FaultPlan::parse(args.get_string("fault-plan", ""));
+    have_fault_plan = true;
+    std::cout << "fault plan       " << fault_plan.to_spec() << "\n";
+  }
+  const auto apply_robust_options = [&](ColoringOptions& options) {
+    options.deadline_seconds = deadline_seconds;
+    if (max_rounds > 0) options.max_rounds = max_rounds;
+    if (have_fault_plan) options.fault_plan = &fault_plan;
+  };
+
   if (problem == "bgpc" || problem == "dist") {
     BipartiteGraph graph = have_preloaded
                                ? std::move(preloaded)
@@ -137,11 +167,10 @@ int main(int argc, char** argv) {
     if (problem == "dist") {
       DistOptions dopt;
       dopt.num_ranks = static_cast<int>(args.get_int("ranks", 4));
-      const auto r = color_bgpc_distributed(graph, dopt);
-      if (const auto violation = check_bgpc(graph, r.colors)) {
-        std::cerr << "INVALID coloring: " << violation->to_string() << "\n";
-        return EXIT_FAILURE;
-      }
+      dopt.deadline_seconds = deadline_seconds;
+      if (max_rounds > 0) dopt.max_supersteps = max_rounds;
+      if (have_fault_plan) dopt.fault_plan = &fault_plan;
+      const auto r = color_bgpc_distributed_verified(graph, dopt);
       std::cout << "instance         " << signature(graph) << "\n"
                 << "ranks            " << dopt.num_ranks << "\n"
                 << "colors           " << r.num_colors << " (lower bound "
@@ -151,6 +180,12 @@ int main(int argc, char** argv) {
                 << "supersteps       " << r.stats.supersteps << "\n"
                 << "messages         " << r.stats.messages << "\n"
                 << "conflicts        " << r.stats.conflicts << "\n"
+                << "robust           degraded=" << (r.degraded ? "yes" : "no")
+                << " fallback=" << (r.stats.fallback ? "yes" : "no")
+                << " deadline_hit=" << (r.stats.deadline_hit ? "yes" : "no")
+                << " repaired=" << r.repaired_vertices
+                << " dropped=" << r.stats.dropped_updates
+                << " reordered=" << r.stats.reordered_updates << "\n"
                 << "wall time        " << r.total_seconds * 1e3 << " ms\n";
       return EXIT_SUCCESS;
     }
@@ -179,8 +214,9 @@ int main(int argc, char** argv) {
       options.num_threads = threads;
       if (balance == "B1") options.balance = BalancePolicy::kB1;
       if (balance == "B2") options.balance = BalancePolicy::kB2;
+      apply_robust_options(options);
       name += " " + to_string(options.balance);
-      result = color_bgpc(graph, options, order);
+      result = color_bgpc_verified(graph, options, order);
     }
     if (const auto violation = check_bgpc(graph, result.colors)) {
       std::cerr << "INVALID coloring: " << violation->to_string() << "\n";
@@ -205,7 +241,8 @@ int main(int argc, char** argv) {
       options.num_threads = threads;
       if (balance == "B1") options.balance = BalancePolicy::kB1;
       if (balance == "B2") options.balance = BalancePolicy::kB2;
-      result = color_d2gc(graph, options, order);
+      apply_robust_options(options);
+      result = color_d2gc_verified(graph, options, order);
     }
     if (const auto violation = check_d2gc(graph, result.colors)) {
       std::cerr << "INVALID coloring: " << violation->to_string() << "\n";
@@ -244,4 +281,20 @@ int main(int argc, char** argv) {
     return EXIT_FAILURE;
   }
   return EXIT_SUCCESS;
+}
+
+int main(int argc, char** argv) {
+  // The robust contract at the process boundary: bad input is reported
+  // with its error code and exit 2; anything else that escapes — a
+  // watchdog-exceeded internal state or a broken invariant — exits 3.
+  try {
+    return run(argc, argv);
+  } catch (const gcol::Error& e) {
+    std::cerr << "error [" << gcol::to_string(e.code()) << "] " << e.what()
+              << "\n";
+    return e.is_input_error() ? 2 : 3;
+  } catch (const std::exception& e) {
+    std::cerr << "error [unclassified] " << e.what() << "\n";
+    return 3;
+  }
 }

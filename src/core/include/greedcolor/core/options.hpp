@@ -14,6 +14,8 @@
 
 namespace gcol {
 
+struct FaultPlan;  // greedcolor/robust/fault.hpp
+
 /// How the conflict queue for the next round is assembled.
 enum class QueuePolicy {
   kShared,  ///< one shared atomic queue (ColPack's V-V / V-V-64)
@@ -62,6 +64,17 @@ struct ColoringOptions {
   /// Safety valve: after this many speculative rounds the remaining
   /// uncolored vertices are finished sequentially (guaranteed valid).
   int max_rounds = 200;
+
+  /// Convergence-watchdog wall-clock deadline in seconds (0 disables).
+  /// Checked once per round: when exceeded, the remaining work is
+  /// finished by the sequential cleanup and the result carries
+  /// deadline_hit / degraded. Round granularity: one straggling round
+  /// can overshoot the deadline before the check fires.
+  double deadline_seconds = 0.0;
+
+  /// Deterministic fault-injection plan (tests / chaos harnesses); not
+  /// owned, may be null. See greedcolor/robust/fault.hpp.
+  const FaultPlan* fault_plan = nullptr;
 
   /// Use the most-optimistic net coloring (Alg. 6, "Net-V1") instead of
   /// the two-pass Alg. 8 during net-colored rounds, optionally with its

@@ -27,7 +27,13 @@ struct ColoringResult {
   color_t num_colors = 0;       ///< 1 + max assigned color
   int rounds = 0;               ///< speculative rounds executed
   double total_seconds = 0.0;   ///< coloring + conflict-removal wall time
-  bool sequential_fallback = false;  ///< max_rounds safety valve fired
+  bool sequential_fallback = false;  ///< a safety valve ran the sequential cleanup
+  // Degradation telemetry (the convergence watchdog + robust pipeline).
+  bool degraded = false;        ///< any safety valve fired: fallback or repair
+  bool rounds_capped = false;   ///< the max_rounds budget was exhausted
+  bool deadline_hit = false;    ///< the deadline_seconds watchdog expired
+  vid_t faults_injected = 0;    ///< stale colors written by an attached FaultPlan
+  vid_t repaired_vertices = 0;  ///< vertices recolored by verify-and-repair
   std::vector<IterationStats> iterations;  ///< empty unless collected
 
   [[nodiscard]] KernelCounters total_color_counters() const {

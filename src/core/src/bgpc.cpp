@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "bgpc_kernels.hpp"
+#include "greedcolor/robust/fault.hpp"
 #include "greedcolor/util/marker_set.hpp"
 #include "greedcolor/util/timer.hpp"
 #include "kernels_common.hpp"
@@ -82,11 +83,13 @@ ColoringResult color_bgpc(const BipartiteGraph& g,
   }
 
   WallTimer total;
+  const FaultPlan* faults = options.fault_plan;
   std::vector<vid_t> wnext;
   int round = 0;
   int net_color_uses = 0;
   while (!w.empty()) {
     ++round;
+    if (faults) inject_round_delay(*faults, round);  // straggler stall
     bool net_color, net_conflict;
     if (options.adaptive_threshold > 0.0) {
       // Hybrid rule. Net *conflict removal* is O(|E|) and beats the
@@ -146,10 +149,29 @@ ColoringResult color_bgpc(const BipartiteGraph& g,
     std::swap(w, wnext);
     wnext.clear();
 
-    if (round >= options.max_rounds && !w.empty()) {
-      sequential_cleanup(g, result.colors, w, workspaces.front().forbidden);
-      result.sequential_fallback = true;
-      break;
+    // Post-round stale writes: corrupted vertices stay colored and out
+    // of the work queue, so the loop itself may never notice — the
+    // verified entry points repair what leaks through.
+    if (faults)
+      result.faults_injected +=
+          inject_stale_colors(*faults, g, round, result.colors);
+
+    // Convergence watchdog: round budget + wall-clock deadline. Either
+    // valve finishes the pending set with the guaranteed-termination
+    // sequential cleanup instead of speculating further.
+    if (!w.empty()) {
+      const bool capped = round >= options.max_rounds;
+      const bool late = options.deadline_seconds > 0.0 &&
+                        total.seconds() >= options.deadline_seconds;
+      if (capped || late) {
+        sequential_cleanup(g, result.colors, w,
+                           workspaces.front().forbidden);
+        result.sequential_fallback = true;
+        result.degraded = true;
+        result.rounds_capped = capped;
+        result.deadline_hit = late;
+        break;
+      }
     }
   }
 

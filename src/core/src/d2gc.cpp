@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "d2gc_kernels.hpp"
+#include "greedcolor/robust/fault.hpp"
 #include "greedcolor/util/timer.hpp"
 #include "kernels_common.hpp"
 
@@ -84,11 +85,13 @@ ColoringResult color_d2gc(const Graph& g, const ColoringOptions& options,
   }
 
   WallTimer total;
+  const FaultPlan* faults = options.fault_plan;
   std::vector<vid_t> wnext;
   int round = 0;
   int net_color_uses = 0;
   while (!w.empty()) {
     ++round;
+    if (faults) inject_round_delay(*faults, round);  // straggler stall
     bool net_color, net_conflict;
     if (options.adaptive_threshold > 0.0) {
       // See bgpc.cpp: net coloring only for majority-sized W (capped at
@@ -139,10 +142,25 @@ ColoringResult color_d2gc(const Graph& g, const ColoringOptions& options,
     std::swap(w, wnext);
     wnext.clear();
 
-    if (round >= options.max_rounds && !w.empty()) {
-      sequential_cleanup(g, result.colors, w, workspaces.front().forbidden);
-      result.sequential_fallback = true;
-      break;
+    // See bgpc.cpp: stale writes escape the queue-based detection by
+    // design; the verified entry points repair them afterwards.
+    if (faults)
+      result.faults_injected +=
+          inject_stale_colors(*faults, g, round, result.colors);
+
+    if (!w.empty()) {
+      const bool capped = round >= options.max_rounds;
+      const bool late = options.deadline_seconds > 0.0 &&
+                        total.seconds() >= options.deadline_seconds;
+      if (capped || late) {
+        sequential_cleanup(g, result.colors, w,
+                           workspaces.front().forbidden);
+        result.sequential_fallback = true;
+        result.degraded = true;
+        result.rounds_capped = capped;
+        result.deadline_hit = late;
+        break;
+      }
     }
   }
 

@@ -33,6 +33,8 @@ void ColoringOptions::validate() const {
   if (num_threads < 0)
     throw std::invalid_argument("num_threads must be >= 0");
   if (max_rounds < 1) throw std::invalid_argument("max_rounds must be >= 1");
+  if (deadline_seconds < 0.0)
+    throw std::invalid_argument("deadline_seconds must be >= 0");
   if ((net_v1 || net_v1_reverse) && net_color_rounds == 0)
     throw std::invalid_argument("net_v1 requires net_color_rounds >= 1");
   if (adaptive_threshold < 0.0 || adaptive_threshold > 1.0)

@@ -22,12 +22,20 @@
 
 namespace gcol {
 
+struct FaultPlan;  // greedcolor/robust/fault.hpp
+
 struct DistOptions {
   int num_ranks = 4;
   /// Partitioning of the colored (column) side across ranks.
   enum class Partition { kBlock, kHash } partition = Partition::kBlock;
   std::uint64_t seed = 1;   ///< hash-partition seed
   int max_supersteps = 500; ///< safety valve (then sequential cleanup)
+  /// Wall-clock watchdog on the superstep loop (0 disables); on expiry
+  /// the remaining boundary vertices are finished sequentially.
+  double deadline_seconds = 0.0;
+  /// Deterministic fault injection for the superstep color exchange
+  /// (drop / reorder); not owned, may be null.
+  const FaultPlan* fault_plan = nullptr;
 };
 
 struct DistStats {
@@ -38,7 +46,10 @@ struct DistStats {
   /// vertex, distinct remote rank sharing a net with it).
   std::uint64_t messages = 0;
   std::uint64_t conflicts = 0;  ///< boundary re-colorings, total
-  bool fallback = false;        ///< max_supersteps hit
+  bool fallback = false;        ///< max_supersteps or deadline hit
+  bool deadline_hit = false;    ///< deadline_seconds expired
+  std::uint64_t dropped_updates = 0;    ///< injected: exchanges lost
+  std::uint64_t reordered_updates = 0;  ///< injected: delivered late
 };
 
 struct DistResult {
@@ -46,6 +57,8 @@ struct DistResult {
   color_t num_colors = 0;
   DistStats stats;
   double total_seconds = 0.0;
+  bool degraded = false;        ///< fallback ran or a repair was needed
+  vid_t repaired_vertices = 0;  ///< set by the verified entry point
 };
 
 /// Owner rank per column vertex.

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "greedcolor/core/bgpc.hpp"
+#include "greedcolor/robust/fault.hpp"
 #include "greedcolor/util/marker_set.hpp"
 #include "greedcolor/util/prng.hpp"
 #include "greedcolor/util/timer.hpp"
@@ -122,7 +123,20 @@ DistResult color_bgpc_distributed(const BipartiteGraph& g,
   std::size_t remaining = 0;
   for (const auto& verts : pending) remaining += verts.size();
 
-  while (remaining > 0 && superstep < options.max_supersteps) {
+  const FaultPlan* faults =
+      options.fault_plan && options.fault_plan->any_dist_faults()
+          ? options.fault_plan
+          : nullptr;
+  // Updates the fault plan reorders are delivered at the *next*
+  // exchange, possibly overwriting a newer color (out-of-order).
+  std::vector<std::pair<vid_t, color_t>> deferred;
+  const auto past_deadline = [&] {
+    return options.deadline_seconds > 0.0 &&
+           total.seconds() >= options.deadline_seconds;
+  };
+
+  while (remaining > 0 && superstep < options.max_supersteps &&
+         !past_deadline()) {
     ++superstep;
     // Speculative coloring, rank by rank (each rank is sequential; the
     // simulation's determinism comes from this fixed order, which does
@@ -173,12 +187,39 @@ DistResult color_bgpc_distributed(const BipartiteGraph& g,
     for (const auto& verts : pending)
       for (const vid_t u : verts)
         remaining += c[static_cast<std::size_t>(u)] == kNoColor;
-    snapshot = result.colors;  // end-of-superstep exchange
+
+    // End-of-superstep exchange. Interior colors are final before the
+    // loop, so only boundary notifications can be dropped or reordered.
+    // Faults only ever make the snapshot *staler*; the global conflict
+    // resolution above reads live colors, so validity is unaffected —
+    // convergence is what degrades (watchdog territory).
+    if (faults) {
+      for (const auto& [u, col] : deferred)
+        snapshot[static_cast<std::size_t>(u)] = col;
+      deferred.clear();
+      for (vid_t u = 0; u < n; ++u) {
+        if (!boundary[static_cast<std::size_t>(u)]) continue;
+        const color_t live = c[static_cast<std::size_t>(u)];
+        if (snapshot[static_cast<std::size_t>(u)] == live) continue;
+        if (faults->drop_update(superstep, u)) {
+          ++result.stats.dropped_updates;
+        } else if (faults->reorder_update(superstep, u)) {
+          deferred.emplace_back(u, live);
+          ++result.stats.reordered_updates;
+        } else {
+          snapshot[static_cast<std::size_t>(u)] = live;
+        }
+      }
+    } else {
+      snapshot = result.colors;
+    }
   }
 
   if (remaining > 0) {
     // Safety valve: finish sequentially (still valid, extra colors ok).
     result.stats.fallback = true;
+    result.stats.deadline_hit = past_deadline();
+    result.degraded = true;
     for (const auto& verts : pending) {
       for (const vid_t u : verts) {
         if (c[static_cast<std::size_t>(u)] != kNoColor) continue;

@@ -4,8 +4,9 @@
 #include <cctype>
 #include <fstream>
 #include <sstream>
-#include <stdexcept>
 #include <string>
+
+#include "greedcolor/robust/error.hpp"
 
 namespace gcol {
 
@@ -17,62 +18,102 @@ std::string lower(std::string s) {
   return s;
 }
 
-[[noreturn]] void fail(const std::string& why) {
-  throw std::runtime_error("MatrixMarket: " + why);
+[[noreturn]] void fail(ErrorCode code, const std::string& why) {
+  raise(code, "MatrixMarket", why);
 }
+
+bool is_blank(const std::string& line) {
+  return std::all_of(line.begin(), line.end(), [](unsigned char c) {
+    return std::isspace(c) != 0;
+  });
+}
+
+/// Entries a corrupt size line may promise; real matrices stay far
+/// below this, and entry storage only grows as lines actually parse.
+constexpr long long kMaxNnz = 1LL << 40;
+
+/// Upfront reservation cap: a lying nnz field must not translate into a
+/// multi-GB allocation before a single entry has been read.
+constexpr long long kMaxReserve = 1LL << 22;
 
 }  // namespace
 
 Coo read_matrix_market(std::istream& in) {
   std::string line;
-  if (!std::getline(in, line)) fail("empty stream");
+  if (!std::getline(in, line)) fail(ErrorCode::kTruncatedInput, "empty stream");
 
   std::istringstream banner(line);
   std::string tag, object, format, field, symmetry;
   banner >> tag >> object >> format >> field >> symmetry;
-  if (lower(tag) != "%%matrixmarket") fail("missing %%MatrixMarket banner");
-  if (lower(object) != "matrix") fail("unsupported object: " + object);
+  if (lower(tag) != "%%matrixmarket")
+    fail(ErrorCode::kBadInput, "missing %%MatrixMarket banner");
+  if (lower(object) != "matrix")
+    fail(ErrorCode::kBadInput, "unsupported object: " + object);
   if (lower(format) != "coordinate")
-    fail("only coordinate format is supported");
+    fail(ErrorCode::kBadInput, "only coordinate format is supported");
   field = lower(field);
   symmetry = lower(symmetry);
   const bool pattern = field == "pattern";
   const bool complex_field = field == "complex";
   if (!pattern && field != "real" && field != "integer" && !complex_field)
-    fail("unsupported field: " + field);
+    fail(ErrorCode::kBadInput, "unsupported field: " + field);
   const bool symmetric = symmetry == "symmetric";
   const bool skew = symmetry == "skew-symmetric";
   const bool hermitian = symmetry == "hermitian";
   if (!symmetric && !skew && !hermitian && symmetry != "general")
-    fail("unsupported symmetry: " + symmetry);
+    fail(ErrorCode::kBadInput, "unsupported symmetry: " + symmetry);
 
   // Skip comments and blank lines to the size line.
+  bool have_size_line = false;
   while (std::getline(in, line)) {
-    if (!line.empty() && line[0] != '%') break;
+    if (!line.empty() && line[0] != '%' && !is_blank(line)) {
+      have_size_line = true;
+      break;
+    }
   }
+  if (!have_size_line)
+    fail(ErrorCode::kTruncatedInput, "missing size line");
   std::istringstream size_line(line);
   long long nrows = 0, ncols = 0, nnz = 0;
-  if (!(size_line >> nrows >> ncols >> nnz)) fail("bad size line");
-  if (nrows <= 0 || ncols <= 0 || nnz < 0) fail("non-positive dimensions");
+  // A >19-digit field overflows long long and sets failbit, so
+  // oversized values land here rather than wrapping silently.
+  if (!(size_line >> nrows >> ncols >> nnz))
+    fail(ErrorCode::kBadInput, "bad size line: '" + line + "'");
+  if (nrows <= 0 || ncols <= 0)
+    fail(ErrorCode::kOutOfRange, "non-positive dimensions");
+  if (nrows > kMaxVertices || ncols > kMaxVertices)
+    fail(ErrorCode::kOutOfRange, "dimensions exceed 32-bit vertex ids");
+  if (nnz < 0) fail(ErrorCode::kOutOfRange, "negative nnz");
+  if (nnz > kMaxNnz) fail(ErrorCode::kOutOfRange, "implausible nnz");
 
   Coo coo;
   coo.num_rows = static_cast<vid_t>(nrows);
   coo.num_cols = static_cast<vid_t>(ncols);
-  coo.reserve(nnz);
+  coo.reserve(static_cast<eid_t>(std::min(nnz, kMaxReserve)));
 
+  // Entries are parsed line-by-line so a short line ("1" where "1 2" is
+  // due) is rejected instead of silently consuming the next line's
+  // fields — the classic way a truncated file shifts every later entry.
   for (long long k = 0; k < nnz; ++k) {
+    do {
+      if (!std::getline(in, line))
+        fail(ErrorCode::kTruncatedInput, "truncated entry list");
+    } while (is_blank(line));
+    std::istringstream entry(line);
     long long r = 0, c = 0;
     double v = 1.0;
-    if (!(in >> r >> c)) fail("truncated entry list");
+    if (!(entry >> r >> c))
+      fail(ErrorCode::kBadInput, "short entry line: '" + line + "'");
     if (!pattern) {
-      if (!(in >> v)) fail("missing value");
+      if (!(entry >> v)) fail(ErrorCode::kBadInput, "missing value");
       if (complex_field) {
         double imag;
-        if (!(in >> imag)) fail("missing imaginary part");
+        if (!(entry >> imag))
+          fail(ErrorCode::kBadInput, "missing imaginary part");
       }
     }
     if (r < 1 || r > nrows || c < 1 || c > ncols)
-      fail("entry index out of range");
+      fail(ErrorCode::kOutOfRange, "entry index out of range");
     const vid_t ri = static_cast<vid_t>(r - 1);
     const vid_t ci = static_cast<vid_t>(c - 1);
     if (pattern)
@@ -92,7 +133,7 @@ Coo read_matrix_market(std::istream& in) {
 
 Coo read_matrix_market_file(const std::string& path) {
   std::ifstream in(path);
-  if (!in) fail("cannot open " + path);
+  if (!in) fail(ErrorCode::kIoError, "cannot open " + path);
   return read_matrix_market(in);
 }
 
@@ -110,7 +151,7 @@ void write_matrix_market(std::ostream& out, const Coo& coo) {
 
 void write_matrix_market_file(const std::string& path, const Coo& coo) {
   std::ofstream out(path);
-  if (!out) fail("cannot open " + path + " for writing");
+  if (!out) fail(ErrorCode::kIoError, "cannot open " + path + " for writing");
   write_matrix_market(out, coo);
 }
 

@@ -1,0 +1,52 @@
+// Typed error layer for every greedcolor entry point.
+//
+// The ingest path (MatrixMarket, binary caches) and the robust coloring
+// wrappers all throw gcol::Error so callers — color_tool today, a
+// service front-end tomorrow — can distinguish "your input is bad"
+// (reject the request) from "a library invariant broke" (page someone)
+// without string-matching what() messages. Error derives from
+// std::runtime_error, so existing catch sites keep working unchanged.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace gcol {
+
+enum class ErrorCode {
+  kInvalidArgument,   ///< caller API misuse (bad options, size mismatch)
+  kIoError,           ///< open/read/write failure on a file or stream
+  kBadInput,          ///< malformed input content (parse errors)
+  kTruncatedInput,    ///< input ends before the promised data
+  kCorruptHeader,     ///< header fields inconsistent with the stream
+  kOutOfRange,        ///< sizes or indices outside the representable range
+  kDeadlineExceeded,  ///< a watchdog deadline expired before completion
+  kInternalInvariant, ///< "cannot happen": a greedcolor bug, not bad input
+};
+
+/// Stable lower-case identifier ("bad-input", "io-error", ...).
+[[nodiscard]] const char* to_string(ErrorCode code);
+
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorCode code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+
+  /// True for the caller's-fault family (reject with a 4xx); false for
+  /// kDeadlineExceeded / kInternalInvariant (the service's problem).
+  [[nodiscard]] bool is_input_error() const noexcept {
+    return code_ != ErrorCode::kDeadlineExceeded &&
+           code_ != ErrorCode::kInternalInvariant;
+  }
+
+ private:
+  ErrorCode code_;
+};
+
+/// Throw an Error with a "context: why" message.
+[[noreturn]] void raise(ErrorCode code, const std::string& context,
+                        const std::string& why);
+
+}  // namespace gcol

@@ -1,0 +1,38 @@
+// Verify-and-repair: incremental recovery of an invalid coloring.
+//
+// Given a color array that may contain conflicts, holes, or outright
+// garbage (after injected faults, a crashed worker, or an untrusted
+// cache), repair_* restores validity by recoloring ONLY the offending
+// vertices instead of rerunning the full coloring: one net-side conflict
+// sweep (the same detection the speculative kernels use) uncolors the
+// later duplicate of every clashing pair, then a sequential first-fit
+// pass — the guaranteed-termination cleanup — recolors the pending set
+// against live colors. The result always passes check_*; the cost is
+// proportional to the damage, not to the graph.
+#pragma once
+
+#include <vector>
+
+#include "greedcolor/graph/bipartite.hpp"
+#include "greedcolor/graph/csr.hpp"
+#include "greedcolor/util/types.hpp"
+
+namespace gcol {
+
+struct RepairStats {
+  vid_t sanitized = 0;   ///< garbage entries (negative / absurdly large) reset
+  vid_t conflicted = 0;  ///< colored vertices uncolored by the conflict sweep
+  vid_t repaired = 0;    ///< vertices (re)colored by the first-fit pass
+  [[nodiscard]] bool clean() const {
+    return sanitized == 0 && conflicted == 0 && repaired == 0;
+  }
+};
+
+/// Repair `colors` in place into a valid BGPC coloring of g. Throws
+/// Error(kInvalidArgument) when colors.size() != g.num_vertices().
+RepairStats repair_bgpc(const BipartiteGraph& g, std::vector<color_t>& colors);
+
+/// Repair `colors` in place into a valid D2GC coloring of g.
+RepairStats repair_d2gc(const Graph& g, std::vector<color_t>& colors);
+
+}  // namespace gcol

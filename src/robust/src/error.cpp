@@ -1,0 +1,32 @@
+#include "greedcolor/robust/error.hpp"
+
+namespace gcol {
+
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kInvalidArgument:
+      return "invalid-argument";
+    case ErrorCode::kIoError:
+      return "io-error";
+    case ErrorCode::kBadInput:
+      return "bad-input";
+    case ErrorCode::kTruncatedInput:
+      return "truncated-input";
+    case ErrorCode::kCorruptHeader:
+      return "corrupt-header";
+    case ErrorCode::kOutOfRange:
+      return "out-of-range";
+    case ErrorCode::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case ErrorCode::kInternalInvariant:
+      return "internal-invariant";
+  }
+  return "unknown";
+}
+
+void raise(ErrorCode code, const std::string& context,
+           const std::string& why) {
+  throw Error(code, context + ": " + why);
+}
+
+}  // namespace gcol

@@ -1,0 +1,124 @@
+#include "greedcolor/robust/repair.hpp"
+
+#include <algorithm>
+
+#include "greedcolor/robust/error.hpp"
+#include "greedcolor/util/marker_set.hpp"
+
+namespace gcol {
+
+namespace {
+
+/// Reset entries no valid greedy coloring could contain. Any color id
+/// >= cap would force the forbidden-marker arrays (and a malicious
+/// input could force multi-GB ones), so such entries are treated as
+/// damage and recolored rather than trusted.
+vid_t sanitize(std::vector<color_t>& colors, color_t cap) {
+  vid_t reset = 0;
+  for (auto& c : colors) {
+    if (c == kNoColor) continue;
+    if (c < 0 || c >= cap) {
+      c = kNoColor;
+      ++reset;
+    }
+  }
+  return reset;
+}
+
+}  // namespace
+
+RepairStats repair_bgpc(const BipartiteGraph& g,
+                        std::vector<color_t>& colors) {
+  if (colors.size() != static_cast<std::size_t>(g.num_vertices()))
+    raise(ErrorCode::kInvalidArgument, "repair_bgpc",
+          "color array size mismatch");
+  RepairStats stats;
+  // A first-fit coloring never needs more than num_vertices colors; the
+  // cap also bounds marker growth against garbage input.
+  const color_t cap = std::max<color_t>(g.num_vertices(), 1);
+  stats.sanitized = sanitize(colors, cap);
+
+  // Net-side conflict sweep: the first holder of each color in a net
+  // keeps it, later duplicates are uncolored (the static smallest-id
+  // tie-break of the distributed lineage).
+  MarkerSet seen(static_cast<std::size_t>(cap));
+  for (vid_t v = 0; v < g.num_nets(); ++v) {
+    seen.clear();
+    for (const vid_t u : g.vtxs(v)) {
+      color_t& cu = colors[static_cast<std::size_t>(u)];
+      if (cu == kNoColor) continue;
+      if (seen.contains(cu)) {
+        cu = kNoColor;
+        ++stats.conflicted;
+      } else {
+        seen.insert(cu);
+      }
+    }
+  }
+
+  // Sequential first-fit over the damage only, reading live colors.
+  MarkerSet forbidden(static_cast<std::size_t>(cap));
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    color_t& cu = colors[static_cast<std::size_t>(u)];
+    if (cu != kNoColor) continue;
+    forbidden.clear();
+    for (const vid_t v : g.nets(u))
+      for (const vid_t w : g.vtxs(v))
+        if (w != u && colors[static_cast<std::size_t>(w)] != kNoColor)
+          forbidden.insert(colors[static_cast<std::size_t>(w)]);
+    color_t col = 0;
+    while (forbidden.contains(col)) ++col;
+    cu = col;
+    ++stats.repaired;
+  }
+  return stats;
+}
+
+RepairStats repair_d2gc(const Graph& g, std::vector<color_t>& colors) {
+  if (colors.size() != static_cast<std::size_t>(g.num_vertices()))
+    raise(ErrorCode::kInvalidArgument, "repair_d2gc",
+          "color array size mismatch");
+  RepairStats stats;
+  const color_t cap = std::max<color_t>(g.num_vertices(), 1);
+  stats.sanitized = sanitize(colors, cap);
+
+  // Closed-neighborhood sweep: checking distinctness inside each N[v]
+  // covers every distance-<=2 pair (the same argument check_d2gc uses).
+  MarkerSet seen(static_cast<std::size_t>(cap));
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    seen.clear();
+    const color_t cv = colors[static_cast<std::size_t>(v)];
+    if (cv != kNoColor) seen.insert(cv);
+    for (const vid_t u : g.neighbors(v)) {
+      color_t& cu = colors[static_cast<std::size_t>(u)];
+      if (cu == kNoColor) continue;
+      if (seen.contains(cu)) {
+        cu = kNoColor;
+        ++stats.conflicted;
+      } else {
+        seen.insert(cu);
+      }
+    }
+  }
+
+  MarkerSet forbidden(static_cast<std::size_t>(cap));
+  for (vid_t w = 0; w < g.num_vertices(); ++w) {
+    color_t& cw = colors[static_cast<std::size_t>(w)];
+    if (cw != kNoColor) continue;
+    forbidden.clear();
+    for (const vid_t u : g.neighbors(w)) {
+      if (colors[static_cast<std::size_t>(u)] != kNoColor)
+        forbidden.insert(colors[static_cast<std::size_t>(u)]);
+      for (const vid_t x : g.neighbors(u))
+        if (x != w && colors[static_cast<std::size_t>(x)] != kNoColor)
+          forbidden.insert(colors[static_cast<std::size_t>(x)]);
+    }
+    color_t col = 0;
+    while (forbidden.contains(col)) ++col;
+    cw = col;
+    ++stats.repaired;
+  }
+  return stats;
+}
+
+}  // namespace gcol

@@ -1,0 +1,76 @@
+#include "greedcolor/robust/verified.hpp"
+
+#include <stdexcept>
+
+#include "greedcolor/core/bgpc.hpp"
+#include "greedcolor/core/d2gc.hpp"
+#include "greedcolor/core/verify.hpp"
+#include "greedcolor/robust/error.hpp"
+#include "greedcolor/robust/repair.hpp"
+
+namespace gcol {
+
+namespace {
+
+/// The engines report caller mistakes as std::invalid_argument; the
+/// robust contract promises typed errors, so translate at the boundary.
+template <typename Fn>
+auto translate_invalid_argument(Fn&& fn) {
+  try {
+    return fn();
+  } catch (const std::invalid_argument& e) {
+    throw Error(ErrorCode::kInvalidArgument, e.what());
+  }
+}
+
+template <typename Graph, typename Checker, typename Repairer>
+void verify_or_repair(const Graph& g, std::vector<color_t>& colors,
+                      Checker check, Repairer repair, bool& degraded,
+                      vid_t& repaired) {
+  if (!check(g, colors).has_value()) return;
+  const RepairStats stats = repair(g, colors);
+  degraded = true;
+  repaired = stats.repaired;
+  if (const auto violation = check(g, colors))
+    raise(ErrorCode::kInternalInvariant, "verify-and-repair",
+          "coloring still invalid after repair: " + violation->to_string());
+}
+
+}  // namespace
+
+ColoringResult color_bgpc_verified(const BipartiteGraph& g,
+                                   const ColoringOptions& options,
+                                   const std::vector<vid_t>& order) {
+  ColoringResult result = translate_invalid_argument(
+      [&] { return color_bgpc(g, options, order); });
+  verify_or_repair(g, result.colors, check_bgpc, repair_bgpc,
+                   result.degraded, result.repaired_vertices);
+  if (result.repaired_vertices > 0)
+    result.num_colors = count_colors(result.colors);
+  return result;
+}
+
+ColoringResult color_d2gc_verified(const Graph& g,
+                                   const ColoringOptions& options,
+                                   const std::vector<vid_t>& order) {
+  ColoringResult result = translate_invalid_argument(
+      [&] { return color_d2gc(g, options, order); });
+  verify_or_repair(g, result.colors, check_d2gc, repair_d2gc,
+                   result.degraded, result.repaired_vertices);
+  if (result.repaired_vertices > 0)
+    result.num_colors = count_colors(result.colors);
+  return result;
+}
+
+DistResult color_bgpc_distributed_verified(const BipartiteGraph& g,
+                                           const DistOptions& options) {
+  DistResult result = translate_invalid_argument(
+      [&] { return color_bgpc_distributed(g, options); });
+  verify_or_repair(g, result.colors, check_bgpc, repair_bgpc,
+                   result.degraded, result.repaired_vertices);
+  if (result.repaired_vertices > 0)
+    result.num_colors = count_colors(result.colors);
+  return result;
+}
+
+}  // namespace gcol

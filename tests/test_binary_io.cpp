@@ -2,10 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <sstream>
 
 #include "greedcolor/graph/builder.hpp"
 #include "greedcolor/graph/generators.hpp"
+#include "greedcolor/robust/error.hpp"
 #include "test_util.hpp"
 
 namespace gcol {
@@ -77,6 +79,87 @@ TEST(BinaryIo, RejectsTruncation) {
 TEST(BinaryIo, RejectsGarbage) {
   std::stringstream junk("GARBAGEGARBAGEGARBAGE");
   EXPECT_THROW(read_binary_graph(junk), std::runtime_error);
+}
+
+/// Serialized bytes of a small valid bipartite graph.
+std::string valid_bipartite_bytes() {
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary(buf, testing::disjoint_nets(3, 3));
+  return buf.str();
+}
+
+/// Overwrite sizeof(T) bytes at `offset` with `value`.
+template <typename T>
+std::string patched(std::string bytes, std::size_t offset, T value) {
+  std::memcpy(&bytes[offset], &value, sizeof(T));
+  return bytes;
+}
+
+ErrorCode code_of(const std::string& bytes) {
+  std::istringstream in(bytes, std::ios::binary);
+  try {
+    (void)read_binary_bipartite(in);
+  } catch (const Error& e) {
+    return e.code();
+  }
+  ADD_FAILURE() << "tampered bytes accepted";
+  return ErrorCode::kInternalInvariant;
+}
+
+// Layout: magic[8] | nv int64 | nn int64 | vptr len u64 | vptr data...
+constexpr std::size_t kNvOffset = 8;
+constexpr std::size_t kVptrLenOffset = 24;
+
+TEST(BinaryIoHardening, HeaderLengthCheckedAgainstStreamSize) {
+  // Declare a 2^36-element vptr: structurally plausible only if nv were
+  // huge, and far beyond the bytes present. Must be rejected before any
+  // allocation happens (a naive reader would try ~512 GiB here).
+  const auto bytes = patched<std::uint64_t>(valid_bipartite_bytes(),
+                                            kVptrLenOffset, 1ULL << 36);
+  EXPECT_EQ(code_of(bytes), ErrorCode::kCorruptHeader);
+}
+
+TEST(BinaryIoHardening, LengthBeyondStreamRejectedEvenWhenPlausible) {
+  // nv+1 = 5 elements would be plausible for nv=4, but the stream holds
+  // the original 4 vertices' data; the byte-budget check must fire.
+  auto bytes = valid_bipartite_bytes();
+  bytes = patched<std::int64_t>(bytes, kNvOffset, 1LL << 30);
+  bytes = patched<std::uint64_t>(bytes, kVptrLenOffset, (1ULL << 30) + 1);
+  EXPECT_EQ(code_of(bytes), ErrorCode::kCorruptHeader);
+}
+
+TEST(BinaryIoHardening, NegativeDimensionsRejected) {
+  const auto bytes =
+      patched<std::int64_t>(valid_bipartite_bytes(), kNvOffset, -5);
+  EXPECT_EQ(code_of(bytes), ErrorCode::kOutOfRange);
+}
+
+TEST(BinaryIoHardening, CorruptPtrContentsRejectedBeforeConstruction) {
+  // Poison the first vptr entry (must be 0): validate()-time span
+  // construction would be undefined behavior, so the reader has to
+  // catch it structurally first.
+  const auto bytes = patched<eid_t>(valid_bipartite_bytes(),
+                                    kVptrLenOffset + 8, eid_t{999});
+  const auto code = code_of(bytes);
+  EXPECT_TRUE(code == ErrorCode::kBadInput || code == ErrorCode::kCorruptHeader)
+      << to_string(code);
+}
+
+TEST(BinaryIoHardening, TypedCodesForTruncationAndBadMagic) {
+  const auto full = valid_bipartite_bytes();
+  EXPECT_EQ(code_of(full.substr(0, 4)), ErrorCode::kTruncatedInput);
+  EXPECT_EQ(code_of(full.substr(0, 20)), ErrorCode::kTruncatedInput);
+  std::string wrong = full;
+  wrong[0] = 'X';
+  EXPECT_EQ(code_of(wrong), ErrorCode::kCorruptHeader);
+}
+
+TEST(BinaryIoHardening, EveryPrefixFailsTypedNotFatally) {
+  const auto full = valid_bipartite_bytes();
+  for (std::size_t len = 0; len < full.size(); len += 7) {
+    std::istringstream in(full.substr(0, len), std::ios::binary);
+    EXPECT_THROW((void)read_binary_bipartite(in), Error) << "len=" << len;
+  }
 }
 
 TEST(BinaryIo, FileRoundTrip) {

@@ -4,14 +4,22 @@
 // cross-engine consistency.
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "greedcolor/core/bgpc.hpp"
 #include "greedcolor/core/d1gc.hpp"
 #include "greedcolor/core/d2gc.hpp"
 #include "greedcolor/core/dsatur.hpp"
 #include "greedcolor/core/recolor.hpp"
 #include "greedcolor/core/verify.hpp"
+#include "greedcolor/dist/dist_bgpc.hpp"
+#include "greedcolor/graph/binary_io.hpp"
 #include "greedcolor/graph/builder.hpp"
 #include "greedcolor/graph/generators.hpp"
+#include "greedcolor/graph/mtx_io.hpp"
+#include "greedcolor/robust/error.hpp"
+#include "greedcolor/robust/fault.hpp"
+#include "greedcolor/robust/verified.hpp"
 #include "greedcolor/util/prng.hpp"
 
 namespace gcol {
@@ -122,6 +130,165 @@ TEST_P(FuzzUnipartite, D2EqualsBgpcOnClosedNeighborhoods) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzUnipartite,
                          ::testing::Range<std::uint64_t>(1, 13));
+
+// ---------------------------------------------------------------------
+// Corrupted-input corpus: well-formed files put through deterministic
+// byte corruption. The ingest contract is binary — either the corrupted
+// bytes still parse into a graph that validates, or a typed gcol::Error
+// is thrown. Crashes, hangs, huge allocations, and untyped exceptions
+// are all failures.
+// ---------------------------------------------------------------------
+
+class FuzzCorruptedInput : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzCorruptedInput, MtxEitherParsesOrThrowsTyped) {
+  const Coo coo = random_instance(GetParam());
+  std::ostringstream out;
+  write_matrix_market(out, coo);
+  const std::string good = out.str();
+
+  FaultPlan plan;
+  plan.seed = GetParam();
+  plan.flip_byte_rate = 0.02;
+  plan.truncate_fraction = 0.6;
+  for (std::uint64_t variant = 0; variant < 16; ++variant) {
+    std::istringstream in(plan.corrupt_bytes(good, variant));
+    try {
+      const Coo back = read_matrix_market(in);
+      const BipartiteGraph g = build_bipartite(back);
+      EXPECT_TRUE(g.validate()) << "variant " << variant;
+    } catch (const Error&) {
+      // Typed rejection is the expected outcome for most variants.
+    }
+  }
+}
+
+TEST_P(FuzzCorruptedInput, BinaryEitherParsesOrThrowsTyped) {
+  const BipartiteGraph g = build_bipartite(random_instance(GetParam() ^ 0xC));
+  std::ostringstream out(std::ios::binary);
+  write_binary(out, g);
+  const std::string good = out.str();
+
+  FaultPlan plan;
+  plan.seed = GetParam() * 3 + 1;
+  plan.flip_byte_rate = 0.01;
+  plan.truncate_fraction = 0.7;
+  for (std::uint64_t variant = 0; variant < 16; ++variant) {
+    std::istringstream in(plan.corrupt_bytes(good, variant),
+                          std::ios::binary);
+    try {
+      const BipartiteGraph back = read_binary_bipartite(in);
+      EXPECT_TRUE(back.validate()) << "variant " << variant;
+    } catch (const Error&) {
+      // Typed rejection expected; anything else propagates and fails.
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzCorruptedInput,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+// ---------------------------------------------------------------------
+// Fault matrix: every fault scenario x every algorithm family through
+// the verified entry points must end in a coloring that passes the
+// oracle — degraded if need be, invalid never.
+// ---------------------------------------------------------------------
+
+struct FaultScenario {
+  const char* name;
+  const char* spec;     ///< FaultPlan spec ("" = clean control run)
+  int max_rounds;       ///< 0 keeps the default budget
+  double deadline;      ///< 0 disables the watchdog
+};
+
+constexpr FaultScenario kKernelScenarios[] = {
+    {"clean", "", 0, 0.0},
+    {"stale-light", "seed=3,stale=0.05", 0, 0.0},
+    {"stale-heavy", "seed=5,stale=0.5", 0, 0.0},
+    {"stale-capped", "seed=7,stale=0.3", 2, 0.0},
+    {"stall-deadline", "seed=9,stale=0.2,delay-rounds=4,delay-ms=3", 0, 0.004},
+};
+
+class FaultMatrix : public ::testing::TestWithParam<FaultScenario> {};
+
+TEST_P(FaultMatrix, BgpcPresetsAlwaysEndValid) {
+  const FaultScenario& s = GetParam();
+  const BipartiteGraph g = build_bipartite(random_instance(0x5EED));
+  const FaultPlan plan = FaultPlan::parse(s.spec);
+  for (const auto& name : {"V-V", "V-Ninf", "N1-N2"}) {
+    ColoringOptions opt = bgpc_preset(name);
+    opt.num_threads = 2;
+    if (*s.spec) opt.fault_plan = &plan;
+    if (s.max_rounds > 0) opt.max_rounds = s.max_rounds;
+    opt.deadline_seconds = s.deadline;
+    const auto r = color_bgpc_verified(g, opt);
+    const auto violation = check_bgpc(g, r.colors);
+    EXPECT_FALSE(violation.has_value())
+        << s.name << "/" << name
+        << (violation ? ": " + violation->to_string() : "");
+  }
+}
+
+TEST_P(FaultMatrix, D2gcPresetsAlwaysEndValid) {
+  const FaultScenario& s = GetParam();
+  const Graph g = build_graph(random_symmetric(0x5EED));
+  const FaultPlan plan = FaultPlan::parse(s.spec);
+  for (const auto& name : {"V-V-64D", "N1-N2"}) {
+    ColoringOptions opt = d2gc_preset(name);
+    opt.num_threads = 2;
+    if (*s.spec) opt.fault_plan = &plan;
+    if (s.max_rounds > 0) opt.max_rounds = s.max_rounds;
+    opt.deadline_seconds = s.deadline;
+    const auto r = color_d2gc_verified(g, opt);
+    EXPECT_TRUE(is_valid_d2gc(g, r.colors)) << s.name << "/" << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernel, FaultMatrix,
+                         ::testing::ValuesIn(kKernelScenarios),
+                         [](const auto& info) {
+                           std::string id = info.param.name;
+                           for (auto& c : id)
+                             if (c == '-') c = '_';
+                           return id;
+                         });
+
+struct DistScenario {
+  const char* name;
+  const char* spec;
+  double deadline;
+};
+
+constexpr DistScenario kDistScenarios[] = {
+    {"clean", "", 0.0},
+    {"drop", "seed=11,drop=0.3", 0.0},
+    {"reorder", "seed=13,reorder=0.4", 0.0},
+    {"drop_reorder", "seed=17,drop=0.2,reorder=0.2", 0.0},
+    {"drop_deadline", "seed=19,drop=0.8", 1e-6},
+};
+
+class DistFaultMatrix : public ::testing::TestWithParam<DistScenario> {};
+
+TEST_P(DistFaultMatrix, DistAlwaysEndsValid) {
+  const DistScenario& s = GetParam();
+  const BipartiteGraph g = build_bipartite(random_instance(0xD157));
+  const FaultPlan plan = FaultPlan::parse(s.spec);
+  for (const int ranks : {2, 5}) {
+    DistOptions opt;
+    opt.num_ranks = ranks;
+    if (*s.spec) opt.fault_plan = &plan;
+    opt.deadline_seconds = s.deadline;
+    const auto r = color_bgpc_distributed_verified(g, opt);
+    const auto violation = check_bgpc(g, r.colors);
+    EXPECT_FALSE(violation.has_value())
+        << s.name << "/ranks=" << ranks
+        << (violation ? ": " + violation->to_string() : "");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dist, DistFaultMatrix,
+                         ::testing::ValuesIn(kDistScenarios),
+                         [](const auto& info) { return info.param.name; });
 
 }  // namespace
 }  // namespace gcol

@@ -4,8 +4,21 @@
 
 #include <sstream>
 
+#include "greedcolor/robust/error.hpp"
+
 namespace gcol {
 namespace {
+
+/// The parser must reject `body` with exactly this error code.
+void expect_rejected(const std::string& body, ErrorCode code) {
+  std::istringstream in(body);
+  try {
+    (void)read_matrix_market(in);
+    FAIL() << "accepted: " << body;
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), code) << e.what();
+  }
+}
 
 TEST(MtxIo, ParsesGeneralPattern) {
   std::istringstream in(
@@ -132,6 +145,77 @@ TEST(MtxIo, WriteReadRoundTripValues) {
 TEST(MtxIo, FileNotFoundThrows) {
   EXPECT_THROW(read_matrix_market_file("/no/such/file.mtx"),
                std::runtime_error);
+}
+
+TEST(MtxIoHardening, RejectsHostileSizeLines) {
+  const std::string banner =
+      "%%MatrixMarket matrix coordinate pattern general\n";
+  expect_rejected(banner + "0 4 0\n", ErrorCode::kOutOfRange);
+  expect_rejected(banner + "-3 4 1\n1 1\n", ErrorCode::kOutOfRange);
+  expect_rejected(banner + "3 -4 1\n1 1\n", ErrorCode::kOutOfRange);
+  expect_rejected(banner + "3 4 -1\n", ErrorCode::kOutOfRange);
+  // Dimensions past the 32-bit vertex-id space.
+  expect_rejected(banner + "4294967296 4 0\n", ErrorCode::kOutOfRange);
+  // An entry count no real matrix reaches (and no reader should trust).
+  expect_rejected(banner + "3 4 99999999999999\n", ErrorCode::kOutOfRange);
+  // >19 digits overflows long long — must fail parse, not wrap.
+  expect_rejected(banner + "3 4 99999999999999999999999\n",
+                  ErrorCode::kBadInput);
+  expect_rejected(banner + "99999999999999999999999 4 1\n1 1\n",
+                  ErrorCode::kBadInput);
+  expect_rejected(banner + "3 x 1\n1 1\n", ErrorCode::kBadInput);
+}
+
+TEST(MtxIoHardening, RejectsShortEntryLines) {
+  const std::string banner =
+      "%%MatrixMarket matrix coordinate pattern general\n";
+  // A short line must not steal fields from the next line.
+  expect_rejected(banner + "2 2 2\n1\n2 2\n", ErrorCode::kBadInput);
+  std::istringstream real(
+      "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2\n");
+  try {
+    (void)read_matrix_market(real);
+    FAIL() << "accepted entry without value";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kBadInput);
+  }
+}
+
+TEST(MtxIoHardening, ReportsTruncationDistinctly) {
+  const std::string banner =
+      "%%MatrixMarket matrix coordinate pattern general\n";
+  expect_rejected(banner, ErrorCode::kTruncatedInput);  // no size line
+  expect_rejected(banner + "2 2 2\n1 1\n", ErrorCode::kTruncatedInput);
+  expect_rejected("", ErrorCode::kTruncatedInput);
+}
+
+TEST(MtxIoHardening, LyingNnzDoesNotPreallocate) {
+  // nnz below the cap but far beyond the data: entry storage must grow
+  // with parsed lines, not the promise, so this fails fast and small.
+  const std::string banner =
+      "%%MatrixMarket matrix coordinate pattern general\n";
+  expect_rejected(banner + "3 4 1000000000\n1 1\n",
+                  ErrorCode::kTruncatedInput);
+}
+
+TEST(MtxIoHardening, BlankLinesBetweenEntriesAreTolerated) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 1\n"
+      "\n"
+      "2 2\n");
+  EXPECT_EQ(read_matrix_market(in).nnz(), 2);
+}
+
+TEST(MtxIoHardening, FileErrorsCarryIoCode) {
+  try {
+    (void)read_matrix_market_file("/no/such/file.mtx");
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kIoError);
+    EXPECT_TRUE(e.is_input_error());
+  }
 }
 
 }  // namespace
