@@ -35,11 +35,12 @@ void BM_Bgpc_Sequential(benchmark::State& state) {
 }
 BENCHMARK(BM_Bgpc_Sequential);
 
-void BM_Bgpc_Preset(benchmark::State& state, const char* name,
-                    int threads) {
+void BM_Bgpc_Preset(benchmark::State& state, const char* name, int threads,
+                    ForbiddenSetKind fset = ForbiddenSetKind::kStamped) {
   const auto& g = bench_graph();
   ColoringOptions opt = bgpc_preset(name);
   opt.num_threads = threads;
+  opt.forbidden_set = fset;
   opt.collect_iteration_stats = false;
   for (auto _ : state) {
     auto r = color_bgpc(g, opt);
@@ -53,6 +54,19 @@ BENCHMARK_CAPTURE(BM_Bgpc_Preset, N1N2_t1, "N1-N2", 1);
 BENCHMARK_CAPTURE(BM_Bgpc_Preset, N2N2_t1, "N2-N2", 1);
 BENCHMARK_CAPTURE(BM_Bgpc_Preset, VN2_t4, "V-N2", 4);
 BENCHMARK_CAPTURE(BM_Bgpc_Preset, N1N2_t4, "N1-N2", 4);
+// Same kernels with the word-parallel forbidden sets: the _bitmap rows
+// against their stamped twins above are the wall-clock side of the
+// probe-count reduction tracked in BENCH_kernels.json.
+BENCHMARK_CAPTURE(BM_Bgpc_Preset, VV_t1_bitmap, "V-V", 1,
+                  ForbiddenSetKind::kBitmap);
+BENCHMARK_CAPTURE(BM_Bgpc_Preset, VV64D_t1_bitmap, "V-V-64D", 1,
+                  ForbiddenSetKind::kBitmap);
+BENCHMARK_CAPTURE(BM_Bgpc_Preset, N1N2_t1_bitmap, "N1-N2", 1,
+                  ForbiddenSetKind::kBitmap);
+BENCHMARK_CAPTURE(BM_Bgpc_Preset, VN2_t4_bitmap, "V-N2", 4,
+                  ForbiddenSetKind::kBitmap);
+BENCHMARK_CAPTURE(BM_Bgpc_Preset, N1N2_t4_bitmap, "N1-N2", 4,
+                  ForbiddenSetKind::kBitmap);
 
 void BM_Bgpc_Balance(benchmark::State& state, BalancePolicy policy) {
   const auto& g = bench_graph();
@@ -69,10 +83,12 @@ BENCHMARK_CAPTURE(BM_Bgpc_Balance, U, BalancePolicy::kNone);
 BENCHMARK_CAPTURE(BM_Bgpc_Balance, B1, BalancePolicy::kB1);
 BENCHMARK_CAPTURE(BM_Bgpc_Balance, B2, BalancePolicy::kB2);
 
-void BM_D2gc_Preset(benchmark::State& state, const char* name) {
+void BM_D2gc_Preset(benchmark::State& state, const char* name,
+                    ForbiddenSetKind fset = ForbiddenSetKind::kStamped) {
   const auto& g = bench_unigraph();
   ColoringOptions opt = d2gc_preset(name);
   opt.num_threads = 1;
+  opt.forbidden_set = fset;
   opt.collect_iteration_stats = false;
   for (auto _ : state) {
     auto r = color_d2gc(g, opt);
@@ -81,6 +97,10 @@ void BM_D2gc_Preset(benchmark::State& state, const char* name) {
 }
 BENCHMARK_CAPTURE(BM_D2gc_Preset, VV64D, "V-V-64D");
 BENCHMARK_CAPTURE(BM_D2gc_Preset, N1N2, "N1-N2");
+BENCHMARK_CAPTURE(BM_D2gc_Preset, VV64D_bitmap, "V-V-64D",
+                  ForbiddenSetKind::kBitmap);
+BENCHMARK_CAPTURE(BM_D2gc_Preset, N1N2_bitmap, "N1-N2",
+                  ForbiddenSetKind::kBitmap);
 
 void BM_Verify_Bgpc(benchmark::State& state) {
   const auto& g = bench_graph();

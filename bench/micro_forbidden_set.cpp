@@ -1,0 +1,385 @@
+// Forbidden-set micro-benchmark and kernel A/B harness.
+//
+// Phase A times raw data-structure operations (insert / contains /
+// first-fit scan) on the paper's stamped MarkerSet vs. the word-parallel
+// BitMarkerSet. Phase B runs the full BGPC/D2GC kernels over the
+// Table II stand-in registry in both forbidden-set modes and records
+// wall time plus the machine-independent work counters.
+//
+// With --json PATH the harness writes a gcol-bench-kernels-v1 document
+// (the committed BENCH_kernels.json perf trajectory); the summary block
+// includes the geometric-mean probe reduction of bitmap over stamped,
+// which tier-1 asserts stays >= 25%.
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "greedcolor/core/verify.hpp"
+#include "greedcolor/graph/datasets.hpp"
+#include "greedcolor/util/argparse.hpp"
+#include "greedcolor/util/env.hpp"
+#include "greedcolor/util/marker_set.hpp"
+#include "greedcolor/util/prng.hpp"
+#include "greedcolor/util/table.hpp"
+#include "greedcolor/util/timer.hpp"
+
+namespace {
+
+using namespace gcol;
+
+struct OpRecord {
+  std::string op;
+  double stamped_ms = 0.0;
+  double bitmap_ms = 0.0;
+};
+
+struct KernelRecord {
+  std::string kind;  ///< "bgpc" | "d2gc"
+  std::string dataset;
+  std::string algo;
+  std::string fset;
+  int threads = 1;
+  double wall_ms = 0.0;  ///< best-of-reps
+  color_t colors = 0;
+  int rounds = 0;
+  KernelCounters color_counters;
+  KernelCounters conflict_counters;
+  bool valid = true;
+
+  [[nodiscard]] std::uint64_t probes() const {
+    return color_counters.color_probes + conflict_counters.color_probes;
+  }
+  [[nodiscard]] std::uint64_t edges() const {
+    return color_counters.edges_visited + conflict_counters.edges_visited;
+  }
+};
+
+// --- Phase A: raw structure ops -------------------------------------
+
+// Deterministic key stream with first-fit-like locality: mostly small
+// colors, occasional large ones, as kernels produce.
+std::vector<int> make_keys(std::size_t count, int universe,
+                           std::uint64_t seed) {
+  std::vector<int> keys;
+  keys.reserve(count);
+  SplitMix64 rng(seed);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t r = rng.next();
+    const int span = (r & 7u) ? universe / 8 : universe;  // skew small
+    keys.push_back(static_cast<int>((r >> 8) % static_cast<unsigned>(
+                                                   std::max(span, 1))));
+  }
+  return keys;
+}
+
+template <class Set>
+double time_inserts(const std::vector<int>& keys, int rounds) {
+  Set set;
+  set.ensure_capacity(2048);
+  volatile std::uint64_t sink = 0;
+  WallTimer t;
+  for (int r = 0; r < rounds; ++r) {
+    set.clear();
+    for (const int k : keys) set.insert(k);
+    sink += static_cast<std::uint64_t>(set.contains(keys.front()));
+  }
+  (void)sink;
+  return t.milliseconds();
+}
+
+template <class Set>
+double time_contains(const std::vector<int>& keys, int rounds) {
+  Set set;
+  set.ensure_capacity(2048);
+  set.clear();
+  for (std::size_t i = 0; i < keys.size(); i += 2) set.insert(keys[i]);
+  volatile std::uint64_t hits = 0;
+  WallTimer t;
+  for (int r = 0; r < rounds; ++r)
+    for (const int k : keys)
+      hits += static_cast<std::uint64_t>(set.contains(k));
+  (void)hits;
+  return t.milliseconds();
+}
+
+// First-fit scan over a mostly-full set: the hot operation the bitmap
+// accelerates 64 colors per probe.
+double time_first_fit_stamped(const std::vector<int>& keys, int universe,
+                              int rounds) {
+  MarkerSet set;
+  set.ensure_capacity(static_cast<std::size_t>(universe) + 64);
+  set.clear();
+  for (const int k : keys) set.insert(k);
+  volatile std::uint64_t sink = 0;
+  WallTimer t;
+  for (int r = 0; r < rounds; ++r) {
+    // The paper's linear probe: first color not in the set.
+    color_t c = 0;
+    while (set.contains(c)) ++c;
+    sink += static_cast<std::uint64_t>(c);
+  }
+  (void)sink;
+  return t.milliseconds();
+}
+
+double time_first_fit_bitmap(const std::vector<int>& keys, int universe,
+                             int rounds) {
+  BitMarkerSet set;
+  set.ensure_capacity(static_cast<std::size_t>(universe) + 64);
+  set.clear();
+  for (const int k : keys) set.insert(k);
+  volatile std::uint64_t sink = 0;
+  std::uint64_t probes = 0;
+  WallTimer t;
+  for (int r = 0; r < rounds; ++r)
+    sink += static_cast<std::uint64_t>(set.first_free_at_or_above(0, probes));
+  (void)sink;
+  return t.milliseconds();
+}
+
+std::vector<OpRecord> run_phase_a(bool smoke) {
+  const std::size_t count = smoke ? 20000 : 200000;
+  const int universe = 4096;
+  const int rounds = smoke ? 20 : 200;
+  const auto keys = make_keys(count, universe, 0x5eedULL);
+  // Dense prefix so the first-fit scan has real work to do.
+  std::vector<int> dense = keys;
+  for (int k = 0; k < universe / 2; ++k) dense.push_back(k);
+
+  std::vector<OpRecord> ops;
+  ops.push_back({"insert", time_inserts<MarkerSet>(keys, rounds),
+                 time_inserts<BitMarkerSet>(keys, rounds)});
+  ops.push_back({"contains", time_contains<MarkerSet>(keys, rounds),
+                 time_contains<BitMarkerSet>(keys, rounds)});
+  ops.push_back({"first_fit",
+                 time_first_fit_stamped(dense, universe, rounds * 64),
+                 time_first_fit_bitmap(dense, universe, rounds * 64)});
+  return ops;
+}
+
+// --- Phase B: kernel sweep ------------------------------------------
+
+KernelRecord run_bgpc_mode(const BipartiteGraph& g,
+                           const std::string& dataset,
+                           const std::string& algo, ForbiddenSetKind fset,
+                           int threads, int reps) {
+  KernelRecord rec;
+  rec.kind = "bgpc";
+  rec.dataset = dataset;
+  rec.algo = algo;
+  rec.fset = to_string(fset);
+  rec.threads = threads;
+  rec.wall_ms = 1e300;
+  ColoringOptions opt = bgpc_preset(algo);
+  opt.num_threads = threads;
+  opt.forbidden_set = fset;
+  for (int rep = 0; rep < std::max(reps, 1); ++rep) {
+    const ColoringResult r = color_bgpc(g, opt);
+    if (r.total_seconds * 1e3 < rec.wall_ms) rec.wall_ms = r.total_seconds * 1e3;
+    rec.colors = r.num_colors;
+    rec.rounds = r.rounds;
+    rec.color_counters = r.total_color_counters();
+    rec.conflict_counters = r.total_conflict_counters();
+    if (!is_valid_bgpc(g, r.colors)) rec.valid = false;
+  }
+  return rec;
+}
+
+KernelRecord run_d2gc_mode(const Graph& g, const std::string& dataset,
+                           const std::string& algo, ForbiddenSetKind fset,
+                           int threads, int reps) {
+  KernelRecord rec;
+  rec.kind = "d2gc";
+  rec.dataset = dataset;
+  rec.algo = algo;
+  rec.fset = to_string(fset);
+  rec.threads = threads;
+  rec.wall_ms = 1e300;
+  ColoringOptions opt = d2gc_preset(algo);
+  opt.num_threads = threads;
+  opt.forbidden_set = fset;
+  for (int rep = 0; rep < std::max(reps, 1); ++rep) {
+    const ColoringResult r = color_d2gc(g, opt);
+    if (r.total_seconds * 1e3 < rec.wall_ms) rec.wall_ms = r.total_seconds * 1e3;
+    rec.colors = r.num_colors;
+    rec.rounds = r.rounds;
+    rec.color_counters = r.total_color_counters();
+    rec.conflict_counters = r.total_conflict_counters();
+    if (!is_valid_d2gc(g, r.colors)) rec.valid = false;
+  }
+  return rec;
+}
+
+std::vector<KernelRecord> run_phase_b(bool smoke, int threads, int reps) {
+  const std::vector<std::string> bgpc_algos = {"V-V", "V-N2", "N1-N2"};
+  const std::vector<std::string> d2gc_algos = {"V-V-64D", "N1-N2"};
+  std::vector<std::string> bgpc_sets = dataset_names(false);
+  std::vector<std::string> d2gc_sets = dataset_names(true);
+  if (smoke) {
+    // Two structurally distinct stand-ins keep the smoke run under a
+    // few seconds while still exercising mesh- and overlap-style rows.
+    bgpc_sets = {"bone_s", "copapers_s"};
+    if (d2gc_sets.size() > 1) d2gc_sets.resize(1);
+  }
+
+  std::vector<KernelRecord> records;
+  for (const auto& name : bgpc_sets) {
+    const BipartiteGraph g = load_bipartite(name);
+    for (const auto& algo : bgpc_algos)
+      for (const ForbiddenSetKind fset :
+           {ForbiddenSetKind::kStamped, ForbiddenSetKind::kBitmap})
+        records.push_back(run_bgpc_mode(g, name, algo, fset, threads, reps));
+  }
+  for (const auto& name : d2gc_sets) {
+    const Graph g = load_graph(name);
+    for (const auto& algo : d2gc_algos)
+      for (const ForbiddenSetKind fset :
+           {ForbiddenSetKind::kStamped, ForbiddenSetKind::kBitmap})
+        records.push_back(run_d2gc_mode(g, name, algo, fset, threads, reps));
+  }
+  return records;
+}
+
+// --- Reporting ------------------------------------------------------
+
+const KernelRecord* find_twin(const std::vector<KernelRecord>& records,
+                              const KernelRecord& rec,
+                              const std::string& fset) {
+  for (const auto& r : records)
+    if (r.kind == rec.kind && r.dataset == rec.dataset &&
+        r.algo == rec.algo && r.threads == rec.threads && r.fset == fset)
+      return &r;
+  return nullptr;
+}
+
+double probe_reduction_geomean(const std::vector<KernelRecord>& records) {
+  std::vector<double> ratios;
+  for (const auto& rec : records) {
+    if (rec.fset != "bitmap") continue;
+    const KernelRecord* twin = find_twin(records, rec, "stamped");
+    if (!twin || twin->probes() == 0 || rec.probes() == 0) continue;
+    ratios.push_back(static_cast<double>(twin->probes()) /
+                     static_cast<double>(rec.probes()));
+  }
+  return bench::geomean(ratios);
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s)
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else {
+      out += c;
+    }
+  return out;
+}
+
+void write_json(const std::string& path, const std::vector<OpRecord>& ops,
+                const std::vector<KernelRecord>& records, bool smoke,
+                int threads, int reps) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(4);
+  os << "{\n  \"schema\": \"gcol-bench-kernels-v1\",\n";
+  os << "  \"config\": {\"smoke\": " << (smoke ? "true" : "false")
+     << ", \"threads\": " << threads << ", \"reps\": " << reps << "},\n";
+  os << "  \"structure_ops\": [\n";
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const auto& op = ops[i];
+    os << "    {\"op\": \"" << json_escape(op.op) << "\", \"stamped_ms\": "
+       << op.stamped_ms << ", \"bitmap_ms\": " << op.bitmap_ms << "}"
+       << (i + 1 < ops.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"kernels\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& r = records[i];
+    os << "    {\"kind\": \"" << r.kind << "\", \"dataset\": \""
+       << json_escape(r.dataset) << "\", \"algo\": \""
+       << json_escape(r.algo) << "\", \"fset\": \"" << r.fset
+       << "\", \"threads\": " << r.threads << ", \"wall_ms\": " << r.wall_ms
+       << ", \"colors\": " << r.colors << ", \"rounds\": " << r.rounds
+       << ", \"edges_visited\": " << r.edges()
+       << ", \"color_probes\": " << r.probes()
+       << ", \"conflicts\": " << r.conflict_counters.conflicts
+       << ", \"valid\": " << (r.valid ? "true" : "false") << "}"
+       << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  const double geo = probe_reduction_geomean(records);
+  os << "  ],\n  \"summary\": {\"probe_reduction_geomean\": " << geo
+     << ", \"probe_reduction_pct\": "
+     << (geo > 0.0 ? (1.0 - 1.0 / geo) * 100.0 : 0.0) << "}\n}\n";
+  std::ofstream out(path);
+  out << os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ArgParser args(argc, argv);
+  const bool smoke = args.has("smoke");
+  const int threads = static_cast<int>(args.get_int("threads", 4));
+  const int reps = static_cast<int>(args.get_int("reps", smoke ? 1 : 3));
+  const std::string json_path = args.get_string("json", "");
+
+  std::cout << "=== forbidden-set micro-benchmark ===\n"
+            << env_banner() << "\n"
+            << (smoke ? "smoke" : "full") << " run, threads=" << threads
+            << " reps=" << reps << "\n\n";
+
+  const auto ops = run_phase_a(smoke);
+  TextTable ta;
+  ta.set_header({"op", "stamped ms", "bitmap ms", "speedup"},
+                {TextTable::Align::kLeft});
+  for (const auto& op : ops)
+    ta.add_row({op.op, TextTable::fmt(op.stamped_ms),
+                TextTable::fmt(op.bitmap_ms),
+                TextTable::fmt(op.bitmap_ms > 0.0
+                                   ? op.stamped_ms / op.bitmap_ms
+                                   : 0.0)});
+  std::cout << ta.to_string() << "\n";
+
+  const auto records = run_phase_b(smoke, threads, reps);
+  TextTable tb;
+  tb.set_header({"kernel", "dataset", "algo", "fset", "wall ms", "colors",
+                 "probes", "edges", "ok"},
+                {TextTable::Align::kLeft});
+  bool all_valid = true;
+  for (const auto& r : records) {
+    all_valid = all_valid && r.valid;
+    tb.add_row({r.kind, r.dataset, r.algo, r.fset, TextTable::fmt(r.wall_ms),
+                TextTable::fmt(static_cast<std::int64_t>(r.colors)),
+                TextTable::fmt_sep(static_cast<std::int64_t>(r.probes())),
+                TextTable::fmt_sep(static_cast<std::int64_t>(r.edges())),
+                r.valid ? "yes" : "NO"});
+  }
+  std::cout << tb.to_string();
+
+  const double geo = probe_reduction_geomean(records);
+  const double pct = geo > 0.0 ? (1.0 - 1.0 / geo) * 100.0 : 0.0;
+  std::cout << "\nprobe-count reduction (bitmap vs stamped, geomean): "
+            << TextTable::fmt(geo) << "x (" << TextTable::fmt(pct)
+            << "% fewer probes)\n";
+
+  if (!json_path.empty()) {
+    write_json(json_path, ops, records, smoke, threads, reps);
+    std::cout << "json written to " << json_path << "\n";
+  }
+
+  if (!all_valid) {
+    std::cerr << "FAIL: at least one coloring was invalid\n";
+    return 1;
+  }
+  if (kCountersEnabled && pct < 25.0) {
+    std::cerr << "FAIL: probe reduction " << pct
+              << "% below the 25% floor\n";
+    return 1;
+  }
+  return 0;
+}

@@ -97,6 +97,10 @@ static int run(int argc, char** argv) {
            "                       smallest-last smallest-last-relaxed\n"
            "                       incidence-degree\n"
            "  --balance U|B1|B2    balancing heuristic (default U)\n"
+           "  --forbidden-set stamped|bitmap  forbidden-set representation\n"
+           "                       (default bitmap; stamped = paper-exact)\n"
+           "  --locality none|sort|full  cache-locality pre-pass "
+           "(default none)\n"
            "  --threads N          0 = OpenMP default\n"
            "  --ranks N            dist: simulated MPI ranks (default 4)\n"
            "  --recolor            run iterated-greedy post-pass (bgpc)\n"
@@ -152,10 +156,19 @@ static int run(int argc, char** argv) {
     have_fault_plan = true;
     std::cout << "fault plan       " << fault_plan.to_spec() << "\n";
   }
+  const ForbiddenSetKind forbidden_set =
+      forbidden_set_from_string(args.get_string("forbidden-set", "bitmap"));
+  const LocalityMode locality =
+      locality_from_string(args.get_string("locality", "none"));
   const auto apply_robust_options = [&](ColoringOptions& options) {
     options.deadline_seconds = deadline_seconds;
     if (max_rounds > 0) options.max_rounds = max_rounds;
     if (have_fault_plan) options.fault_plan = &fault_plan;
+    options.forbidden_set = forbidden_set;
+    options.locality = locality;
+    std::cout << "kernel mode      " << to_string(options.forbidden_set)
+              << " forbidden set, locality " << to_string(options.locality)
+              << "\n";
   };
 
   if (problem == "bgpc" || problem == "dist") {

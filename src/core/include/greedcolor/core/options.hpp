@@ -29,8 +29,32 @@ enum class BalancePolicy {
   kB2,    ///< Alg. 12: rotating cursor col_next, aggressive balancing
 };
 
+/// Forbidden-set representation used by the coloring kernels.
+enum class ForbiddenSetKind {
+  kStamped,  ///< the paper's stamped plain arrays (one probe per color)
+  kBitmap,   ///< word-parallel BitMarkerSet (first-fit via bit scans)
+};
+
+/// Optional pre-pass that reorders the graph for cache locality before
+/// coloring; colors are mapped back through the inverse permutation, so
+/// the caller-visible result is always in original vertex ids.
+enum class LocalityMode {
+  kNone,     ///< color the graph as given
+  kSortAdj,  ///< sort adjacency lists ascending (same ids, better scans)
+  kFull,     ///< degree-aware renumbering + sorted rebuilt CSR
+};
+
 [[nodiscard]] std::string to_string(QueuePolicy q);
 [[nodiscard]] std::string to_string(BalancePolicy b);
+[[nodiscard]] std::string to_string(ForbiddenSetKind f);
+[[nodiscard]] std::string to_string(LocalityMode m);
+
+/// Parse "stamped" / "bitmap"; throws std::invalid_argument otherwise.
+[[nodiscard]] ForbiddenSetKind forbidden_set_from_string(
+    const std::string& name);
+
+/// Parse "none" / "sort" / "full"; throws std::invalid_argument otherwise.
+[[nodiscard]] LocalityMode locality_from_string(const std::string& name);
 
 struct ColoringOptions {
   /// Display name ("V-V", "N1-N2", ...). Informational only.
@@ -54,6 +78,13 @@ struct ColoringOptions {
   QueuePolicy queue = QueuePolicy::kShared;
 
   BalancePolicy balance = BalancePolicy::kNone;
+
+  /// Forbidden-set representation. The bitmap is the fast default; the
+  /// reproduction benches pin kStamped to stay paper-faithful.
+  ForbiddenSetKind forbidden_set = ForbiddenSetKind::kBitmap;
+
+  /// Opt-in locality reordering pre-pass (see LocalityMode).
+  LocalityMode locality = LocalityMode::kNone;
 
   /// Thread count; 0 uses the ambient OpenMP default.
   int num_threads = 0;

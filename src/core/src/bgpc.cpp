@@ -1,10 +1,13 @@
 #include "greedcolor/core/bgpc.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <numeric>
+#include <span>
 #include <stdexcept>
 
 #include "bgpc_kernels.hpp"
+#include "greedcolor/order/locality.hpp"
 #include "greedcolor/robust/fault.hpp"
 #include "greedcolor/util/marker_set.hpp"
 #include "greedcolor/util/timer.hpp"
@@ -22,18 +25,19 @@ std::vector<vid_t> natural_order(vid_t n) {
 
 /// Color every remaining uncolored vertex sequentially (first-fit):
 /// the guaranteed-termination fallback behind ColoringOptions::max_rounds.
-void sequential_cleanup(const BipartiteGraph& g, std::vector<color_t>& c,
+void sequential_cleanup(const BipartiteGraph& g, color_t* c,
                         const std::vector<vid_t>& pending,
                         MarkerSet& forbidden) {
   std::uint64_t probes = 0;
   for (const vid_t w : pending) {
-    if (c[static_cast<std::size_t>(w)] != kNoColor) continue;
+    if (detail::load_color(c, w) != kNoColor) continue;
     forbidden.clear();
     for (const vid_t v : g.nets(w))
-      for (const vid_t u : g.vtxs(v))
-        if (u != w && c[static_cast<std::size_t>(u)] != kNoColor)
-          forbidden.insert(c[static_cast<std::size_t>(u)]);
-    c[static_cast<std::size_t>(w)] = detail::pick_up(forbidden, 0, probes);
+      for (const vid_t u : g.vtxs(v)) {
+        const color_t cu = detail::load_color(c, u);
+        if (u != w && cu != kNoColor) forbidden.insert(cu);
+      }
+    detail::store_color(c, w, detail::pick_up(forbidden, 0, probes));
   }
 }
 
@@ -57,27 +61,54 @@ ColoringResult color_bgpc(const BipartiteGraph& g,
   if (!order.empty() && order.size() != static_cast<std::size_t>(n))
     throw std::invalid_argument("color_bgpc: order size mismatch");
 
+  // Locality pre-pass: color a rewritten copy of the graph, then map
+  // the colors back through the permutation. The processing order is
+  // translated too, so position i still handles the same logical
+  // vertex as without the pass.
+  if (options.locality != LocalityMode::kNone) {
+    const BgpcLocalityPlan plan = make_locality_plan(g, options.locality);
+    ColoringOptions inner = options;
+    inner.locality = LocalityMode::kNone;
+    ColoringResult r = color_bgpc(
+        plan.graph, inner, apply_vertex_perm(plan.vertex_perm, order, n));
+    r.colors = restore_colors(plan.vertex_perm, std::move(r.colors));
+    return r;
+  }
+
   const int threads = detail::resolve_threads(options.num_threads);
   const auto marker_cap =
       static_cast<std::size_t>(bgpc_color_bound(g)) + 2;
+  const bool bitmap = options.forbidden_set == ForbiddenSetKind::kBitmap;
   std::vector<ThreadWorkspace> workspaces(
       static_cast<std::size_t>(threads));
   for (auto& ws : workspaces)
-    ws.prepare(marker_cap, static_cast<std::size_t>(g.max_net_degree()));
+    ws.prepare(marker_cap, static_cast<std::size_t>(g.max_net_degree()),
+               bitmap ? static_cast<std::size_t>(n) : 0);
 
   ColoringResult result;
-  result.colors.assign(static_cast<std::size_t>(n), kNoColor);
-  color_t* c = result.colors.data();
+  // Raw buffer + static parallel fill: the same threads that will color
+  // a region first-touch its pages (std::vector's fill constructor
+  // would touch everything from one thread). Copied into the result
+  // vector once at the end.
+  const auto nsz = static_cast<std::size_t>(n);
+  const std::unique_ptr<color_t[]> color_buf(new color_t[nsz]);
+  color_t* c = color_buf.get();
+  // store_color (relaxed atomic_ref) here and below: libgomp's barriers
+  // are invisible to tsan, so any plain driver access to c[] would be
+  // reported as racing the kernels' atomics. Free on x86 either way.
+#pragma omp parallel for schedule(static) num_threads(threads)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i)
+    detail::store_color(c, static_cast<vid_t>(i), kNoColor);
 
   // Initial work queue: the requested permutation, minus isolated
   // vertices (no nets => no conflicts; net-based kernels never see
   // them, so they are colored up front).
   std::vector<vid_t> w;
-  w.reserve(static_cast<std::size_t>(n));
+  w.reserve(nsz);
   const std::vector<vid_t>& base = order.empty() ? natural_order(n) : order;
   for (const vid_t u : base) {
     if (g.vertex_degree(u) == 0)
-      result.colors[static_cast<std::size_t>(u)] = 0;
+      detail::store_color(c, u, 0);
     else
       w.push_back(u);
   }
@@ -119,27 +150,28 @@ ColoringResult color_bgpc(const BipartiteGraph& g,
     if (net_color) {
       if (options.net_v1)
         detail::bgpc_color_net_v1(g, c, workspaces, options.net_v1_reverse,
-                                  options.chunk_size, threads,
-                                  stats.color_counters);
+                                  options.forbidden_set, options.chunk_size,
+                                  threads, stats.color_counters);
       else
         detail::bgpc_color_net(g, c, workspaces, options.balance,
-                               options.chunk_size, threads,
-                               stats.color_counters);
+                               options.forbidden_set, options.chunk_size,
+                               threads, stats.color_counters);
     } else {
       detail::bgpc_color_vertex(g, w, c, workspaces, options.balance,
-                                options.chunk_size, threads,
-                                stats.color_counters);
+                                options.forbidden_set, options.chunk_size,
+                                threads, stats.color_counters);
     }
     stats.color_seconds = phase.seconds();
 
     phase.reset();
     if (net_conflict) {
-      detail::bgpc_conflict_net(g, c, workspaces, options.chunk_size,
-                                threads, wnext, stats.conflict_counters);
+      detail::bgpc_conflict_net(g, c, workspaces, options.forbidden_set,
+                                options.chunk_size, threads, wnext,
+                                stats.conflict_counters);
     } else {
       detail::bgpc_conflict_vertex(g, w, c, workspaces, options.queue,
-                                   options.chunk_size, threads, wnext,
-                                   stats.conflict_counters);
+                                   options.forbidden_set, options.chunk_size,
+                                   threads, wnext, stats.conflict_counters);
     }
     stats.conflict_seconds = phase.seconds();
     stats.conflicts = wnext.size();
@@ -153,8 +185,8 @@ ColoringResult color_bgpc(const BipartiteGraph& g,
     // of the work queue, so the loop itself may never notice — the
     // verified entry points repair what leaks through.
     if (faults)
-      result.faults_injected +=
-          inject_stale_colors(*faults, g, round, result.colors);
+      result.faults_injected += inject_stale_colors(
+          *faults, g, round, std::span<color_t>(c, nsz));
 
     // Convergence watchdog: round budget + wall-clock deadline. Either
     // valve finishes the pending set with the guaranteed-termination
@@ -164,8 +196,7 @@ ColoringResult color_bgpc(const BipartiteGraph& g,
       const bool late = options.deadline_seconds > 0.0 &&
                         total.seconds() >= options.deadline_seconds;
       if (capped || late) {
-        sequential_cleanup(g, result.colors, w,
-                           workspaces.front().forbidden);
+        sequential_cleanup(g, c, w, workspaces.front().forbidden);
         result.sequential_fallback = true;
         result.degraded = true;
         result.rounds_capped = capped;
@@ -177,6 +208,9 @@ ColoringResult color_bgpc(const BipartiteGraph& g,
 
   result.total_seconds = total.seconds();
   result.rounds = round;
+  result.colors.resize(nsz);
+  for (std::size_t i = 0; i < nsz; ++i)
+    result.colors[i] = detail::load_color(c, static_cast<vid_t>(i));
   result.num_colors = count_colors(result.colors);
   return result;
 }

@@ -9,31 +9,46 @@ namespace gcol::detail {
 
 namespace {
 
-/// Merge a thread-local counter into the phase aggregate.
-void merge_counters(KernelCounters& into, const KernelCounters& from) {
-#pragma omp critical(gcol_counter_merge)
-  into += from;
-}
+// Every kernel is instantiated over the balance policy (compile-time
+// branch in the color pick) and the ForbiddenSet policy FS (stamped =
+// paper-faithful probe loops, bitmap = word-parallel scans + visited-set
+// neighbor dedup). `edges_visited` keeps its "one per adjacency entry"
+// meaning in every mode — dedup skips the color load and marker work,
+// not the traversal count — so the counter-pinning tests and the
+// cross-mode comparisons in BENCH_kernels.json stay apples-to-apples.
 
-template <BalancePolicy B>
+template <BalancePolicy B, class FS>
 void color_vertex_impl(const BipartiteGraph& g, const std::vector<vid_t>& w,
                        color_t* c, std::vector<ThreadWorkspace>& ws,
                        int chunk, int threads, KernelCounters& counters) {
   const auto n = static_cast<std::int64_t>(w.size());
+  CounterSlots slots(threads);
 #pragma omp parallel num_threads(threads)
   {
-    ThreadWorkspace& tws = ws[static_cast<std::size_t>(current_thread())];
-    MarkerSet& f = tws.forbidden;
+    const int tid = current_thread();
+    ThreadWorkspace& tws = ws[static_cast<std::size_t>(tid)];
+    typename FS::Set& f = FS::forbidden(tws);
+    [[maybe_unused]] MarkerSet& visited = tws.visited;
     PolicyState st;
     KernelCounters local;
 #pragma omp for schedule(dynamic, chunk) nowait
     for (std::int64_t i = 0; i < n; ++i) {
       const vid_t wv = w[static_cast<std::size_t>(i)];
       f.clear();
+      if constexpr (FS::kDedupNeighbors) {
+        visited.clear();
+        visited.insert(wv);
+      }
       for (const vid_t v : g.nets(wv)) {
         for (const vid_t u : g.vtxs(v)) {
           GCOL_COUNT(++local.edges_visited);
-          if (u == wv) continue;
+          if constexpr (FS::kDedupNeighbors) {
+            // Each distance-2 neighbor contributes one color no matter
+            // how many nets it shares with wv.
+            if (visited.test_and_set(u)) continue;
+          } else {
+            if (u == wv) continue;
+          }
           const color_t cu = load_color(c, u);
           if (cu != kNoColor) f.insert(cu);
         }
@@ -42,19 +57,22 @@ void color_vertex_impl(const BipartiteGraph& g, const std::vector<vid_t>& w,
       store_color(c, wv, col);
       GCOL_COUNT(++local.colored);
     }
-    merge_counters(counters, local);
+    slots.publish(tid, local);
   }
+  slots.merge_into(counters);
 }
 
-template <BalancePolicy B>
+template <BalancePolicy B, class FS>
 void color_net_impl(const BipartiteGraph& g, color_t* c,
                     std::vector<ThreadWorkspace>& ws, int chunk, int threads,
                     KernelCounters& counters) {
   const auto nn = static_cast<std::int64_t>(g.num_nets());
+  CounterSlots slots(threads);
 #pragma omp parallel num_threads(threads)
   {
-    ThreadWorkspace& tws = ws[static_cast<std::size_t>(current_thread())];
-    MarkerSet& f = tws.forbidden;
+    const int tid = current_thread();
+    ThreadWorkspace& tws = ws[static_cast<std::size_t>(tid)];
+    typename FS::Set& f = FS::forbidden(tws);
     std::vector<vid_t>& wlocal = tws.local_queue;
     PolicyState st;
     KernelCounters local;
@@ -68,10 +86,7 @@ void color_net_impl(const BipartiteGraph& g, color_t* c,
       for (const vid_t u : g.vtxs(v)) {
         GCOL_COUNT(++local.edges_visited);
         const color_t cu = load_color(c, u);
-        if (cu != kNoColor && !f.contains(cu))
-          f.insert(cu);
-        else
-          wlocal.push_back(u);
+        if (cu == kNoColor || f.test_and_set(cu)) wlocal.push_back(u);
       }
       if (wlocal.empty()) continue;
       // Pass 2 (lines 9-14): reverse first-fit from |vtxs(v)|-1, or the
@@ -79,18 +94,22 @@ void color_net_impl(const BipartiteGraph& g, color_t* c,
       color_local_queue<B>(st, f, wlocal, v, g.net_degree(v) - 1, c,
                            local.color_probes, local.colored);
     }
-    merge_counters(counters, local);
+    slots.publish(tid, local);
   }
+  slots.merge_into(counters);
 }
 
+template <class FS>
 void color_net_v1_impl(const BipartiteGraph& g, color_t* c,
                        std::vector<ThreadWorkspace>& ws, bool reverse,
                        int chunk, int threads, KernelCounters& counters) {
   const auto nn = static_cast<std::int64_t>(g.num_nets());
+  CounterSlots slots(threads);
 #pragma omp parallel num_threads(threads)
   {
-    ThreadWorkspace& tws = ws[static_cast<std::size_t>(current_thread())];
-    MarkerSet& f = tws.forbidden;
+    const int tid = current_thread();
+    ThreadWorkspace& tws = ws[static_cast<std::size_t>(tid)];
+    typename FS::Set& f = FS::forbidden(tws);
     KernelCounters local;
 #pragma omp for schedule(dynamic, chunk) nowait
     for (std::int64_t vi = 0; vi < nn; ++vi) {
@@ -115,57 +134,17 @@ void color_net_v1_impl(const BipartiteGraph& g, color_t* c,
         f.insert(cu);
       }
     }
-    merge_counters(counters, local);
+    slots.publish(tid, local);
   }
+  slots.merge_into(counters);
 }
 
-}  // namespace
-
-void bgpc_color_vertex(const BipartiteGraph& g, const std::vector<vid_t>& w,
-                       color_t* c, std::vector<ThreadWorkspace>& ws,
-                       BalancePolicy balance, int chunk, int threads,
-                       KernelCounters& counters) {
-  switch (balance) {
-    case BalancePolicy::kNone:
-      return color_vertex_impl<BalancePolicy::kNone>(g, w, c, ws, chunk,
-                                                     threads, counters);
-    case BalancePolicy::kB1:
-      return color_vertex_impl<BalancePolicy::kB1>(g, w, c, ws, chunk,
-                                                   threads, counters);
-    case BalancePolicy::kB2:
-      return color_vertex_impl<BalancePolicy::kB2>(g, w, c, ws, chunk,
-                                                   threads, counters);
-  }
-}
-
-void bgpc_color_net(const BipartiteGraph& g, color_t* c,
-                    std::vector<ThreadWorkspace>& ws, BalancePolicy balance,
-                    int chunk, int threads, KernelCounters& counters) {
-  switch (balance) {
-    case BalancePolicy::kNone:
-      return color_net_impl<BalancePolicy::kNone>(g, c, ws, chunk, threads,
-                                                  counters);
-    case BalancePolicy::kB1:
-      return color_net_impl<BalancePolicy::kB1>(g, c, ws, chunk, threads,
-                                                counters);
-    case BalancePolicy::kB2:
-      return color_net_impl<BalancePolicy::kB2>(g, c, ws, chunk, threads,
-                                                counters);
-  }
-}
-
-void bgpc_color_net_v1(const BipartiteGraph& g, color_t* c,
-                       std::vector<ThreadWorkspace>& ws, bool reverse,
-                       int chunk, int threads, KernelCounters& counters) {
-  color_net_v1_impl(g, c, ws, reverse, chunk, threads, counters);
-}
-
-void bgpc_conflict_vertex(const BipartiteGraph& g, const std::vector<vid_t>& w,
+template <class FS>
+void conflict_vertex_impl(const BipartiteGraph& g, const std::vector<vid_t>& w,
                           color_t* c, std::vector<ThreadWorkspace>& ws,
                           QueuePolicy queue, int chunk, int threads,
                           std::vector<vid_t>& wnext,
                           KernelCounters& counters) {
-  (void)ws;
   const auto n = static_cast<std::int64_t>(w.size());
   SharedWorkQueue shared;
   LocalWorkQueues lazy;
@@ -175,20 +154,31 @@ void bgpc_conflict_vertex(const BipartiteGraph& g, const std::vector<vid_t>& w,
   else
     lazy.configure(threads), lazy.begin_round();
 
+  CounterSlots slots(threads);
 #pragma omp parallel num_threads(threads)
   {
     const int tid = current_thread();
+    [[maybe_unused]] MarkerSet& visited =
+        ws[static_cast<std::size_t>(tid)].visited;
     KernelCounters local;
 #pragma omp for schedule(dynamic, chunk) nowait
     for (std::int64_t i = 0; i < n; ++i) {
       const vid_t wv = w[static_cast<std::size_t>(i)];
       const color_t cw = load_color(c, wv);
       if (cw == kNoColor) continue;  // already uncolored by a peer race
+      if constexpr (FS::kDedupNeighbors) {
+        visited.clear();
+        visited.insert(wv);
+      }
       bool conflicted = false;
       for (const vid_t v : g.nets(wv)) {
         for (const vid_t u : g.vtxs(v)) {
           GCOL_COUNT(++local.edges_visited);
-          if (u == wv) continue;
+          if constexpr (FS::kDedupNeighbors) {
+            if (visited.test_and_set(u)) continue;
+          } else {
+            if (u == wv) continue;
+          }
           // Tie-break (Alg. 3 line 4): the larger id loses.
           if (load_color(c, u) == cw && wv > u) {
             conflicted = true;
@@ -206,26 +196,29 @@ void bgpc_conflict_vertex(const BipartiteGraph& g, const std::vector<vid_t>& w,
           lazy.push(tid, wv);
       }
     }
-    merge_counters(counters, local);
+    slots.publish(tid, local);
   }
+  slots.merge_into(counters);
   if (use_shared)
     shared.swap_into(wnext);
   else
     lazy.merge_into(wnext);
 }
 
-void bgpc_conflict_net(const BipartiteGraph& g, color_t* c,
+template <class FS>
+void conflict_net_impl(const BipartiteGraph& g, color_t* c,
                        std::vector<ThreadWorkspace>& ws, int chunk,
                        int threads, std::vector<vid_t>& wnext,
                        KernelCounters& counters) {
   const auto nn = static_cast<std::int64_t>(g.num_nets());
   LocalWorkQueues lazy(threads);
   lazy.begin_round();
+  CounterSlots slots(threads);
 #pragma omp parallel num_threads(threads)
   {
     const int tid = current_thread();
     ThreadWorkspace& tws = ws[static_cast<std::size_t>(tid)];
-    MarkerSet& f = tws.forbidden;
+    typename FS::Set& f = FS::forbidden(tws);
     KernelCounters local;
 #pragma omp for schedule(dynamic, chunk) nowait
     for (std::int64_t vi = 0; vi < nn; ++vi) {
@@ -235,21 +228,79 @@ void bgpc_conflict_net(const BipartiteGraph& g, color_t* c,
         GCOL_COUNT(++local.edges_visited);
         const color_t cu = load_color(c, u);
         if (cu == kNoColor) continue;
-        if (f.contains(cu)) {
-          // First occurrence keeps the color; the exchange deduplicates
-          // pushes when another net uncolors u concurrently.
+        // First occurrence keeps the color; the exchange deduplicates
+        // pushes when another net uncolors u concurrently.
+        if (f.test_and_set(cu)) {
           if (exchange_uncolor(c, u) != kNoColor) {
             lazy.push(tid, u);
             GCOL_COUNT(++local.conflicts);
           }
-        } else {
-          f.insert(cu);
         }
       }
     }
-    merge_counters(counters, local);
+    slots.publish(tid, local);
   }
+  slots.merge_into(counters);
   lazy.merge_into(wnext);
+}
+
+}  // namespace
+
+void bgpc_color_vertex(const BipartiteGraph& g, const std::vector<vid_t>& w,
+                       color_t* c, std::vector<ThreadWorkspace>& ws,
+                       BalancePolicy balance, ForbiddenSetKind fset,
+                       int chunk, int threads, KernelCounters& counters) {
+  with_forbidden_set(fset, [&](auto fs) {
+    using FS = decltype(fs);
+    with_balance(balance, [&](auto b) {
+      color_vertex_impl<decltype(b)::value, FS>(g, w, c, ws, chunk, threads,
+                                                counters);
+    });
+  });
+}
+
+void bgpc_color_net(const BipartiteGraph& g, color_t* c,
+                    std::vector<ThreadWorkspace>& ws, BalancePolicy balance,
+                    ForbiddenSetKind fset, int chunk, int threads,
+                    KernelCounters& counters) {
+  with_forbidden_set(fset, [&](auto fs) {
+    using FS = decltype(fs);
+    with_balance(balance, [&](auto b) {
+      color_net_impl<decltype(b)::value, FS>(g, c, ws, chunk, threads,
+                                             counters);
+    });
+  });
+}
+
+void bgpc_color_net_v1(const BipartiteGraph& g, color_t* c,
+                       std::vector<ThreadWorkspace>& ws, bool reverse,
+                       ForbiddenSetKind fset, int chunk, int threads,
+                       KernelCounters& counters) {
+  with_forbidden_set(fset, [&](auto fs) {
+    color_net_v1_impl<decltype(fs)>(g, c, ws, reverse, chunk, threads,
+                                    counters);
+  });
+}
+
+void bgpc_conflict_vertex(const BipartiteGraph& g, const std::vector<vid_t>& w,
+                          color_t* c, std::vector<ThreadWorkspace>& ws,
+                          QueuePolicy queue, ForbiddenSetKind fset, int chunk,
+                          int threads, std::vector<vid_t>& wnext,
+                          KernelCounters& counters) {
+  with_forbidden_set(fset, [&](auto fs) {
+    conflict_vertex_impl<decltype(fs)>(g, w, c, ws, queue, chunk, threads,
+                                       wnext, counters);
+  });
+}
+
+void bgpc_conflict_net(const BipartiteGraph& g, color_t* c,
+                       std::vector<ThreadWorkspace>& ws, ForbiddenSetKind fset,
+                       int chunk, int threads, std::vector<vid_t>& wnext,
+                       KernelCounters& counters) {
+  with_forbidden_set(fset, [&](auto fs) {
+    conflict_net_impl<decltype(fs)>(g, c, ws, chunk, threads, wnext,
+                                    counters);
+  });
 }
 
 }  // namespace gcol::detail

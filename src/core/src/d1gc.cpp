@@ -25,9 +25,11 @@ void d1_color_round(const Graph& g, const std::vector<vid_t>& w, color_t* c,
                     std::vector<ThreadWorkspace>& ws, int chunk, int threads,
                     KernelCounters& counters) {
   const auto n = static_cast<std::int64_t>(w.size());
+  detail::CounterSlots slots(threads);
 #pragma omp parallel num_threads(threads)
   {
-    ThreadWorkspace& tws = ws[static_cast<std::size_t>(current_thread())];
+    const int tid = current_thread();
+    ThreadWorkspace& tws = ws[static_cast<std::size_t>(tid)];
     MarkerSet& f = tws.forbidden;
     detail::PolicyState st;
     KernelCounters local;
@@ -45,9 +47,9 @@ void d1_color_round(const Graph& g, const std::vector<vid_t>& w, color_t* c,
       detail::store_color(c, wv, col);
       GCOL_COUNT(++local.colored);
     }
-#pragma omp critical(gcol_counter_merge_d1)
-    counters += local;
+    slots.publish(tid, local);
   }
+  slots.merge_into(counters);
 }
 
 void d1_conflict_round(const Graph& g, const std::vector<vid_t>& w,
@@ -61,6 +63,7 @@ void d1_conflict_round(const Graph& g, const std::vector<vid_t>& w,
     shared.reset(w.size());
   else
     lazy.configure(threads), lazy.begin_round();
+  detail::CounterSlots slots(threads);
 #pragma omp parallel num_threads(threads)
   {
     const int tid = current_thread();
@@ -87,9 +90,9 @@ void d1_conflict_round(const Graph& g, const std::vector<vid_t>& w,
           lazy.push(tid, wv);
       }
     }
-#pragma omp critical(gcol_counter_merge_d1)
-    counters += local;
+    slots.publish(tid, local);
   }
+  slots.merge_into(counters);
   if (use_shared)
     shared.swap_into(wnext);
   else
@@ -251,6 +254,7 @@ ColoringResult color_d1gc_jones_plassmann(const Graph& g, std::uint64_t seed,
     const auto sz = static_cast<std::int64_t>(w.size());
 
     WallTimer phase;
+    detail::CounterSlots slots(threads);
 #pragma omp parallel num_threads(threads)
     {
       const int tid = current_thread();
@@ -284,9 +288,9 @@ ColoringResult color_d1gc_jones_plassmann(const Graph& g, std::uint64_t seed,
         detail::store_color(c, v, detail::pick_up(f, 0, local.color_probes));
         GCOL_COUNT(++local.colored);
       }
-#pragma omp critical(gcol_counter_merge_jp)
-      stats.color_counters += local;
+      slots.publish(tid, local);
     }
+    slots.merge_into(stats.color_counters);
     stats.color_seconds = phase.seconds();
     lazy.merge_into(wnext);
     stats.conflicts = wnext.size();

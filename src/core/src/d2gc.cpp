@@ -1,10 +1,13 @@
 #include "greedcolor/core/d2gc.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <numeric>
+#include <span>
 #include <stdexcept>
 
 #include "d2gc_kernels.hpp"
+#include "greedcolor/order/locality.hpp"
 #include "greedcolor/robust/fault.hpp"
 #include "greedcolor/util/timer.hpp"
 #include "kernels_common.hpp"
@@ -19,22 +22,22 @@ std::vector<vid_t> natural_order(vid_t n) {
   return order;
 }
 
-void sequential_cleanup(const Graph& g, std::vector<color_t>& c,
+void sequential_cleanup(const Graph& g, color_t* c,
                         const std::vector<vid_t>& pending,
                         MarkerSet& forbidden) {
   std::uint64_t probes = 0;
   for (const vid_t w : pending) {
-    if (c[static_cast<std::size_t>(w)] != kNoColor) continue;
+    if (detail::load_color(c, w) != kNoColor) continue;
     forbidden.clear();
     for (const vid_t u : g.neighbors(w)) {
-      if (c[static_cast<std::size_t>(u)] != kNoColor)
-        forbidden.insert(c[static_cast<std::size_t>(u)]);
+      const color_t cu = detail::load_color(c, u);
+      if (cu != kNoColor) forbidden.insert(cu);
       for (const vid_t x : g.neighbors(u)) {
-        if (x != w && c[static_cast<std::size_t>(x)] != kNoColor)
-          forbidden.insert(c[static_cast<std::size_t>(x)]);
+        const color_t cx = detail::load_color(c, x);
+        if (x != w && cx != kNoColor) forbidden.insert(cx);
       }
     }
-    c[static_cast<std::size_t>(w)] = detail::pick_up(forbidden, 0, probes);
+    detail::store_color(c, w, detail::pick_up(forbidden, 0, probes));
   }
 }
 
@@ -63,23 +66,43 @@ ColoringResult color_d2gc(const Graph& g, const ColoringOptions& options,
   if (!order.empty() && order.size() != static_cast<std::size_t>(n))
     throw std::invalid_argument("color_d2gc: order size mismatch");
 
+  // Locality pre-pass (see bgpc.cpp): color a rewritten copy, restore
+  // the colors through the permutation.
+  if (options.locality != LocalityMode::kNone) {
+    const GraphLocalityPlan plan = make_locality_plan(g, options.locality);
+    ColoringOptions inner = options;
+    inner.locality = LocalityMode::kNone;
+    ColoringResult r = color_d2gc(
+        plan.graph, inner, apply_vertex_perm(plan.vertex_perm, order, n));
+    r.colors = restore_colors(plan.vertex_perm, std::move(r.colors));
+    return r;
+  }
+
   const int threads = detail::resolve_threads(options.num_threads);
   const auto marker_cap = static_cast<std::size_t>(d2gc_color_bound(g)) + 2;
+  const bool bitmap = options.forbidden_set == ForbiddenSetKind::kBitmap;
   std::vector<ThreadWorkspace> workspaces(
       static_cast<std::size_t>(threads));
   for (auto& ws : workspaces)
-    ws.prepare(marker_cap, static_cast<std::size_t>(g.max_degree()) + 1);
+    ws.prepare(marker_cap, static_cast<std::size_t>(g.max_degree()) + 1,
+               bitmap ? static_cast<std::size_t>(n) : 0);
 
   ColoringResult result;
-  result.colors.assign(static_cast<std::size_t>(n), kNoColor);
-  color_t* c = result.colors.data();
+  // First-touch init; see bgpc.cpp.
+  const auto nsz = static_cast<std::size_t>(n);
+  const std::unique_ptr<color_t[]> color_buf(new color_t[nsz]);
+  color_t* c = color_buf.get();
+  // store_color throughout the driver: see bgpc.cpp.
+#pragma omp parallel for schedule(static) num_threads(threads)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i)
+    detail::store_color(c, static_cast<vid_t>(i), kNoColor);
 
   std::vector<vid_t> w;
-  w.reserve(static_cast<std::size_t>(n));
+  w.reserve(nsz);
   const std::vector<vid_t>& base = order.empty() ? natural_order(n) : order;
   for (const vid_t u : base) {
     if (g.degree(u) == 0)
-      result.colors[static_cast<std::size_t>(u)] = 0;  // isolated
+      detail::store_color(c, u, 0);  // isolated
     else
       w.push_back(u);
   }
@@ -118,22 +141,23 @@ ColoringResult color_d2gc(const Graph& g, const ColoringOptions& options,
     WallTimer phase;
     if (net_color)
       detail::d2gc_color_net(g, c, workspaces, options.balance,
-                             options.chunk_size, threads,
-                             stats.color_counters);
+                             options.forbidden_set, options.chunk_size,
+                             threads, stats.color_counters);
     else
       detail::d2gc_color_vertex(g, w, c, workspaces, options.balance,
-                                options.chunk_size, threads,
-                                stats.color_counters);
+                                options.forbidden_set, options.chunk_size,
+                                threads, stats.color_counters);
     stats.color_seconds = phase.seconds();
 
     phase.reset();
     if (net_conflict)
-      detail::d2gc_conflict_net(g, c, workspaces, options.chunk_size,
-                                threads, wnext, stats.conflict_counters);
+      detail::d2gc_conflict_net(g, c, workspaces, options.forbidden_set,
+                                options.chunk_size, threads, wnext,
+                                stats.conflict_counters);
     else
       detail::d2gc_conflict_vertex(g, w, c, workspaces, options.queue,
-                                   options.chunk_size, threads, wnext,
-                                   stats.conflict_counters);
+                                   options.forbidden_set, options.chunk_size,
+                                   threads, wnext, stats.conflict_counters);
     stats.conflict_seconds = phase.seconds();
     stats.conflicts = wnext.size();
 
@@ -145,16 +169,15 @@ ColoringResult color_d2gc(const Graph& g, const ColoringOptions& options,
     // See bgpc.cpp: stale writes escape the queue-based detection by
     // design; the verified entry points repair them afterwards.
     if (faults)
-      result.faults_injected +=
-          inject_stale_colors(*faults, g, round, result.colors);
+      result.faults_injected += inject_stale_colors(
+          *faults, g, round, std::span<color_t>(c, nsz));
 
     if (!w.empty()) {
       const bool capped = round >= options.max_rounds;
       const bool late = options.deadline_seconds > 0.0 &&
                         total.seconds() >= options.deadline_seconds;
       if (capped || late) {
-        sequential_cleanup(g, result.colors, w,
-                           workspaces.front().forbidden);
+        sequential_cleanup(g, c, w, workspaces.front().forbidden);
         result.sequential_fallback = true;
         result.degraded = true;
         result.rounds_capped = capped;
@@ -166,6 +189,9 @@ ColoringResult color_d2gc(const Graph& g, const ColoringOptions& options,
 
   result.total_seconds = total.seconds();
   result.rounds = round;
+  result.colors.resize(nsz);
+  for (std::size_t i = 0; i < nsz; ++i)
+    result.colors[i] = detail::load_color(c, static_cast<vid_t>(i));
   result.num_colors = count_colors(result.colors);
   return result;
 }

@@ -10,33 +10,49 @@ namespace gcol::detail {
 
 namespace {
 
-void merge_counters(KernelCounters& into, const KernelCounters& from) {
-#pragma omp critical(gcol_counter_merge_d2)
-  into += from;
-}
+// Same policy structure as bgpc_kernels.cpp. In the dedup (bitmap)
+// mode the visited set suppresses repeated color loads for vertices
+// reached through several shared neighbors, but a distance-1 neighbor's
+// adjacency list is always walked — its neighbors are the distance-2
+// sources — and `edges_visited` keeps counting every adjacency entry.
 
-template <BalancePolicy B>
+template <BalancePolicy B, class FS>
 void color_vertex_impl(const Graph& g, const std::vector<vid_t>& w,
                        color_t* c, std::vector<ThreadWorkspace>& ws,
                        int chunk, int threads, KernelCounters& counters) {
   const auto n = static_cast<std::int64_t>(w.size());
+  CounterSlots slots(threads);
 #pragma omp parallel num_threads(threads)
   {
-    ThreadWorkspace& tws = ws[static_cast<std::size_t>(current_thread())];
-    MarkerSet& f = tws.forbidden;
+    const int tid = current_thread();
+    ThreadWorkspace& tws = ws[static_cast<std::size_t>(tid)];
+    typename FS::Set& f = FS::forbidden(tws);
+    [[maybe_unused]] MarkerSet& visited = tws.visited;
     PolicyState st;
     KernelCounters local;
 #pragma omp for schedule(dynamic, chunk) nowait
     for (std::int64_t i = 0; i < n; ++i) {
       const vid_t wv = w[static_cast<std::size_t>(i)];
       f.clear();
+      if constexpr (FS::kDedupNeighbors) {
+        visited.clear();
+        visited.insert(wv);
+      }
       for (const vid_t u : g.neighbors(wv)) {
         GCOL_COUNT(++local.edges_visited);
-        const color_t cu = load_color(c, u);
-        if (cu != kNoColor) f.insert(cu);  // distance-1 neighbor
+        bool mark_u = true;
+        if constexpr (FS::kDedupNeighbors) mark_u = !visited.test_and_set(u);
+        if (mark_u) {
+          const color_t cu = load_color(c, u);
+          if (cu != kNoColor) f.insert(cu);  // distance-1 neighbor
+        }
         for (const vid_t x : g.neighbors(u)) {
           GCOL_COUNT(++local.edges_visited);
-          if (x == wv) continue;
+          if constexpr (FS::kDedupNeighbors) {
+            if (visited.test_and_set(x)) continue;  // also skips x == wv
+          } else {
+            if (x == wv) continue;
+          }
           const color_t cx = load_color(c, x);
           if (cx != kNoColor) f.insert(cx);  // distance-2 neighbor
         }
@@ -45,19 +61,22 @@ void color_vertex_impl(const Graph& g, const std::vector<vid_t>& w,
       store_color(c, wv, col);
       GCOL_COUNT(++local.colored);
     }
-    merge_counters(counters, local);
+    slots.publish(tid, local);
   }
+  slots.merge_into(counters);
 }
 
-template <BalancePolicy B>
+template <BalancePolicy B, class FS>
 void color_net_impl(const Graph& g, color_t* c,
                     std::vector<ThreadWorkspace>& ws, int chunk, int threads,
                     KernelCounters& counters) {
   const auto n = static_cast<std::int64_t>(g.num_vertices());
+  CounterSlots slots(threads);
 #pragma omp parallel num_threads(threads)
   {
-    ThreadWorkspace& tws = ws[static_cast<std::size_t>(current_thread())];
-    MarkerSet& f = tws.forbidden;
+    const int tid = current_thread();
+    ThreadWorkspace& tws = ws[static_cast<std::size_t>(tid)];
+    typename FS::Set& f = FS::forbidden(tws);
     std::vector<vid_t>& wlocal = tws.local_queue;
     PolicyState st;
     KernelCounters local;
@@ -76,10 +95,7 @@ void color_net_impl(const Graph& g, color_t* c,
       for (const vid_t u : g.neighbors(v)) {
         GCOL_COUNT(++local.edges_visited);
         const color_t cu = load_color(c, u);
-        if (cu != kNoColor && !f.contains(cu))
-          f.insert(cu);
-        else
-          wlocal.push_back(u);
+        if (cu == kNoColor || f.test_and_set(cu)) wlocal.push_back(u);
       }
       if (wlocal.empty()) continue;
       // Lines 13-18: reverse first-fit from |nbor(v)| (one more than
@@ -87,51 +103,17 @@ void color_net_impl(const Graph& g, color_t* c,
       color_local_queue<B>(st, f, wlocal, v, g.degree(v), c,
                            local.color_probes, local.colored);
     }
-    merge_counters(counters, local);
+    slots.publish(tid, local);
   }
+  slots.merge_into(counters);
 }
 
-}  // namespace
-
-void d2gc_color_vertex(const Graph& g, const std::vector<vid_t>& w,
-                       color_t* c, std::vector<ThreadWorkspace>& ws,
-                       BalancePolicy balance, int chunk, int threads,
-                       KernelCounters& counters) {
-  switch (balance) {
-    case BalancePolicy::kNone:
-      return color_vertex_impl<BalancePolicy::kNone>(g, w, c, ws, chunk,
-                                                     threads, counters);
-    case BalancePolicy::kB1:
-      return color_vertex_impl<BalancePolicy::kB1>(g, w, c, ws, chunk,
-                                                   threads, counters);
-    case BalancePolicy::kB2:
-      return color_vertex_impl<BalancePolicy::kB2>(g, w, c, ws, chunk,
-                                                   threads, counters);
-  }
-}
-
-void d2gc_color_net(const Graph& g, color_t* c,
-                    std::vector<ThreadWorkspace>& ws, BalancePolicy balance,
-                    int chunk, int threads, KernelCounters& counters) {
-  switch (balance) {
-    case BalancePolicy::kNone:
-      return color_net_impl<BalancePolicy::kNone>(g, c, ws, chunk, threads,
-                                                  counters);
-    case BalancePolicy::kB1:
-      return color_net_impl<BalancePolicy::kB1>(g, c, ws, chunk, threads,
-                                                counters);
-    case BalancePolicy::kB2:
-      return color_net_impl<BalancePolicy::kB2>(g, c, ws, chunk, threads,
-                                                counters);
-  }
-}
-
-void d2gc_conflict_vertex(const Graph& g, const std::vector<vid_t>& w,
+template <class FS>
+void conflict_vertex_impl(const Graph& g, const std::vector<vid_t>& w,
                           color_t* c, std::vector<ThreadWorkspace>& ws,
                           QueuePolicy queue, int chunk, int threads,
                           std::vector<vid_t>& wnext,
                           KernelCounters& counters) {
-  (void)ws;
   const auto n = static_cast<std::int64_t>(w.size());
   SharedWorkQueue shared;
   LocalWorkQueues lazy;
@@ -141,25 +123,38 @@ void d2gc_conflict_vertex(const Graph& g, const std::vector<vid_t>& w,
   else
     lazy.configure(threads), lazy.begin_round();
 
+  CounterSlots slots(threads);
 #pragma omp parallel num_threads(threads)
   {
     const int tid = current_thread();
+    [[maybe_unused]] MarkerSet& visited =
+        ws[static_cast<std::size_t>(tid)].visited;
     KernelCounters local;
 #pragma omp for schedule(dynamic, chunk) nowait
     for (std::int64_t i = 0; i < n; ++i) {
       const vid_t wv = w[static_cast<std::size_t>(i)];
       const color_t cw = load_color(c, wv);
       if (cw == kNoColor) continue;
+      if constexpr (FS::kDedupNeighbors) {
+        visited.clear();
+        visited.insert(wv);
+      }
       bool conflicted = false;
       for (const vid_t u : g.neighbors(wv)) {
         GCOL_COUNT(++local.edges_visited);
-        if (load_color(c, u) == cw && wv > u) {  // distance-1 clash
+        bool check_u = true;
+        if constexpr (FS::kDedupNeighbors) check_u = !visited.test_and_set(u);
+        if (check_u && load_color(c, u) == cw && wv > u) {  // distance-1
           conflicted = true;
           break;
         }
         for (const vid_t x : g.neighbors(u)) {
           GCOL_COUNT(++local.edges_visited);
-          if (x == wv) continue;
+          if constexpr (FS::kDedupNeighbors) {
+            if (visited.test_and_set(x)) continue;  // also skips x == wv
+          } else {
+            if (x == wv) continue;
+          }
           if (load_color(c, x) == cw && wv > x) {  // distance-2 clash
             conflicted = true;
             break;
@@ -176,26 +171,29 @@ void d2gc_conflict_vertex(const Graph& g, const std::vector<vid_t>& w,
           lazy.push(tid, wv);
       }
     }
-    merge_counters(counters, local);
+    slots.publish(tid, local);
   }
+  slots.merge_into(counters);
   if (use_shared)
     shared.swap_into(wnext);
   else
     lazy.merge_into(wnext);
 }
 
-void d2gc_conflict_net(const Graph& g, color_t* c,
+template <class FS>
+void conflict_net_impl(const Graph& g, color_t* c,
                        std::vector<ThreadWorkspace>& ws, int chunk,
                        int threads, std::vector<vid_t>& wnext,
                        KernelCounters& counters) {
   const auto n = static_cast<std::int64_t>(g.num_vertices());
   LocalWorkQueues lazy(threads);
   lazy.begin_round();
+  CounterSlots slots(threads);
 #pragma omp parallel num_threads(threads)
   {
     const int tid = current_thread();
     ThreadWorkspace& tws = ws[static_cast<std::size_t>(tid)];
-    MarkerSet& f = tws.forbidden;
+    typename FS::Set& f = FS::forbidden(tws);
     KernelCounters local;
 #pragma omp for schedule(dynamic, chunk) nowait
     for (std::int64_t vi = 0; vi < n; ++vi) {
@@ -208,19 +206,67 @@ void d2gc_conflict_net(const Graph& g, color_t* c,
         GCOL_COUNT(++local.edges_visited);
         const color_t cu = load_color(c, u);
         if (cu == kNoColor) continue;
-        if (f.contains(cu)) {
+        if (f.test_and_set(cu)) {
           if (exchange_uncolor(c, u) != kNoColor) {
             lazy.push(tid, u);
             GCOL_COUNT(++local.conflicts);
           }
-        } else {
-          f.insert(cu);
         }
       }
     }
-    merge_counters(counters, local);
+    slots.publish(tid, local);
   }
+  slots.merge_into(counters);
   lazy.merge_into(wnext);
+}
+
+}  // namespace
+
+void d2gc_color_vertex(const Graph& g, const std::vector<vid_t>& w,
+                       color_t* c, std::vector<ThreadWorkspace>& ws,
+                       BalancePolicy balance, ForbiddenSetKind fset,
+                       int chunk, int threads, KernelCounters& counters) {
+  with_forbidden_set(fset, [&](auto fs) {
+    using FS = decltype(fs);
+    with_balance(balance, [&](auto b) {
+      color_vertex_impl<decltype(b)::value, FS>(g, w, c, ws, chunk, threads,
+                                                counters);
+    });
+  });
+}
+
+void d2gc_color_net(const Graph& g, color_t* c,
+                    std::vector<ThreadWorkspace>& ws, BalancePolicy balance,
+                    ForbiddenSetKind fset, int chunk, int threads,
+                    KernelCounters& counters) {
+  with_forbidden_set(fset, [&](auto fs) {
+    using FS = decltype(fs);
+    with_balance(balance, [&](auto b) {
+      color_net_impl<decltype(b)::value, FS>(g, c, ws, chunk, threads,
+                                             counters);
+    });
+  });
+}
+
+void d2gc_conflict_vertex(const Graph& g, const std::vector<vid_t>& w,
+                          color_t* c, std::vector<ThreadWorkspace>& ws,
+                          QueuePolicy queue, ForbiddenSetKind fset, int chunk,
+                          int threads, std::vector<vid_t>& wnext,
+                          KernelCounters& counters) {
+  with_forbidden_set(fset, [&](auto fs) {
+    conflict_vertex_impl<decltype(fs)>(g, w, c, ws, queue, chunk, threads,
+                                       wnext, counters);
+  });
+}
+
+void d2gc_conflict_net(const Graph& g, color_t* c,
+                       std::vector<ThreadWorkspace>& ws, ForbiddenSetKind fset,
+                       int chunk, int threads, std::vector<vid_t>& wnext,
+                       KernelCounters& counters) {
+  with_forbidden_set(fset, [&](auto fs) {
+    conflict_net_impl<decltype(fs)>(g, c, ws, chunk, threads, wnext,
+                                    counters);
+  });
 }
 
 }  // namespace gcol::detail

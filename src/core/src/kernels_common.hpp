@@ -5,6 +5,7 @@
 #pragma once
 
 #include <atomic>
+#include <type_traits>
 #include <vector>
 
 #include "greedcolor/core/options.hpp"
@@ -66,6 +67,95 @@ inline color_t pick_down(const MarkerSet& f, color_t start,
   return col;
 }
 
+// Word-parallel variants: the scan happens inside BitMarkerSet, one
+// probe counted per 64-color word instead of per color.
+inline color_t pick_up(const BitMarkerSet& f, color_t start,
+                       std::uint64_t& probes) {
+  return f.first_free_at_or_above(start, probes);
+}
+
+inline color_t pick_down(const BitMarkerSet& f, color_t start,
+                         std::uint64_t& probes) {
+  return f.first_free_at_or_below(start, probes);
+}
+
+/// Forbidden-set policies: which per-thread set the kernels mark into
+/// and whether they deduplicate distance-2 neighbors through the
+/// workspace's visited set. The stamped policy is byte-for-byte the
+/// paper's behavior (no dedup — the Θ(Σ|vtxs(v)|²) walk is part of what
+/// the reproduction measures); the bitmap policy is the fast default.
+struct StampedPolicy {
+  using Set = MarkerSet;
+  static constexpr bool kDedupNeighbors = false;
+  static MarkerSet& forbidden(ThreadWorkspace& t) { return t.forbidden; }
+};
+
+struct BitmapPolicy {
+  using Set = BitMarkerSet;
+  static constexpr bool kDedupNeighbors = true;
+  static BitMarkerSet& forbidden(ThreadWorkspace& t) {
+    return t.forbidden_bits;
+  }
+};
+
+/// Run `fn` with the ForbiddenSet policy selected by `fset`.
+template <class Fn>
+decltype(auto) with_forbidden_set(ForbiddenSetKind fset, Fn&& fn) {
+  if (fset == ForbiddenSetKind::kBitmap) return fn(BitmapPolicy{});
+  return fn(StampedPolicy{});
+}
+
+/// Run `fn` with the balance policy lifted to a compile-time constant.
+template <class Fn>
+decltype(auto) with_balance(BalancePolicy b, Fn&& fn) {
+  switch (b) {
+    case BalancePolicy::kB1:
+      return fn(
+          std::integral_constant<BalancePolicy, BalancePolicy::kB1>{});
+    case BalancePolicy::kB2:
+      return fn(
+          std::integral_constant<BalancePolicy, BalancePolicy::kB2>{});
+    case BalancePolicy::kNone:
+    default:
+      return fn(
+          std::integral_constant<BalancePolicy, BalancePolicy::kNone>{});
+  }
+}
+
+/// Per-thread counter slots, cache-line padded; replaces the
+/// `omp critical` merge at phase exit with a plain post-region sum.
+class CounterSlots {
+ public:
+  explicit CounterSlots(int threads)
+      : slots_(static_cast<std::size_t>(threads > 0 ? threads : 1)) {}
+
+  /// Worker-side hand-off; must be the thread's last action in the
+  /// parallel region. The release increment pairs with merge_into's
+  /// acquire load, ordering *everything* the worker wrote (counters,
+  /// private queues, workspace state) before the main thread's
+  /// post-region reads. Semantically redundant — the region's implicit
+  /// barrier already orders it — but an uninstrumented libgomp runs
+  /// that barrier on raw futexes ThreadSanitizer cannot see, and this
+  /// is the edge it can.
+  void publish(int tid, const KernelCounters& local) {
+    slots_[static_cast<std::size_t>(tid)].value = local;
+    published_.fetch_add(1, std::memory_order_release);
+  }
+
+  /// Main-thread merge; call only after the parallel region joined.
+  void merge_into(KernelCounters& total) const {
+    (void)published_.load(std::memory_order_acquire);
+    for (const Slot& s : slots_) total += s.value;
+  }
+
+ private:
+  struct alignas(64) Slot {
+    KernelCounters value;
+  };
+  std::vector<Slot> slots_;
+  std::atomic<int> published_{0};
+};
+
 /// Per-thread, per-round state of the balancing heuristics.
 struct PolicyState {
   color_t col_max = 0;   // B1 & B2 (Alg. 11 l.1, Alg. 12 l.1)
@@ -74,8 +164,8 @@ struct PolicyState {
 
 /// Vertex-kernel color selection (Algorithms 2 / 11 / 12). `w` is the
 /// vertex id (B1 alternates policy on its parity).
-template <BalancePolicy B>
-inline color_t pick_vertex_color(PolicyState& st, const MarkerSet& f,
+template <BalancePolicy B, class Set>
+inline color_t pick_vertex_color(PolicyState& st, const Set& f,
                                  vid_t w, std::uint64_t& probes) {
   if constexpr (B == BalancePolicy::kNone) {
     (void)st;
@@ -105,8 +195,8 @@ inline color_t pick_vertex_color(PolicyState& st, const MarkerSet& f,
 /// and |nbor(v)| for D2GC (Lemma 1's reverse-first-fit origin). After
 /// every assignment the color is added to F so two local-queue vertices
 /// never clash within this net.
-template <BalancePolicy B>
-inline void color_local_queue(PolicyState& st, MarkerSet& f,
+template <BalancePolicy B, class Set>
+inline void color_local_queue(PolicyState& st, Set& f,
                               const std::vector<vid_t>& wlocal,
                               vid_t net_id, color_t start, color_t* c,
                               std::uint64_t& probes,

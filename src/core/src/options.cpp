@@ -20,6 +20,37 @@ std::string to_string(BalancePolicy b) {
   return "?";
 }
 
+std::string to_string(ForbiddenSetKind f) {
+  return f == ForbiddenSetKind::kStamped ? "stamped" : "bitmap";
+}
+
+std::string to_string(LocalityMode m) {
+  switch (m) {
+    case LocalityMode::kNone:
+      return "none";
+    case LocalityMode::kSortAdj:
+      return "sort";
+    case LocalityMode::kFull:
+      return "full";
+  }
+  return "?";
+}
+
+ForbiddenSetKind forbidden_set_from_string(const std::string& name) {
+  if (name == "stamped") return ForbiddenSetKind::kStamped;
+  if (name == "bitmap") return ForbiddenSetKind::kBitmap;
+  throw std::invalid_argument("unknown forbidden-set kind: " + name +
+                              " (expected stamped or bitmap)");
+}
+
+LocalityMode locality_from_string(const std::string& name) {
+  if (name == "none") return LocalityMode::kNone;
+  if (name == "sort") return LocalityMode::kSortAdj;
+  if (name == "full") return LocalityMode::kFull;
+  throw std::invalid_argument("unknown locality mode: " + name +
+                              " (expected none, sort, or full)");
+}
+
 void ColoringOptions::validate() const {
   if (net_color_rounds < 0)
     throw std::invalid_argument("net_color_rounds must be >= 0");
@@ -48,6 +79,10 @@ namespace {
 ColoringOptions make_preset(const std::string& name) {
   ColoringOptions o;
   o.name = name;
+  // Named presets reproduce the paper's variants exactly, so they pin
+  // the stamped forbidden sets; callers wanting the fast kernels flip
+  // forbidden_set back to kBitmap (color_tool's --forbidden-set does).
+  o.forbidden_set = ForbiddenSetKind::kStamped;
   if (name == "V-V") {
     // ColPack's parallel BGPC: vertex kernels, default dynamic chunk,
     // shared immediate conflict queue.

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -85,11 +86,11 @@ struct FaultPlan {
 /// net). Returns the number of vertices actually corrupted. Called by
 /// color_bgpc after each round when a plan is attached.
 vid_t inject_stale_colors(const FaultPlan& plan, const BipartiteGraph& g,
-                          int round, std::vector<color_t>& colors);
+                          int round, std::span<color_t> colors);
 
 /// D2GC flavor: the stale color comes from a distance-<=2 neighbor.
 vid_t inject_stale_colors(const FaultPlan& plan, const Graph& g, int round,
-                          std::vector<color_t>& colors);
+                          std::span<color_t> colors);
 
 /// Sleep for delay_ms when the plan stalls this round. Returns true if
 /// a stall happened (so callers can count them).

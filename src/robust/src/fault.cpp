@@ -150,7 +150,7 @@ namespace {
 /// delayed thread creates.
 template <typename PartnerScan>
 vid_t inject_with(const FaultPlan& plan, vid_t n, int round,
-                  std::vector<color_t>& colors, PartnerScan scan) {
+                  std::span<color_t> colors, PartnerScan scan) {
   if (plan.stale_color_rate <= 0.0) return 0;
   vid_t corrupted = 0;
   for (vid_t u = 0; u < n; ++u) {
@@ -167,7 +167,7 @@ vid_t inject_with(const FaultPlan& plan, vid_t n, int round,
 }  // namespace
 
 vid_t inject_stale_colors(const FaultPlan& plan, const BipartiteGraph& g,
-                          int round, std::vector<color_t>& colors) {
+                          int round, std::span<color_t> colors) {
   return inject_with(
       plan, g.num_vertices(), round, colors, [&](vid_t u) -> color_t {
         const color_t cu = colors[static_cast<std::size_t>(u)];
@@ -183,7 +183,7 @@ vid_t inject_stale_colors(const FaultPlan& plan, const BipartiteGraph& g,
 }
 
 vid_t inject_stale_colors(const FaultPlan& plan, const Graph& g, int round,
-                          std::vector<color_t>& colors) {
+                          std::span<color_t> colors) {
   return inject_with(
       plan, g.num_vertices(), round, colors, [&](vid_t u) -> color_t {
         const color_t cu = colors[static_cast<std::size_t>(u)];

@@ -1,15 +1,25 @@
-// Stamped marker sets: the forbidden-color arrays of the paper.
+// Forbidden-color set representations.
 //
 // The paper's "Implementation details" paragraph is explicit: the
 // forbidden sets F are allocated once per thread as plain arrays and are
-// *never reset*; a per-use stamp distinguishes live entries. This file
-// implements exactly that idiom.
+// *never reset*; a per-use stamp distinguishes live entries. MarkerSet
+// implements exactly that idiom and stays selectable for the
+// paper-faithful reproduction benches.
+//
+// BitMarkerSet is the word-parallel alternative: colors are packed 64
+// per machine word and first-fit / reverse-first-fit become single-word
+// bit scans (countr_one / countl_one) instead of one probe per color.
+// O(1) clear() is preserved through lazy *per-word* stamps: a word whose
+// stamp is stale is treated as all-free and only rewritten when next
+// touched. See DESIGN.md "Word-parallel forbidden sets".
 #pragma once
 
+#include <bit>
 #include <cassert>
 #include <cstdint>
 #include <vector>
 
+#include "greedcolor/util/counters.hpp"
 #include "greedcolor/util/types.hpp"
 
 namespace gcol {
@@ -38,13 +48,13 @@ class MarkerSet {
     }
   }
 
-  /// Insert, growing the universe if needed. Growth is rare (color ids
-  /// stay below the structural bound) but keeps speculative races from
-  /// ever writing out of bounds.
+  /// Insert, growing the universe if needed. The drivers pre-size every
+  /// workspace from the structural color bound, so growth never fires
+  /// mid-phase; it remains as a guard (geometric, not per-key) so a
+  /// speculative race can never write out of bounds.
   void insert(std::int64_t key) {
     assert(key >= 0);
-    if (static_cast<std::size_t>(key) >= marks_.size())
-      marks_.resize(static_cast<std::size_t>(key) + 64, 0);
+    if (static_cast<std::size_t>(key) >= marks_.size()) grow(key);
     marks_[static_cast<std::size_t>(key)] = stamp_;
   }
 
@@ -54,20 +64,194 @@ class MarkerSet {
     return marks_[static_cast<std::size_t>(key)] == stamp_;
   }
 
+  /// Insert; returns true iff the key was already present (fused
+  /// contains+insert, the duplicate test of the net-based kernels).
+  bool test_and_set(std::int64_t key) {
+    assert(key >= 0);
+    if (static_cast<std::size_t>(key) >= marks_.size()) grow(key);
+    const bool present = marks_[static_cast<std::size_t>(key)] == stamp_;
+    marks_[static_cast<std::size_t>(key)] = stamp_;
+    return present;
+  }
+
+  /// Test-only hook: force the stamp near its wraparound point so the
+  /// lazy-reset path in clear() is exercised without 2^32 rounds.
+  void debug_set_stamp(std::uint32_t stamp) { stamp_ = stamp; }
+
  private:
+  void grow(std::int64_t key) {
+    marks_.resize(std::max(static_cast<std::size_t>(key) + 1,
+                           marks_.size() * 2),
+                  0);
+  }
+
   std::vector<std::uint32_t> marks_;
   std::uint32_t stamp_ = 1;  // marks_ filled with 0 => initially empty
 };
 
-/// Thread-private scratch space for one coloring worker: the forbidden
-/// color set plus the local vertex queue of Algorithm 8 (emptied by
-/// resetting a cursor, never deallocated).
+/// Word-parallel marker set: the same dense-universe set contract as
+/// MarkerSet (O(1) insert/contains/clear, grow-on-demand, contains()
+/// false beyond capacity) plus whole-word first-free scans, so a
+/// first-fit that would probe up to 64 colors costs one countr_one.
+/// Not thread-safe; one instance per worker thread.
+class BitMarkerSet {
+ public:
+  BitMarkerSet() = default;
+
+  explicit BitMarkerSet(std::size_t capacity) { ensure_capacity(capacity); }
+
+  void ensure_capacity(std::size_t capacity) {
+    const std::size_t words = (capacity + 63) / 64;
+    if (words_.size() < words) words_.resize(words);
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return words_.size() * 64; }
+
+  /// O(1): invalidate every word's stamp. On the (rare) wraparound every
+  /// slot is reset so a stale stamp can never alias the new epoch.
+  void clear() {
+    if (++stamp_ == 0) {
+      std::fill(words_.begin(), words_.end(), Slot{});
+      stamp_ = 1;
+    }
+  }
+
+  void insert(std::int64_t key) {
+    assert(key >= 0);
+    const auto k = static_cast<std::size_t>(key);
+    const std::size_t wi = k >> 6;
+    if (wi >= words_.size()) grow(wi);
+    Slot& s = words_[wi];
+    if (s.stamp != stamp_) {
+      s.stamp = stamp_;
+      s.bits = 0;
+    }
+    s.bits |= std::uint64_t{1} << (k & 63);
+  }
+
+  [[nodiscard]] bool contains(std::int64_t key) const {
+    assert(key >= 0);
+    const auto k = static_cast<std::size_t>(key);
+    const std::size_t wi = k >> 6;
+    if (wi >= words_.size()) return false;
+    const Slot& s = words_[wi];
+    if (s.stamp != stamp_) return false;
+    return (s.bits >> (k & 63)) & 1u;
+  }
+
+  /// Insert; returns true iff the key was already present.
+  bool test_and_set(std::int64_t key) {
+    assert(key >= 0);
+    const auto k = static_cast<std::size_t>(key);
+    const std::size_t wi = k >> 6;
+    if (wi >= words_.size()) grow(wi);
+    Slot& s = words_[wi];
+    if (s.stamp != stamp_) {
+      s.stamp = stamp_;
+      s.bits = 0;
+    }
+    const std::uint64_t bit = std::uint64_t{1} << (k & 63);
+    const bool present = (s.bits & bit) != 0;
+    s.bits |= bit;
+    return present;
+  }
+
+  /// Smallest key >= start not in the set (plain first-fit). Everything
+  /// beyond capacity is free by definition. `probes` counts one unit per
+  /// *word* examined — the bitmap analogue of MarkerSet's per-color
+  /// probe, and what BENCH_kernels.json compares across modes.
+  [[nodiscard]] color_t first_free_at_or_above(color_t start,
+                                               std::uint64_t& probes) const {
+    assert(start >= 0);
+    auto k = static_cast<std::size_t>(start);
+    std::size_t wi = k >> 6;
+    unsigned bit = static_cast<unsigned>(k & 63);
+    while (wi < words_.size()) {
+      GCOL_COUNT(++probes);
+      const Slot& s = words_[wi];
+      const std::uint64_t live = s.stamp == stamp_ ? s.bits : 0;
+      const unsigned free_at =
+          bit + static_cast<unsigned>(std::countr_one(live >> bit));
+      if (free_at < 64)
+        return static_cast<color_t>(wi * 64 + free_at);
+      ++wi;
+      bit = 0;
+    }
+    GCOL_COUNT(++probes);
+    const std::size_t past_end = words_.size() * 64;
+    return static_cast<color_t>(std::max(k, past_end));
+  }
+
+  /// Largest key <= start not in the set, or kNoColor when the scan
+  /// passes 0 (Alg. 8's reverse first-fit as a high-bit scan).
+  [[nodiscard]] color_t first_free_at_or_below(color_t start,
+                                               std::uint64_t& probes) const {
+    if (start < 0) {
+      GCOL_COUNT(++probes);
+      return kNoColor;
+    }
+    const auto k = static_cast<std::size_t>(start);
+    std::size_t wi = k >> 6;
+    if (wi >= words_.size()) {
+      GCOL_COUNT(++probes);
+      return start;  // beyond capacity: free
+    }
+    unsigned bit = static_cast<unsigned>(k & 63);
+    while (true) {
+      GCOL_COUNT(++probes);
+      const Slot& s = words_[wi];
+      const std::uint64_t live = s.stamp == stamp_ ? s.bits : 0;
+      // Shift `bit` to the MSB; countl_one then counts the occupied run
+      // downward from `bit` (shifted-in low bits are zero, so the count
+      // never exceeds bit + 1).
+      const auto ones = static_cast<unsigned>(
+          std::countl_one(live << (63 - bit)));
+      if (ones <= bit)
+        return static_cast<color_t>(wi * 64 + bit - ones);
+      if (wi == 0) return kNoColor;
+      --wi;
+      bit = 63;
+    }
+  }
+
+  /// Test-only hook (see MarkerSet::debug_set_stamp).
+  void debug_set_stamp(std::uint32_t stamp) { stamp_ = stamp; }
+
+ private:
+  // The word and its lazy-clear epoch share one slot so the hot-path
+  // insert touches a single cache line, like MarkerSet's plain store; a
+  // split words/stamps pair costs two random lines per insert, which
+  // measurably dominates insert-bound kernels.
+  struct Slot {
+    std::uint64_t bits = 0;
+    std::uint32_t stamp = 0;  // slot stamp 0 never matches stamp_ >= 1
+  };
+
+  void grow(std::size_t wi) {
+    words_.resize(std::max(wi + 1, words_.size() * 2));
+  }
+
+  std::vector<Slot> words_;
+  std::uint32_t stamp_ = 1;
+};
+
+/// Thread-private scratch space for one coloring worker: both
+/// forbidden-set representations (the kernels pick one through the
+/// ForbiddenSet policy; the unused one stays empty and costs only its
+/// header), the visited stamp set that deduplicates distance-2
+/// neighbors in the vertex-based kernels, and the local vertex queue of
+/// Algorithm 8 (emptied by resetting a cursor, never deallocated).
 struct ThreadWorkspace {
   MarkerSet forbidden;
+  BitMarkerSet forbidden_bits;
+  MarkerSet visited;  // vertex-id universe, bitmap-policy kernels only
   std::vector<vid_t> local_queue;
 
-  void prepare(std::size_t color_capacity, std::size_t queue_capacity) {
+  void prepare(std::size_t color_capacity, std::size_t queue_capacity,
+               std::size_t visited_capacity = 0) {
     forbidden.ensure_capacity(color_capacity);
+    forbidden_bits.ensure_capacity(color_capacity);
+    if (visited_capacity > 0) visited.ensure_capacity(visited_capacity);
     if (local_queue.capacity() < queue_capacity)
       local_queue.reserve(queue_capacity);
   }

@@ -1,0 +1,230 @@
+// BitMarkerSet unit and randomized-equivalence tests: the word-parallel
+// set must agree with the stamped MarkerSet on every membership query
+// and with a naive linear scan on every first-free probe, including
+// across clear() epochs, stamp wraparound, and word boundaries.
+#include "greedcolor/util/marker_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "greedcolor/util/prng.hpp"
+
+namespace gcol {
+namespace {
+
+// Reference first-fit: smallest key >= start the set does not contain.
+color_t ref_first_free_above(const BitMarkerSet& s, color_t start) {
+  color_t c = start;
+  while (s.contains(c)) ++c;
+  return c;
+}
+
+// Reference reverse first-fit: largest key <= start not in the set.
+color_t ref_first_free_below(const BitMarkerSet& s, color_t start) {
+  for (color_t c = start; c >= 0; --c)
+    if (!s.contains(c)) return c;
+  return kNoColor;
+}
+
+TEST(BitMarkerSet, StartsEmpty) {
+  BitMarkerSet s(130);
+  for (int k = 0; k < 130; ++k) EXPECT_FALSE(s.contains(k));
+}
+
+TEST(BitMarkerSet, InsertThenContains) {
+  BitMarkerSet s(128);
+  s.insert(0);
+  s.insert(63);
+  s.insert(64);
+  s.insert(65);
+  EXPECT_TRUE(s.contains(0));
+  EXPECT_TRUE(s.contains(63));
+  EXPECT_TRUE(s.contains(64));
+  EXPECT_TRUE(s.contains(65));
+  EXPECT_FALSE(s.contains(1));
+  EXPECT_FALSE(s.contains(62));
+  EXPECT_FALSE(s.contains(66));
+}
+
+TEST(BitMarkerSet, ContainsFalseBeyondCapacity) {
+  BitMarkerSet s(64);
+  EXPECT_FALSE(s.contains(1000));
+}
+
+TEST(BitMarkerSet, ClearEmptiesLazily) {
+  BitMarkerSet s(256);
+  for (int k = 0; k < 256; k += 3) s.insert(k);
+  s.clear();
+  for (int k = 0; k < 256; ++k) EXPECT_FALSE(s.contains(k));
+  s.insert(5);
+  EXPECT_TRUE(s.contains(5));
+  EXPECT_FALSE(s.contains(4));
+}
+
+TEST(BitMarkerSet, TestAndSetMatchesContainsInsert) {
+  BitMarkerSet s(128);
+  EXPECT_FALSE(s.test_and_set(70));
+  EXPECT_TRUE(s.test_and_set(70));
+  EXPECT_TRUE(s.contains(70));
+  s.clear();
+  EXPECT_FALSE(s.test_and_set(70));
+}
+
+TEST(BitMarkerSet, AutoGrowsOnInsert) {
+  BitMarkerSet s;
+  s.insert(500);
+  EXPECT_TRUE(s.contains(500));
+  EXPECT_GE(s.capacity(), 501u);
+  EXPECT_FALSE(s.contains(499));
+}
+
+TEST(BitMarkerSet, FirstFreeWordBoundaries) {
+  BitMarkerSet s(256);
+  std::uint64_t probes = 0;
+  // Fill exactly one word.
+  for (int k = 0; k < 64; ++k) s.insert(k);
+  EXPECT_EQ(s.first_free_at_or_above(0, probes), 64);
+  EXPECT_EQ(s.first_free_at_or_above(63, probes), 64);
+  EXPECT_EQ(s.first_free_at_or_above(64, probes), 64);
+  s.insert(64);
+  EXPECT_EQ(s.first_free_at_or_above(0, probes), 65);
+  // Reverse scans across the same boundary.
+  EXPECT_EQ(s.first_free_at_or_below(65, probes), 65);
+  EXPECT_EQ(s.first_free_at_or_below(64, probes), kNoColor);
+  EXPECT_EQ(s.first_free_at_or_below(63, probes), kNoColor);
+  s.clear();
+  s.insert(65);
+  EXPECT_EQ(s.first_free_at_or_below(65, probes), 64);
+}
+
+TEST(BitMarkerSet, FirstFreeBeyondCapacityIsFree) {
+  BitMarkerSet s(64);
+  std::uint64_t probes = 0;
+  for (int k = 0; k < 64; ++k) s.insert(k);
+  EXPECT_EQ(s.first_free_at_or_above(0, probes), 64);
+  EXPECT_EQ(s.first_free_at_or_below(1000, probes), 1000);
+}
+
+TEST(BitMarkerSet, FirstFreeBelowNegativeStart) {
+  BitMarkerSet s(64);
+  std::uint64_t probes = 0;
+  EXPECT_EQ(s.first_free_at_or_below(-1, probes), kNoColor);
+}
+
+TEST(BitMarkerSet, FirstFreeCountsWordProbes) {
+  if (!kCountersEnabled) GTEST_SKIP() << "counters compiled out";
+  BitMarkerSet s(256);
+  for (int k = 0; k < 128; ++k) s.insert(k);
+  std::uint64_t probes = 0;
+  EXPECT_EQ(s.first_free_at_or_above(0, probes), 128);
+  // Two full words examined plus the word holding the answer.
+  EXPECT_EQ(probes, 3u);
+}
+
+TEST(BitMarkerSet, StampWraparoundResetsBothArrays) {
+  BitMarkerSet s(128);
+  s.insert(10);
+  s.insert(100);
+  s.debug_set_stamp(0xFFFFFFFFu);
+  s.insert(20);  // written under the pre-wrap stamp
+  s.clear();     // wraps: stamp_ -> 1, both arrays zeroed
+  for (int k = 0; k < 128; ++k)
+    EXPECT_FALSE(s.contains(k)) << "stale key " << k << " survived wrap";
+  s.insert(30);
+  EXPECT_TRUE(s.contains(30));
+  EXPECT_FALSE(s.contains(10));
+  EXPECT_FALSE(s.contains(20));
+}
+
+TEST(BitMarkerSet, StampWraparoundMatchesMarkerSet) {
+  MarkerSet a(128);
+  BitMarkerSet b(128);
+  a.debug_set_stamp(0xFFFFFFFEu);
+  b.debug_set_stamp(0xFFFFFFFEu);
+  Xoshiro256 rng(99);
+  for (int round = 0; round < 5; ++round) {  // crosses the wrap point
+    a.clear();
+    b.clear();
+    for (int i = 0; i < 40; ++i) {
+      const auto k = static_cast<std::int64_t>(rng() % 128);
+      a.insert(k);
+      b.insert(k);
+    }
+    for (int k = 0; k < 128; ++k)
+      EXPECT_EQ(a.contains(k), b.contains(k))
+          << "round " << round << " key " << k;
+  }
+}
+
+TEST(BitMarkerSet, RandomizedEquivalenceWithMarkerSet) {
+  MarkerSet a;
+  BitMarkerSet b;
+  Xoshiro256 rng(0xC01055);
+  for (int round = 0; round < 200; ++round) {
+    a.clear();
+    b.clear();
+    const int universe = 1 + static_cast<int>(rng() % 300);
+    const int inserts = static_cast<int>(rng() % 80);
+    for (int i = 0; i < inserts; ++i) {
+      const auto k = static_cast<std::int64_t>(rng() % universe);
+      if (rng() & 1) {
+        a.insert(k);
+        b.insert(k);
+      } else {
+        EXPECT_EQ(a.test_and_set(k), b.test_and_set(k)) << "key " << k;
+      }
+    }
+    for (int k = 0; k < universe + 10; ++k)
+      EXPECT_EQ(a.contains(k), b.contains(k)) << "key " << k;
+  }
+}
+
+TEST(BitMarkerSet, RandomizedFirstFreeMatchesLinearScan) {
+  BitMarkerSet s;
+  Xoshiro256 rng(0xF1F1);
+  for (int round = 0; round < 200; ++round) {
+    s.clear();
+    const int universe = 1 + static_cast<int>(rng() % 400);
+    const int inserts = static_cast<int>(rng() % 200);
+    for (int i = 0; i < inserts; ++i)
+      s.insert(static_cast<std::int64_t>(rng() % universe));
+    std::uint64_t probes = 0;
+    for (int trial = 0; trial < 8; ++trial) {
+      const auto start = static_cast<color_t>(rng() % (universe + 70));
+      EXPECT_EQ(s.first_free_at_or_above(start, probes),
+                ref_first_free_above(s, start))
+          << "round " << round << " up from " << start;
+      EXPECT_EQ(s.first_free_at_or_below(start, probes),
+                ref_first_free_below(s, start))
+          << "round " << round << " down from " << start;
+    }
+  }
+}
+
+TEST(MarkerSetGrowth, GeometricNotPerKey) {
+  MarkerSet s(4);
+  s.insert(100);
+  const std::size_t after_first = s.capacity();
+  EXPECT_GE(after_first, 101u);
+  // Growth at the boundary doubles (geometric), instead of the old
+  // grow-to-key+64 policy that resized on every 65th consecutive key.
+  s.insert(static_cast<std::int64_t>(after_first));
+  const std::size_t after_second = s.capacity();
+  EXPECT_GE(after_second, after_first * 2);
+  // Everything inside the doubled capacity inserts without resizing.
+  s.insert(static_cast<std::int64_t>(after_second - 1));
+  EXPECT_EQ(s.capacity(), after_second);
+}
+
+TEST(ThreadWorkspaceTest, PreparesVisitedOnDemand) {
+  ThreadWorkspace w;
+  w.prepare(128, 16);  // 2-arg form: no visited universe requested
+  EXPECT_GE(w.forbidden.capacity(), 128u);
+  EXPECT_GE(w.forbidden_bits.capacity(), 128u);
+  w.prepare(128, 16, 1000);
+  EXPECT_GE(w.visited.capacity(), 1000u);
+}
+
+}  // namespace
+}  // namespace gcol

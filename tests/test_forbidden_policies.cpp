@@ -1,0 +1,220 @@
+// End-to-end coverage for the forbidden-set policies and the locality
+// pass: every preset must produce a valid coloring under both the
+// stamped and the bitmap kernels, sequential thread-1 runs must be
+// bit-identical across modes (the policies only change how a color is
+// found, not which color first-fit picks), and locality reordering must
+// be a pure renumbering (identical colors at one thread, valid in
+// parallel).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "greedcolor/core/bgpc.hpp"
+#include "greedcolor/core/d2gc.hpp"
+#include "greedcolor/core/options.hpp"
+#include "greedcolor/core/verify.hpp"
+#include "greedcolor/graph/builder.hpp"
+#include "greedcolor/graph/generators.hpp"
+#include "greedcolor/order/ordering.hpp"
+
+namespace gcol {
+namespace {
+
+const BipartiteGraph& test_bgraph() {
+  static const BipartiteGraph g =
+      build_bipartite(gen_clique_union(1500, 520, 2, 40, 1.6, 42));
+  return g;
+}
+
+const Graph& test_ugraph() {
+  static const Graph g = build_graph(gen_mesh2d(28, 28, 1));
+  return g;
+}
+
+constexpr ForbiddenSetKind kBothKinds[] = {ForbiddenSetKind::kStamped,
+                                           ForbiddenSetKind::kBitmap};
+
+TEST(ForbiddenPolicies, BgpcAllPresetsValidBothModes) {
+  const auto& g = test_bgraph();
+  for (const auto& name : bgpc_preset_names()) {
+    for (const ForbiddenSetKind fset : kBothKinds) {
+      ColoringOptions opt = bgpc_preset(name);
+      opt.num_threads = 4;
+      opt.forbidden_set = fset;
+      const auto r = color_bgpc(g, opt);
+      EXPECT_TRUE(is_valid_bgpc(g, r.colors))
+          << name << " fset=" << to_string(fset);
+      EXPECT_GT(r.num_colors, 0) << name << " fset=" << to_string(fset);
+    }
+  }
+}
+
+TEST(ForbiddenPolicies, BgpcAdaptivePresetValidBothModes) {
+  const auto& g = test_bgraph();
+  for (const ForbiddenSetKind fset : kBothKinds) {
+    ColoringOptions opt = bgpc_preset("ADAPTIVE");
+    opt.num_threads = 4;
+    opt.forbidden_set = fset;
+    const auto r = color_bgpc(g, opt);
+    EXPECT_TRUE(is_valid_bgpc(g, r.colors)) << "fset=" << to_string(fset);
+  }
+}
+
+TEST(ForbiddenPolicies, BgpcBalancedValidBothModes) {
+  const auto& g = test_bgraph();
+  for (const BalancePolicy b : {BalancePolicy::kB1, BalancePolicy::kB2}) {
+    for (const ForbiddenSetKind fset : kBothKinds) {
+      ColoringOptions opt = bgpc_preset("V-N2");
+      opt.num_threads = 4;
+      opt.balance = b;
+      opt.forbidden_set = fset;
+      const auto r = color_bgpc(g, opt);
+      EXPECT_TRUE(is_valid_bgpc(g, r.colors))
+          << to_string(b) << " fset=" << to_string(fset);
+    }
+  }
+}
+
+TEST(ForbiddenPolicies, BgpcSingleThreadModesAgree) {
+  const auto& g = test_bgraph();
+  for (const auto& name : bgpc_preset_names()) {
+    ColoringOptions opt = bgpc_preset(name);
+    opt.num_threads = 1;
+    opt.forbidden_set = ForbiddenSetKind::kStamped;
+    const auto stamped = color_bgpc(g, opt);
+    opt.forbidden_set = ForbiddenSetKind::kBitmap;
+    const auto bitmap = color_bgpc(g, opt);
+    EXPECT_EQ(stamped.colors, bitmap.colors) << name;
+    EXPECT_EQ(stamped.num_colors, bitmap.num_colors) << name;
+  }
+}
+
+TEST(ForbiddenPolicies, BgpcEdgesVisitedInvariantAcrossModes) {
+  if (!kCountersEnabled) GTEST_SKIP() << "counters compiled out";
+  // Neighbor dedup in bitmap mode skips marker work, never traversal:
+  // the edges_visited profile must stay identical at one thread.
+  const auto& g = test_bgraph();
+  for (const auto& name : {"V-V", "N1-N2"}) {
+    ColoringOptions opt = bgpc_preset(name);
+    opt.num_threads = 1;
+    opt.forbidden_set = ForbiddenSetKind::kStamped;
+    const auto stamped = color_bgpc(g, opt);
+    opt.forbidden_set = ForbiddenSetKind::kBitmap;
+    const auto bitmap = color_bgpc(g, opt);
+    EXPECT_EQ(stamped.total_color_counters().edges_visited,
+              bitmap.total_color_counters().edges_visited)
+        << name;
+    EXPECT_EQ(stamped.total_conflict_counters().edges_visited,
+              bitmap.total_conflict_counters().edges_visited)
+        << name;
+    // The whole point: whole-word scans need far fewer probes.
+    EXPECT_LT(bitmap.total_color_counters().color_probes,
+              stamped.total_color_counters().color_probes)
+        << name;
+  }
+}
+
+TEST(ForbiddenPolicies, D2gcAllPresetsValidBothModes) {
+  const auto& g = test_ugraph();
+  for (const auto& name : d2gc_preset_names()) {
+    for (const ForbiddenSetKind fset : kBothKinds) {
+      ColoringOptions opt = d2gc_preset(name);
+      opt.num_threads = 4;
+      opt.forbidden_set = fset;
+      const auto r = color_d2gc(g, opt);
+      EXPECT_TRUE(is_valid_d2gc(g, r.colors))
+          << name << " fset=" << to_string(fset);
+    }
+  }
+}
+
+TEST(ForbiddenPolicies, D2gcSingleThreadModesAgree) {
+  const auto& g = test_ugraph();
+  for (const auto& name : d2gc_preset_names()) {
+    ColoringOptions opt = d2gc_preset(name);
+    opt.num_threads = 1;
+    opt.forbidden_set = ForbiddenSetKind::kStamped;
+    const auto stamped = color_d2gc(g, opt);
+    opt.forbidden_set = ForbiddenSetKind::kBitmap;
+    const auto bitmap = color_d2gc(g, opt);
+    EXPECT_EQ(stamped.colors, bitmap.colors) << name;
+  }
+}
+
+TEST(Locality, BgpcFullReorderIsPureRenumbering) {
+  const auto& g = test_bgraph();
+  ColoringOptions base = bgpc_preset("V-V");
+  base.num_threads = 1;
+  const auto plain = color_bgpc(g, base);
+  for (const LocalityMode mode :
+       {LocalityMode::kSortAdj, LocalityMode::kFull}) {
+    ColoringOptions opt = base;
+    opt.locality = mode;
+    const auto reordered = color_bgpc(g, opt);
+    EXPECT_EQ(plain.colors, reordered.colors) << to_string(mode);
+  }
+}
+
+TEST(Locality, BgpcParallelLocalityValid) {
+  const auto& g = test_bgraph();
+  for (const auto& name : {"V-V", "N1-N2"}) {
+    for (const LocalityMode mode :
+         {LocalityMode::kSortAdj, LocalityMode::kFull}) {
+      for (const ForbiddenSetKind fset : kBothKinds) {
+        ColoringOptions opt = bgpc_preset(name);
+        opt.num_threads = 4;
+        opt.locality = mode;
+        opt.forbidden_set = fset;
+        const auto r = color_bgpc(g, opt);
+        EXPECT_TRUE(is_valid_bgpc(g, r.colors))
+            << name << " locality=" << to_string(mode)
+            << " fset=" << to_string(fset);
+      }
+    }
+  }
+}
+
+TEST(Locality, BgpcLocalityRespectsExplicitOrder) {
+  const auto& g = test_bgraph();
+  const auto order = make_ordering(g, OrderingKind::kSmallestLast);
+  ColoringOptions base = bgpc_preset("V-V");
+  base.num_threads = 1;
+  const auto plain = color_bgpc(g, base, order);
+  ColoringOptions opt = base;
+  opt.locality = LocalityMode::kFull;
+  const auto reordered = color_bgpc(g, opt, order);
+  EXPECT_EQ(plain.colors, reordered.colors);
+}
+
+TEST(Locality, D2gcFullReorderIsPureRenumbering) {
+  const auto& g = test_ugraph();
+  ColoringOptions base = d2gc_preset("V-V-64D");
+  base.num_threads = 1;
+  const auto plain = color_d2gc(g, base);
+  for (const LocalityMode mode :
+       {LocalityMode::kSortAdj, LocalityMode::kFull}) {
+    ColoringOptions opt = base;
+    opt.locality = mode;
+    const auto reordered = color_d2gc(g, opt);
+    EXPECT_EQ(plain.colors, reordered.colors) << to_string(mode);
+  }
+}
+
+TEST(Locality, D2gcParallelLocalityValid) {
+  const auto& g = test_ugraph();
+  for (const LocalityMode mode :
+       {LocalityMode::kSortAdj, LocalityMode::kFull}) {
+    for (const ForbiddenSetKind fset : kBothKinds) {
+      ColoringOptions opt = d2gc_preset("N1-N2");
+      opt.num_threads = 4;
+      opt.locality = mode;
+      opt.forbidden_set = fset;
+      const auto r = color_d2gc(g, opt);
+      EXPECT_TRUE(is_valid_d2gc(g, r.colors))
+          << "locality=" << to_string(mode) << " fset=" << to_string(fset);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gcol
