@@ -11,6 +11,8 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "greedcolor/analyze/audit.hpp"
+#include "greedcolor/analyze/structure.hpp"
 #include "greedcolor/core/bgpc.hpp"
 #include "greedcolor/core/color_stats.hpp"
 #include "greedcolor/core/d1gc.hpp"
@@ -109,6 +111,10 @@ static int run(int argc, char** argv) {
            "  --max-rounds N       speculative round / superstep budget\n"
            "  --fault-plan SPEC    inject faults, e.g. "
            "'seed=7,stale=0.1,drop=0.2'\n"
+           "  --analyze            structural input analysis; exit 2 if "
+           "the graph is broken\n"
+           "  --audit              attach the speculative-race auditor "
+           "and print its report\n"
            "exit codes: 0 ok, 1 usage, 2 bad input (typed), 3 internal\n";
     return EXIT_SUCCESS;
   }
@@ -160,10 +166,31 @@ static int run(int argc, char** argv) {
       forbidden_set_from_string(args.get_string("forbidden-set", "bitmap"));
   const LocalityMode locality =
       locality_from_string(args.get_string("locality", "none"));
+  // Speculative-race auditor (--audit): checks the partial coloring
+  // after every conflict-removal pass; report printed after the run.
+  audit::AuditContext audit_ctx;
+  const bool want_audit = args.has("audit");
+  // Structural input analysis (--analyze): report + typed rejection of
+  // broken graphs before any kernel runs on them.
+  const auto analyze_input = [&](const auto& graph) {
+    if (!args.has("analyze")) return;
+    const GraphAnalysis analysis = analyze_graph(graph);
+    std::cout << analysis.to_string() << "\n";
+    if (!analysis.ok())
+      throw Error(ErrorCode::kBadInput,
+                  "structural analysis found " +
+                      std::to_string(analysis.total_issues) + " issue(s)");
+  };
+  const auto print_audit = [&]() {
+    if (want_audit)
+      std::cout << "audit            " << audit_ctx.report().summary()
+                << "\n";
+  };
   const auto apply_robust_options = [&](ColoringOptions& options) {
     options.deadline_seconds = deadline_seconds;
     if (max_rounds > 0) options.max_rounds = max_rounds;
     if (have_fault_plan) options.fault_plan = &fault_plan;
+    if (want_audit) options.auditor = &audit_ctx;
     options.forbidden_set = forbidden_set;
     options.locality = locality;
     std::cout << "kernel mode      " << to_string(options.forbidden_set)
@@ -177,6 +204,7 @@ static int run(int argc, char** argv) {
                                : build_bipartite(std::move(coo));
     if (args.get_string("side", "cols") == "rows")
       graph = transpose(graph);  // color matrix rows instead
+    analyze_input(graph);
     if (problem == "dist") {
       DistOptions dopt;
       dopt.num_ranks = static_cast<int>(args.get_int("ranks", 4));
@@ -241,10 +269,12 @@ static int run(int argc, char** argv) {
       std::cout << "recolor          " << before << " -> "
                 << result.num_colors << " colors\n";
     }
+    print_audit();
     print_report(result, name, graph.max_net_degree());
   } else if (problem == "d2gc") {
     const Graph graph = build_graph(std::move(coo));
     std::cout << "instance         " << signature(graph) << "\n";
+    analyze_input(graph);
     const auto order = make_ordering(graph, order_kind);
     ColoringResult result;
     if (algo == "seq") {
@@ -261,6 +291,7 @@ static int run(int argc, char** argv) {
       std::cerr << "INVALID coloring: " << violation->to_string() << "\n";
       return EXIT_FAILURE;
     }
+    print_audit();
     print_report(result, algo, graph.max_degree() + 1);
   } else if (problem == "d1gc") {
     const Graph graph = build_graph(std::move(coo));

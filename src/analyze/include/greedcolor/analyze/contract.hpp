@@ -1,0 +1,58 @@
+// GCOL_CONTRACT / GCOL_ASSUME: the checked-build contract layer.
+//
+// GCOL_CONTRACT(cond, msg) states an invariant the library promises to
+// maintain. In checked builds (GCOL_AUDIT, or GCOL_CONTRACTS alone) a
+// violated contract throws Error(kInternalInvariant) with the source
+// location — a library bug, never an input error. In release builds the
+// macro compiles to nothing (the condition is not evaluated).
+//
+// GCOL_ASSUME(cond) states an assumption about values flowing through a
+// hot path (e.g. a color cursor is non-negative). Checked builds verify
+// it like a contract; release builds keep the expression syntactically
+// alive but never evaluate it. It deliberately does NOT lower to
+// __builtin_unreachable(): a speculative race could falsify a plausible
+// assumption at run time, and turning that into UB would convert a
+// recoverable mis-speculation into a miscompile.
+#pragma once
+
+#include <cstdint>
+
+namespace gcol::contract {
+
+#if defined(GCOL_AUDIT) || defined(GCOL_CONTRACTS)
+inline constexpr bool kContractsEnabled = true;
+#else
+inline constexpr bool kContractsEnabled = false;
+#endif
+
+/// Throws Error(kInternalInvariant) describing the violated contract.
+[[noreturn]] void fail(const char* file, int line, const char* expr,
+                       const char* msg);
+
+/// Process-wide count of contract checks evaluated (checked builds);
+/// lets tests prove the instrumentation is actually live.
+[[nodiscard]] std::uint64_t checks_evaluated() noexcept;
+
+/// Internal: bumps checks_evaluated (relaxed; per-check cost is one
+/// atomic increment, acceptable for checked builds only).
+void note_check() noexcept;
+
+}  // namespace gcol::contract
+
+#if defined(GCOL_AUDIT) || defined(GCOL_CONTRACTS)
+#define GCOL_CONTRACT(cond, msg)                                      \
+  do {                                                                \
+    ::gcol::contract::note_check();                                   \
+    if (!(cond))                                                      \
+      ::gcol::contract::fail(__FILE__, __LINE__, #cond, (msg));       \
+  } while (0)
+#define GCOL_ASSUME(cond) GCOL_CONTRACT(cond, "assumption violated")
+#else
+#define GCOL_CONTRACT(cond, msg) \
+  do {                           \
+  } while (0)
+#define GCOL_ASSUME(cond)           \
+  do {                              \
+    (void)sizeof((cond) ? 1 : 0);   \
+  } while (0)
+#endif

@@ -1,0 +1,75 @@
+// Structural analyzer for CSR / bipartite-CSR inputs.
+//
+// The coloring kernels assume — and never re-check on the hot path —
+// that their input CSR is well-formed: monotone pointer arrays,
+// in-range sorted deduplicated adjacency, and (bipartite) a transpose
+// half that agrees edge-for-edge with the forward half. analyze_graph()
+// verifies every one of those assumptions and reports *all* findings
+// (capped), unlike the boolean validate() members, so a corrupted input
+// can be diagnosed instead of merely rejected. Checked builds run it at
+// ingest (see graph/src/builder.cpp); tools expose it via --analyze.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "greedcolor/graph/bipartite.hpp"
+#include "greedcolor/graph/csr.hpp"
+#include "greedcolor/util/types.hpp"
+
+namespace gcol {
+
+enum class StructuralIssueKind {
+  kBadPointerArray,     ///< ptr length/monotonicity/terminal broken
+  kIndexOutOfRange,     ///< adjacency id outside its vertex universe
+  kUnsortedAdjacency,   ///< a list is not strictly ascending
+  kDuplicateAdjacency,  ///< repeated id within one list
+  kSelfLoop,            ///< unipartite: v in adj(v)
+  kAsymmetricAdjacency, ///< unipartite: u in adj(v) but not v in adj(u)
+  kTransposeMismatch,   ///< bipartite: forward/transpose halves disagree
+  kDegreeBoundExceeded, ///< a degree exceeds the vertex universe size
+};
+
+[[nodiscard]] const char* to_string(StructuralIssueKind kind);
+
+struct StructuralIssue {
+  StructuralIssueKind kind;
+  /// Row (vertex or net id) the issue was found in; kInvalidVertex for
+  /// whole-array findings.
+  vid_t where = kInvalidVertex;
+  std::string detail;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct GraphAnalysis {
+  std::vector<StructuralIssue> issues;
+  /// Total issues found (issues.size() is capped, this is not).
+  std::size_t total_issues = 0;
+
+  // Summary facts (valid when the pointer arrays were readable).
+  vid_t num_vertices = 0;
+  vid_t num_nets = 0;  ///< unipartite: == num_vertices
+  eid_t num_edges = 0;
+  vid_t max_vertex_degree = 0;
+  vid_t max_net_degree = 0;
+  /// The paper's trivial lower bound L on the number of colors
+  /// (max net degree for BGPC; max closed-neighborhood clique floor,
+  /// i.e. max degree + 1, for D2GC).
+  color_t color_lower_bound = 0;
+
+  [[nodiscard]] bool ok() const { return total_issues == 0; }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Analyze a bipartite (BGPC) instance. `max_issues` caps the
+/// materialized issue list; counting continues past it.
+[[nodiscard]] GraphAnalysis analyze_graph(const BipartiteGraph& g,
+                                          std::size_t max_issues = 16);
+
+/// Analyze a unipartite (D2GC) instance.
+[[nodiscard]] GraphAnalysis analyze_graph(const Graph& g,
+                                          std::size_t max_issues = 16);
+
+}  // namespace gcol

@@ -1,0 +1,202 @@
+#include "greedcolor/analyze/audit.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "greedcolor/robust/error.hpp"
+#include "greedcolor/util/parallel.hpp"
+
+namespace gcol::audit {
+
+namespace {
+
+// The active-context registry. Plain pointer, set/cleared only between
+// parallel regions by the driver thread; the worker-side hooks read it
+// while no scope transition can happen (the scope outlives the engine
+// call that spawned the workers).
+AuditContext* g_active = nullptr;
+
+}  // namespace
+
+AuditContext* active() noexcept { return g_active; }
+
+AuditScope::AuditScope(AuditContext* ctx, int threads)
+    : previous_(g_active), installed_(ctx != nullptr) {
+  if (installed_) {
+    ctx->attach(threads);
+    g_active = ctx;
+  }
+}
+
+AuditScope::~AuditScope() {
+  if (installed_) g_active = previous_;
+}
+
+std::string AuditViolation::to_string() const {
+  std::ostringstream out;
+  out << "round " << round << ": vertices " << a << " and " << b
+      << " share color " << color << " via " << via
+      << " after conflict removal"
+      << (from_recorded_write ? " (survived speculative write)" : "");
+  return out.str();
+}
+
+std::string AuditReport::summary() const {
+  std::ostringstream out;
+  out << "rounds=" << rounds_audited << " escaped=" << escaped_conflicts
+      << " reads=" << reads_recorded << " writes=" << writes_recorded
+      << " overturned=" << writes_overturned;
+  return out.str();
+}
+
+AuditContext::AuditContext(AuditOptions options) : options_(options) {}
+
+void AuditContext::attach(int threads) {
+  const auto want = static_cast<std::size_t>(
+      std::max(threads > 0 ? threads : max_threads(), 1));
+  if (ledgers_.size() < want) ledgers_.resize(want);
+}
+
+void AuditContext::begin_round(int round) {
+  round_ = round;
+  for (Ledger& l : ledgers_) {
+    l.writes.clear();
+    l.reads = 0;
+  }
+}
+
+void AuditContext::on_read(vid_t v, color_t col) {
+  (void)v;
+  (void)col;
+  const auto tid = static_cast<std::size_t>(current_thread());
+  if (tid < ledgers_.size()) ++ledgers_[tid].reads;
+}
+
+void AuditContext::on_write(vid_t v, color_t col) {
+  const auto tid = static_cast<std::size_t>(current_thread());
+  if (tid < ledgers_.size()) ledgers_[tid].writes.push_back({v, col});
+}
+
+void AuditContext::harvest_ledgers(const color_t* c) {
+  ++epoch_;
+  if (epoch_ == 0) {
+    std::fill(survivor_stamp_.begin(), survivor_stamp_.end(), 0);
+    epoch_ = 1;
+  }
+  for (Ledger& l : ledgers_) {
+    report_.reads_recorded += l.reads;
+    for (const WriteEvent& e : l.writes) {
+      ++report_.writes_recorded;
+      if (e.col == kNoColor) continue;  // conflict-removal uncolor
+      const auto idx = static_cast<std::size_t>(e.v);
+      if (c[idx] == e.col) {
+        if (survivor_stamp_.size() <= idx) survivor_stamp_.resize(idx + 1, 0);
+        survivor_stamp_[idx] = epoch_;
+      } else {
+        // Overturned by conflict removal (or superseded by a later
+        // same-round store): the sanctioned speculation.
+        ++report_.writes_overturned;
+      }
+    }
+  }
+}
+
+bool AuditContext::write_survived(vid_t v) const {
+  const auto idx = static_cast<std::size_t>(v);
+  return idx < survivor_stamp_.size() && survivor_stamp_[idx] == epoch_;
+}
+
+void AuditContext::record_violation(vid_t a, vid_t b, vid_t via,
+                                    color_t col) {
+  ++report_.escaped_conflicts;
+  if (report_.violations.size() < options_.max_violations) {
+    AuditViolation v;
+    v.round = round_;
+    v.a = a;
+    v.b = b;
+    v.via = via;
+    v.color = col;
+    v.from_recorded_write = write_survived(a) || write_survived(b);
+    report_.violations.push_back(std::move(v));
+  }
+}
+
+void AuditContext::finish_round() {
+  ++report_.rounds_audited;
+  if (options_.fail_fast && !report_.clean())
+    raise(ErrorCode::kInternalInvariant, "speculative-race audit",
+          "escaped conflict after conflict removal: " +
+              (report_.violations.empty()
+                   ? report_.summary()
+                   : report_.violations.back().to_string()));
+}
+
+void AuditContext::reset_seen(std::size_t capacity) {
+  if (seen_stamp_.size() < capacity) {
+    seen_stamp_.resize(capacity, 0);
+    seen_vertex_.resize(capacity, kInvalidVertex);
+  }
+}
+
+vid_t AuditContext::seen_holder(color_t col) const {
+  const auto idx = static_cast<std::size_t>(col);
+  if (idx >= seen_stamp_.size() || seen_stamp_[idx] != seen_epoch_)
+    return kInvalidVertex;
+  return seen_vertex_[idx];
+}
+
+void AuditContext::mark_seen(color_t col, vid_t holder) {
+  const auto idx = static_cast<std::size_t>(col);
+  if (idx >= seen_stamp_.size()) reset_seen(idx + 1);
+  seen_stamp_[idx] = seen_epoch_;
+  seen_vertex_[idx] = holder;
+}
+
+void AuditContext::end_round(const BipartiteGraph& g, const color_t* c) {
+  harvest_ledgers(c);
+  // Net-side sweep, the dual of check_bgpc but on a *partial* coloring:
+  // within one net every live color may appear once; an uncolored
+  // vertex is pending re-coloring and exempt by the paper's contract.
+  for (vid_t v = 0; v < g.num_nets(); ++v) {
+    if (++seen_epoch_ == 0) {
+      std::fill(seen_stamp_.begin(), seen_stamp_.end(), 0);
+      seen_epoch_ = 1;
+    }
+    for (const vid_t u : g.vtxs(v)) {
+      const color_t cu = c[static_cast<std::size_t>(u)];
+      if (cu == kNoColor) continue;
+      const vid_t holder = seen_holder(cu);
+      if (holder != kInvalidVertex)
+        record_violation(u, holder, v, cu);
+      else
+        mark_seen(cu, u);
+    }
+  }
+  finish_round();
+}
+
+void AuditContext::end_round(const Graph& g, const color_t* c) {
+  harvest_ledgers(c);
+  // Closed-neighborhood sweep (the D2GC analogue of the net sweep):
+  // the colored members of N[v] must be pairwise distinct.
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (++seen_epoch_ == 0) {
+      std::fill(seen_stamp_.begin(), seen_stamp_.end(), 0);
+      seen_epoch_ = 1;
+    }
+    const color_t cv = c[static_cast<std::size_t>(v)];
+    if (cv != kNoColor) mark_seen(cv, v);
+    for (const vid_t u : g.neighbors(v)) {
+      const color_t cu = c[static_cast<std::size_t>(u)];
+      if (cu == kNoColor) continue;
+      const vid_t holder = seen_holder(cu);
+      if (holder != kInvalidVertex && holder != u)
+        record_violation(u, holder, v, cu);
+      else
+        mark_seen(cu, u);
+    }
+  }
+  finish_round();
+}
+
+}  // namespace gcol::audit

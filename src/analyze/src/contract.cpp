@@ -1,0 +1,29 @@
+#include "greedcolor/analyze/contract.hpp"
+
+#include <atomic>
+#include <sstream>
+
+#include "greedcolor/robust/error.hpp"
+
+namespace gcol::contract {
+
+namespace {
+std::atomic<std::uint64_t> g_checks{0};
+}  // namespace
+
+void note_check() noexcept {
+  g_checks.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t checks_evaluated() noexcept {
+  return g_checks.load(std::memory_order_relaxed);
+}
+
+void fail(const char* file, int line, const char* expr, const char* msg) {
+  std::ostringstream out;
+  out << file << ":" << line << ": contract `" << expr << "` violated ("
+      << msg << ")";
+  throw Error(ErrorCode::kInternalInvariant, out.str());
+}
+
+}  // namespace gcol::contract

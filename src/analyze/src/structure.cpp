@@ -1,0 +1,260 @@
+#include "greedcolor/analyze/structure.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace gcol {
+
+namespace {
+
+class IssueSink {
+ public:
+  IssueSink(GraphAnalysis& analysis, std::size_t max_issues)
+      : analysis_(analysis), max_issues_(max_issues) {}
+
+  void add(StructuralIssueKind kind, vid_t where, std::string detail) {
+    ++analysis_.total_issues;
+    if (analysis_.issues.size() < max_issues_)
+      analysis_.issues.push_back({kind, where, std::move(detail)});
+  }
+
+ private:
+  GraphAnalysis& analysis_;
+  std::size_t max_issues_;
+};
+
+std::string fmt_count(const char* noun, std::int64_t n) {
+  std::ostringstream out;
+  out << n << " " << noun;
+  return out.str();
+}
+
+/// Shared pointer-array sanity pass. Returns false when the array is too
+/// broken to index adjacency through (callers then skip the list walks).
+bool check_ptr(const std::vector<eid_t>& ptr, vid_t rows, eid_t adj_size,
+               const char* side, IssueSink& sink) {
+  if (ptr.size() != static_cast<std::size_t>(rows) + 1) {
+    std::ostringstream out;
+    out << side << " ptr has " << ptr.size() << " entries, expected "
+        << rows + 1;
+    sink.add(StructuralIssueKind::kBadPointerArray, kInvalidVertex,
+             out.str());
+    return false;
+  }
+  if (!ptr.empty() && ptr.front() != 0)
+    sink.add(StructuralIssueKind::kBadPointerArray, 0,
+             std::string(side) + " ptr[0] != 0");
+  bool monotone = true;
+  for (std::size_t i = 1; i < ptr.size(); ++i) {
+    if (ptr[i] < ptr[i - 1]) {
+      sink.add(StructuralIssueKind::kBadPointerArray,
+               static_cast<vid_t>(i - 1),
+               std::string(side) + " ptr decreases");
+      monotone = false;
+      break;  // one report; everything downstream would be noise
+    }
+  }
+  if (!ptr.empty() && ptr.back() != adj_size) {
+    std::ostringstream out;
+    out << side << " ptr ends at " << ptr.back() << " but adjacency holds "
+        << adj_size << " entries";
+    sink.add(StructuralIssueKind::kBadPointerArray,
+             static_cast<vid_t>(rows), out.str());
+    monotone = false;
+  }
+  return monotone && (ptr.empty() || ptr.front() == 0);
+}
+
+/// Per-list pass: range, strict ascending order, duplicates.
+/// `universe` is the valid id range of the *referenced* side.
+void check_lists(const std::vector<eid_t>& ptr, const std::vector<vid_t>& adj,
+                 vid_t rows, vid_t universe, const char* side,
+                 IssueSink& sink) {
+  for (vid_t r = 0; r < rows; ++r) {
+    const auto lo = static_cast<std::size_t>(ptr[static_cast<std::size_t>(r)]);
+    const auto hi =
+        static_cast<std::size_t>(ptr[static_cast<std::size_t>(r) + 1]);
+    for (std::size_t i = lo; i < hi; ++i) {
+      const vid_t id = adj[i];
+      if (id < 0 || id >= universe) {
+        std::ostringstream out;
+        out << side << " list of " << r << " holds id " << id
+            << " outside [0, " << universe << ")";
+        sink.add(StructuralIssueKind::kIndexOutOfRange, r, out.str());
+        continue;
+      }
+      if (i > lo) {
+        if (adj[i - 1] == id)
+          sink.add(StructuralIssueKind::kDuplicateAdjacency, r,
+                   std::string(side) + " list repeats id " +
+                       std::to_string(id));
+        else if (adj[i - 1] > id)
+          sink.add(StructuralIssueKind::kUnsortedAdjacency, r,
+                   std::string(side) + " list is not ascending at id " +
+                       std::to_string(id));
+      }
+    }
+  }
+}
+
+[[nodiscard]] vid_t degree_of(const std::vector<eid_t>& ptr, vid_t r) {
+  return static_cast<vid_t>(ptr[static_cast<std::size_t>(r) + 1] -
+                            ptr[static_cast<std::size_t>(r)]);
+}
+
+}  // namespace
+
+const char* to_string(StructuralIssueKind kind) {
+  switch (kind) {
+    case StructuralIssueKind::kBadPointerArray: return "bad-pointer-array";
+    case StructuralIssueKind::kIndexOutOfRange: return "index-out-of-range";
+    case StructuralIssueKind::kUnsortedAdjacency: return "unsorted-adjacency";
+    case StructuralIssueKind::kDuplicateAdjacency:
+      return "duplicate-adjacency";
+    case StructuralIssueKind::kSelfLoop: return "self-loop";
+    case StructuralIssueKind::kAsymmetricAdjacency:
+      return "asymmetric-adjacency";
+    case StructuralIssueKind::kTransposeMismatch: return "transpose-mismatch";
+    case StructuralIssueKind::kDegreeBoundExceeded:
+      return "degree-bound-exceeded";
+  }
+  return "unknown";
+}
+
+std::string StructuralIssue::to_string() const {
+  std::ostringstream out;
+  out << "[" << gcol::to_string(kind) << "]";
+  if (where != kInvalidVertex) out << " at " << where;
+  out << ": " << detail;
+  return out.str();
+}
+
+std::string GraphAnalysis::to_string() const {
+  std::ostringstream out;
+  out << "structure: " << fmt_count("vertices", num_vertices) << ", "
+      << fmt_count("nets", num_nets) << ", " << fmt_count("edges", num_edges)
+      << ", max degrees " << max_vertex_degree << "/" << max_net_degree
+      << ", color lower bound L=" << color_lower_bound << ", "
+      << total_issues << " issue(s)";
+  for (const StructuralIssue& issue : issues) out << "\n  " << issue.to_string();
+  if (total_issues > issues.size())
+    out << "\n  ... " << (total_issues - issues.size()) << " more";
+  return out.str();
+}
+
+GraphAnalysis analyze_graph(const BipartiteGraph& g, std::size_t max_issues) {
+  GraphAnalysis analysis;
+  IssueSink sink(analysis, max_issues);
+  analysis.num_vertices = g.num_vertices();
+  analysis.num_nets = g.num_nets();
+
+  const bool vptr_ok = check_ptr(g.vptr(), g.num_vertices(),
+                                 static_cast<eid_t>(g.vadj().size()),
+                                 "vertex", sink);
+  const bool nptr_ok = check_ptr(g.nptr(), g.num_nets(),
+                                 static_cast<eid_t>(g.nadj().size()),
+                                 "net", sink);
+  if (!vptr_ok || !nptr_ok) return analysis;
+
+  analysis.num_edges = g.num_edges();
+  check_lists(g.vptr(), g.vadj(), g.num_vertices(), g.num_nets(), "net",
+              sink);
+  check_lists(g.nptr(), g.nadj(), g.num_nets(), g.num_vertices(), "vertex",
+              sink);
+
+  // Degree facts + the paper's L lower bound (max net degree: the
+  // vertices of one net form a distance-2 clique).
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    const vid_t d = degree_of(g.vptr(), u);
+    analysis.max_vertex_degree = std::max(analysis.max_vertex_degree, d);
+    if (d > g.num_nets())
+      sink.add(StructuralIssueKind::kDegreeBoundExceeded, u,
+               "vertex degree exceeds net count " +
+                   std::to_string(g.num_nets()));
+  }
+  for (vid_t v = 0; v < g.num_nets(); ++v) {
+    const vid_t d = degree_of(g.nptr(), v);
+    analysis.max_net_degree = std::max(analysis.max_net_degree, d);
+    if (d > g.num_vertices())
+      sink.add(StructuralIssueKind::kDegreeBoundExceeded, v,
+               "net degree exceeds vertex count " +
+                   std::to_string(g.num_vertices()));
+  }
+  analysis.color_lower_bound = std::max<color_t>(
+      1, static_cast<color_t>(analysis.max_net_degree));
+
+  // Forward/transpose consistency: both halves must encode the same
+  // incidence multiset. Counts already match (|vadj| == |nadj| checked
+  // above via the ptr terminals), so one-directional membership decides
+  // equality — provided the lists are sorted, which was just verified.
+  const bool sorted_ok =
+      std::none_of(analysis.issues.begin(), analysis.issues.end(),
+                   [](const StructuralIssue& i) {
+                     return i.kind == StructuralIssueKind::kUnsortedAdjacency ||
+                            i.kind == StructuralIssueKind::kIndexOutOfRange;
+                   }) &&
+      analysis.total_issues == analysis.issues.size();
+  if (g.vadj().size() != g.nadj().size()) {
+    sink.add(StructuralIssueKind::kTransposeMismatch, kInvalidVertex,
+             "halves disagree on edge count");
+  } else if (sorted_ok) {
+    for (vid_t u = 0; u < g.num_vertices(); ++u) {
+      for (const vid_t v : g.nets(u)) {
+        const auto back = g.vtxs(v);
+        if (!std::binary_search(back.begin(), back.end(), u))
+          sink.add(StructuralIssueKind::kTransposeMismatch, u,
+                   "edge (" + std::to_string(u) + ", net " +
+                       std::to_string(v) + ") missing from the net side");
+      }
+    }
+  }
+  return analysis;
+}
+
+GraphAnalysis analyze_graph(const Graph& g, std::size_t max_issues) {
+  GraphAnalysis analysis;
+  IssueSink sink(analysis, max_issues);
+  analysis.num_vertices = g.num_vertices();
+  analysis.num_nets = g.num_vertices();
+
+  if (!check_ptr(g.ptr(), g.num_vertices(),
+                 static_cast<eid_t>(g.adj().size()), "adjacency", sink))
+    return analysis;
+
+  analysis.num_edges = g.num_adjacency_entries();
+  check_lists(g.ptr(), g.adj(), g.num_vertices(), g.num_vertices(),
+              "adjacency", sink);
+
+  bool clean_lists = analysis.total_issues == 0;
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    const vid_t d = degree_of(g.ptr(), v);
+    analysis.max_vertex_degree = std::max(analysis.max_vertex_degree, d);
+    for (const vid_t u : g.neighbors(v)) {
+      if (u == v) {
+        sink.add(StructuralIssueKind::kSelfLoop, v, "self loop");
+        clean_lists = false;
+      }
+    }
+  }
+  analysis.max_net_degree = analysis.max_vertex_degree;
+  // D2GC: a closed neighborhood is a distance-2 clique.
+  analysis.color_lower_bound =
+      static_cast<color_t>(analysis.max_vertex_degree) + 1;
+
+  // Symmetry (undirected contract): u in adj(v) <=> v in adj(u).
+  // Binary search needs sorted in-range lists; skip when already broken.
+  if (clean_lists) {
+    for (vid_t v = 0; v < g.num_vertices(); ++v) {
+      for (const vid_t u : g.neighbors(v)) {
+        const auto back = g.neighbors(u);
+        if (!std::binary_search(back.begin(), back.end(), v))
+          sink.add(StructuralIssueKind::kAsymmetricAdjacency, v,
+                   "edge (" + std::to_string(v) + ", " + std::to_string(u) +
+                       ") has no reverse entry");
+      }
+    }
+  }
+  return analysis;
+}
+
+}  // namespace gcol

@@ -15,6 +15,9 @@
 namespace gcol {
 
 struct FaultPlan;  // greedcolor/robust/fault.hpp
+namespace audit {
+class AuditContext;  // greedcolor/analyze/audit.hpp
+}
 
 /// How the conflict queue for the next round is assembled.
 enum class QueuePolicy {
@@ -106,6 +109,13 @@ struct ColoringOptions {
   /// Deterministic fault-injection plan (tests / chaos harnesses); not
   /// owned, may be null. See greedcolor/robust/fault.hpp.
   const FaultPlan* fault_plan = nullptr;
+
+  /// Speculative-race auditor: when attached, the partial coloring is
+  /// checked after every conflict-removal pass and (in GCOL_AUDIT
+  /// builds) the kernels ledger their racy color accesses into it. Not
+  /// owned, may be null; one coloring at a time per context. See
+  /// greedcolor/analyze/audit.hpp.
+  audit::AuditContext* auditor = nullptr;
 
   /// Use the most-optimistic net coloring (Alg. 6, "Net-V1") instead of
   /// the two-pass Alg. 8 during net-colored rounds, optionally with its

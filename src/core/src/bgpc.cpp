@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "bgpc_kernels.hpp"
+#include "greedcolor/analyze/audit.hpp"
 #include "greedcolor/order/locality.hpp"
 #include "greedcolor/robust/fault.hpp"
 #include "greedcolor/util/marker_set.hpp"
@@ -76,6 +77,10 @@ ColoringResult color_bgpc(const BipartiteGraph& g,
   }
 
   const int threads = detail::resolve_threads(options.num_threads);
+  // Speculative-race auditor: installed for the whole engine run so the
+  // GCOL_AUDIT accessor hooks can reach it; one null check per round on
+  // the happy path (same contract as fault_plan).
+  audit::AuditScope audit_scope(options.auditor, threads);
   const auto marker_cap =
       static_cast<std::size_t>(bgpc_color_bound(g)) + 2;
   const bool bitmap = options.forbidden_set == ForbiddenSetKind::kBitmap;
@@ -120,6 +125,7 @@ ColoringResult color_bgpc(const BipartiteGraph& g,
   int net_color_uses = 0;
   while (!w.empty()) {
     ++round;
+    if (options.auditor) options.auditor->begin_round(round);
     if (faults) inject_round_delay(*faults, round);  // straggler stall
     bool net_color, net_conflict;
     if (options.adaptive_threshold > 0.0) {
@@ -188,6 +194,10 @@ ColoringResult color_bgpc(const BipartiteGraph& g,
       result.faults_injected += inject_stale_colors(
           *faults, g, round, std::span<color_t>(c, nsz));
 
+    // Audit after fault injection: an injected stale write is exactly
+    // the "escaped conflict" shape the auditor exists to catch.
+    if (options.auditor) options.auditor->end_round(g, c);
+
     // Convergence watchdog: round budget + wall-clock deadline. Either
     // valve finishes the pending set with the guaranteed-termination
     // sequential cleanup instead of speculating further.
@@ -211,6 +221,9 @@ ColoringResult color_bgpc(const BipartiteGraph& g,
   result.colors.resize(nsz);
   for (std::size_t i = 0; i < nsz; ++i)
     result.colors[i] = detail::load_color(c, static_cast<vid_t>(i));
+  GCOL_CONTRACT(std::all_of(result.colors.begin(), result.colors.end(),
+                            [](color_t col) { return col >= 0; }),
+                "color_bgpc returned an uncolored vertex");
   result.num_colors = count_colors(result.colors);
   return result;
 }

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "d2gc_kernels.hpp"
+#include "greedcolor/analyze/audit.hpp"
 #include "greedcolor/order/locality.hpp"
 #include "greedcolor/robust/fault.hpp"
 #include "greedcolor/util/timer.hpp"
@@ -79,6 +80,8 @@ ColoringResult color_d2gc(const Graph& g, const ColoringOptions& options,
   }
 
   const int threads = detail::resolve_threads(options.num_threads);
+  // Speculative-race auditor; see bgpc.cpp.
+  audit::AuditScope audit_scope(options.auditor, threads);
   const auto marker_cap = static_cast<std::size_t>(d2gc_color_bound(g)) + 2;
   const bool bitmap = options.forbidden_set == ForbiddenSetKind::kBitmap;
   std::vector<ThreadWorkspace> workspaces(
@@ -114,6 +117,7 @@ ColoringResult color_d2gc(const Graph& g, const ColoringOptions& options,
   int net_color_uses = 0;
   while (!w.empty()) {
     ++round;
+    if (options.auditor) options.auditor->begin_round(round);
     if (faults) inject_round_delay(*faults, round);  // straggler stall
     bool net_color, net_conflict;
     if (options.adaptive_threshold > 0.0) {
@@ -172,6 +176,9 @@ ColoringResult color_d2gc(const Graph& g, const ColoringOptions& options,
       result.faults_injected += inject_stale_colors(
           *faults, g, round, std::span<color_t>(c, nsz));
 
+    // Audit after fault injection; see bgpc.cpp.
+    if (options.auditor) options.auditor->end_round(g, c);
+
     if (!w.empty()) {
       const bool capped = round >= options.max_rounds;
       const bool late = options.deadline_seconds > 0.0 &&
@@ -192,6 +199,9 @@ ColoringResult color_d2gc(const Graph& g, const ColoringOptions& options,
   result.colors.resize(nsz);
   for (std::size_t i = 0; i < nsz; ++i)
     result.colors[i] = detail::load_color(c, static_cast<vid_t>(i));
+  GCOL_CONTRACT(std::all_of(result.colors.begin(), result.colors.end(),
+                            [](color_t col) { return col >= 0; }),
+                "color_d2gc returned an uncolored vertex");
   result.num_colors = count_colors(result.colors);
   return result;
 }

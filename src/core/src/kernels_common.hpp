@@ -8,6 +8,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "greedcolor/analyze/contract.hpp"
 #include "greedcolor/core/options.hpp"
 #include "greedcolor/util/counters.hpp"
 #include "greedcolor/util/marker_set.hpp"
@@ -15,22 +16,51 @@
 
 #include "greedcolor/util/parallel.hpp"
 
+// Speculative-race audit hooks. GCOL_AUDIT builds route every color
+// load/store through the active AuditContext's per-thread ledgers (see
+// greedcolor/analyze/audit.hpp); release builds compile the hooks to
+// nothing, so the accessors below stay a bare relaxed atomic op.
+#if defined(GCOL_AUDIT)
+#include "greedcolor/analyze/audit.hpp"
+#define GCOL_AUDIT_READ(v, col)                                   \
+  do {                                                            \
+    if (auto* a_ = ::gcol::audit::active()) a_->on_read((v), (col)); \
+  } while (0)
+#define GCOL_AUDIT_WRITE(v, col)                                     \
+  do {                                                               \
+    if (auto* a_ = ::gcol::audit::active()) a_->on_write((v), (col)); \
+  } while (0)
+#else
+#define GCOL_AUDIT_READ(v, col) \
+  do {                          \
+  } while (0)
+#define GCOL_AUDIT_WRITE(v, col) \
+  do {                           \
+  } while (0)
+#endif
+
 namespace gcol::detail {
 
 /// Resolve 0 ("ambient") to the actual OpenMP thread count.
 inline int resolve_threads(int requested) {
-  return requested > 0 ? requested : max_threads();
+  const int threads = requested > 0 ? requested : max_threads();
+  GCOL_CONTRACT(threads >= 1, "thread count must be positive");
+  return threads;
 }
 
 // The optimistic phases read and write colors concurrently without
 // synchronization; relaxed atomics make that well-defined without any
 // x86 cost. All kernel code funnels c[] accesses through these.
 inline color_t load_color(color_t* c, vid_t v) {
-  return std::atomic_ref<color_t>(c[static_cast<std::size_t>(v)])
-      .load(std::memory_order_relaxed);
+  const color_t col =
+      std::atomic_ref<color_t>(c[static_cast<std::size_t>(v)])
+          .load(std::memory_order_relaxed);
+  GCOL_AUDIT_READ(v, col);
+  return col;
 }
 
 inline void store_color(color_t* c, vid_t v, color_t col) {
+  GCOL_AUDIT_WRITE(v, col);
   std::atomic_ref<color_t>(c[static_cast<std::size_t>(v)])
       .store(col, std::memory_order_relaxed);
 }
@@ -39,6 +69,7 @@ inline void store_color(color_t* c, vid_t v, color_t col) {
 /// was already uncolored — the caller then skips the queue push, which
 /// deduplicates the next round's work queue).
 inline color_t exchange_uncolor(color_t* c, vid_t v) {
+  GCOL_AUDIT_WRITE(v, kNoColor);
   return std::atomic_ref<color_t>(c[static_cast<std::size_t>(v)])
       .exchange(kNoColor, std::memory_order_relaxed);
 }
@@ -46,6 +77,7 @@ inline color_t exchange_uncolor(color_t* c, vid_t v) {
 /// Smallest color >= start not in F (plain first-fit).
 inline color_t pick_up(const MarkerSet& f, color_t start,
                        std::uint64_t& probes) {
+  GCOL_ASSUME(start >= 0);
   color_t col = start;
   while (f.contains(col)) {
     ++col;

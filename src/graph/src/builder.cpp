@@ -3,9 +3,29 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "greedcolor/analyze/contract.hpp"
+#include "greedcolor/analyze/structure.hpp"
+
 namespace gcol {
 
 namespace {
+
+/// Checked-build ingest gate: every graph leaving the builder must pass
+/// the structural analyzer (the kernels assume its findings hold and
+/// never re-check them on the hot path). Compiles away entirely in
+/// release builds.
+template <class G>
+void contract_check_structure(const G& g) {
+  if constexpr (contract::kContractsEnabled) {
+    const GraphAnalysis analysis = analyze_graph(g, 1);
+    GCOL_CONTRACT(analysis.ok(),
+                  analysis.ok()
+                      ? ""
+                      : analysis.issues.front().to_string().c_str());
+  } else {
+    (void)g;
+  }
+}
 
 /// Counting-sort style CSR construction for one direction of a COO
 /// pattern. `keys` selects the CSR side, `values` the adjacency payload.
@@ -44,8 +64,10 @@ BipartiteGraph build_bipartite(Coo coo) {
   build_csr_side(coo.num_cols, coo.cols, coo.rows, vptr, vadj);
   // Net side: rows -> cols (vtxs of each net).
   build_csr_side(coo.num_rows, coo.rows, coo.cols, nptr, nadj);
-  return BipartiteGraph(coo.num_cols, coo.num_rows, std::move(vptr),
-                        std::move(vadj), std::move(nptr), std::move(nadj));
+  BipartiteGraph g(coo.num_cols, coo.num_rows, std::move(vptr),
+                   std::move(vadj), std::move(nptr), std::move(nadj));
+  contract_check_structure(g);
+  return g;
 }
 
 Graph build_graph(Coo coo) {
@@ -64,7 +86,9 @@ Graph build_graph(Coo coo) {
   std::vector<eid_t> ptr;
   std::vector<vid_t> adj;
   build_csr_side(clean.num_rows, clean.rows, clean.cols, ptr, adj);
-  return Graph(clean.num_rows, std::move(ptr), std::move(adj));
+  Graph g(clean.num_rows, std::move(ptr), std::move(adj));
+  contract_check_structure(g);
+  return g;
 }
 
 Graph bipartite_to_graph(const BipartiteGraph& bg) {

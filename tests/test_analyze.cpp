@@ -1,0 +1,223 @@
+// Structural analyzer + contract layer tests: analyze_graph() must
+// accept everything the generators produce, pinpoint each class of
+// hand-made CSR corruption by kind, and agree with the boolean
+// validate() members on the corrupted-input corpus. The contract macros
+// must throw typed errors in checked builds and vanish in release.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "greedcolor/analyze/contract.hpp"
+#include "greedcolor/analyze/structure.hpp"
+#include "greedcolor/graph/builder.hpp"
+#include "greedcolor/graph/generators.hpp"
+#include "greedcolor/graph/mtx_io.hpp"
+#include "greedcolor/robust/error.hpp"
+#include "greedcolor/robust/fault.hpp"
+#include "greedcolor/util/prng.hpp"
+
+namespace gcol {
+namespace {
+
+bool has_kind(const GraphAnalysis& a, StructuralIssueKind kind) {
+  return std::any_of(a.issues.begin(), a.issues.end(),
+                     [kind](const StructuralIssue& i) {
+                       return i.kind == kind;
+                     });
+}
+
+// A tiny well-formed bipartite instance: vertex 0 in net {0},
+// vertex 1 in nets {0,1}, vertex 2 in net {1}.
+BipartiteGraph tiny_bipartite() {
+  return BipartiteGraph(3, 2, {0, 1, 3, 4}, {0, 0, 1, 1}, {0, 2, 4},
+                        {0, 1, 1, 2});
+}
+
+TEST(AnalyzeBipartite, CleanGraphHasNoIssuesAndCorrectFacts) {
+  const BipartiteGraph g = tiny_bipartite();
+  const GraphAnalysis a = analyze_graph(g);
+  EXPECT_TRUE(a.ok()) << a.to_string();
+  EXPECT_EQ(a.num_vertices, 3);
+  EXPECT_EQ(a.num_nets, 2);
+  EXPECT_EQ(a.num_edges, 4);
+  EXPECT_EQ(a.max_vertex_degree, 2);
+  EXPECT_EQ(a.max_net_degree, 2);
+  EXPECT_EQ(a.color_lower_bound, 2);  // L = max net degree
+}
+
+TEST(AnalyzeBipartite, GeneratedGraphsAreClean) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const BipartiteGraph g =
+        build_bipartite(gen_random_bipartite(60, 80, 300, seed));
+    const GraphAnalysis a = analyze_graph(g);
+    EXPECT_TRUE(a.ok()) << "seed " << seed << ": " << a.to_string();
+    EXPECT_EQ(a.color_lower_bound, g.max_net_degree());
+  }
+}
+
+TEST(AnalyzeBipartite, UnsortedAdjacencyFlagged) {
+  const BipartiteGraph g(3, 2, {0, 1, 3, 4}, {0, 1, 0, 1}, {0, 2, 4},
+                         {0, 1, 1, 2});
+  const GraphAnalysis a = analyze_graph(g);
+  EXPECT_FALSE(a.ok());
+  EXPECT_TRUE(has_kind(a, StructuralIssueKind::kUnsortedAdjacency))
+      << a.to_string();
+}
+
+TEST(AnalyzeBipartite, OutOfRangeIndexFlagged) {
+  const BipartiteGraph g(3, 2, {0, 1, 3, 4}, {0, 0, 5, 1}, {0, 2, 4},
+                         {0, 1, 1, 2});
+  const GraphAnalysis a = analyze_graph(g);
+  EXPECT_FALSE(a.ok());
+  EXPECT_TRUE(has_kind(a, StructuralIssueKind::kIndexOutOfRange))
+      << a.to_string();
+}
+
+TEST(AnalyzeBipartite, DuplicateAdjacencyFlagged) {
+  const BipartiteGraph g(3, 2, {0, 1, 3, 4}, {0, 0, 0, 1}, {0, 2, 4},
+                         {0, 1, 1, 2});
+  const GraphAnalysis a = analyze_graph(g);
+  EXPECT_FALSE(a.ok());
+  EXPECT_TRUE(has_kind(a, StructuralIssueKind::kDuplicateAdjacency))
+      << a.to_string();
+}
+
+TEST(AnalyzeBipartite, TransposeMismatchFlagged) {
+  // Both halves are individually sorted and in range, but vertex 2
+  // claims net 0 while net 0 does not list vertex 2.
+  const BipartiteGraph g(3, 2, {0, 1, 3, 4}, {0, 0, 1, 0}, {0, 2, 4},
+                         {0, 1, 1, 2});
+  const GraphAnalysis a = analyze_graph(g);
+  EXPECT_FALSE(a.ok());
+  EXPECT_TRUE(has_kind(a, StructuralIssueKind::kTransposeMismatch))
+      << a.to_string();
+}
+
+TEST(AnalyzeBipartite, NonMonotonePointerArrayFlagged) {
+  const BipartiteGraph g(3, 2, {0, 3, 1, 4}, {0, 0, 1, 1}, {0, 2, 4},
+                         {0, 1, 1, 2});
+  const GraphAnalysis a = analyze_graph(g);
+  EXPECT_FALSE(a.ok());
+  EXPECT_TRUE(has_kind(a, StructuralIssueKind::kBadPointerArray))
+      << a.to_string();
+}
+
+TEST(AnalyzeBipartite, IssueCapKeepsCounting) {
+  // Every vertex adjacency entry out of range: far more issues than the
+  // cap materializes, but total_issues sees them all.
+  const BipartiteGraph g(3, 2, {0, 1, 3, 4}, {9, 9, 9, 9}, {0, 2, 4},
+                         {0, 1, 1, 2});
+  const GraphAnalysis a = analyze_graph(g, 2);
+  EXPECT_FALSE(a.ok());
+  EXPECT_LE(a.issues.size(), 2u);
+  EXPECT_GT(a.total_issues, a.issues.size());
+}
+
+TEST(AnalyzeUnipartite, CleanGraphHasNoIssues) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    Coo coo = gen_random_bipartite(80, 80, 400, seed);
+    coo.symmetrize();
+    const Graph g = build_graph(coo);
+    const GraphAnalysis a = analyze_graph(g);
+    EXPECT_TRUE(a.ok()) << "seed " << seed << ": " << a.to_string();
+    EXPECT_EQ(a.num_vertices, g.num_vertices());
+    EXPECT_EQ(a.color_lower_bound, g.max_degree() + 1);
+  }
+}
+
+TEST(AnalyzeUnipartite, SelfLoopFlagged) {
+  const Graph g(2, {0, 2, 3}, {0, 1, 0});
+  const GraphAnalysis a = analyze_graph(g);
+  EXPECT_FALSE(a.ok());
+  EXPECT_TRUE(has_kind(a, StructuralIssueKind::kSelfLoop)) << a.to_string();
+}
+
+TEST(AnalyzeUnipartite, AsymmetricAdjacencyFlagged) {
+  const Graph g(3, {0, 1, 1, 1}, {1});
+  const GraphAnalysis a = analyze_graph(g);
+  EXPECT_FALSE(a.ok());
+  EXPECT_TRUE(has_kind(a, StructuralIssueKind::kAsymmetricAdjacency))
+      << a.to_string();
+}
+
+TEST(AnalyzeUnipartite, NonMonotonePointerArrayFlagged) {
+  const Graph g(2, {0, 2, 1}, {1});
+  const GraphAnalysis a = analyze_graph(g);
+  EXPECT_FALSE(a.ok());
+  EXPECT_TRUE(has_kind(a, StructuralIssueKind::kBadPointerArray))
+      << a.to_string();
+}
+
+// The corrupted-input corpus from the fuzz suite: whatever survives the
+// parser must get the same verdict from analyze_graph() as from the
+// boolean validate() — the analyzer is a diagnosing superset, not a
+// different oracle.
+TEST(AnalyzeCorpus, AgreesWithValidateOnCorruptedInputs) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Coo coo = gen_random_bipartite(
+        40 + static_cast<vid_t>(seed * 7), 60, 250, seed);
+    std::ostringstream out;
+    write_matrix_market(out, coo);
+    const std::string good = out.str();
+
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.flip_byte_rate = 0.02;
+    plan.truncate_fraction = 0.6;
+    for (std::uint64_t variant = 0; variant < 12; ++variant) {
+      std::istringstream in(plan.corrupt_bytes(good, variant));
+      try {
+        const BipartiteGraph g = build_bipartite(read_matrix_market(in));
+        const GraphAnalysis a = analyze_graph(g);
+        EXPECT_EQ(a.ok(), g.validate())
+            << "seed " << seed << " variant " << variant << ": "
+            << a.to_string();
+      } catch (const Error&) {
+        // Typed rejection at parse/build is the other allowed outcome.
+      }
+    }
+  }
+}
+
+TEST(Contract, FailThrowsTypedInternalInvariant) {
+  try {
+    contract::fail("somefile.cpp", 42, "x > 0", "forced by test");
+    FAIL() << "contract::fail returned";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInternalInvariant);
+    EXPECT_NE(std::string(e.what()).find("somefile.cpp:42"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("x > 0"), std::string::npos);
+  }
+}
+
+TEST(Contract, MacroMatchesBuildMode) {
+  if constexpr (contract::kContractsEnabled) {
+    const std::uint64_t before = contract::checks_evaluated();
+    GCOL_CONTRACT(1 + 1 == 2, "arithmetic still works");
+    GCOL_ASSUME(true);
+    EXPECT_GE(contract::checks_evaluated(), before + 2);
+    EXPECT_THROW({ GCOL_CONTRACT(false, "forced"); }, Error);
+    EXPECT_THROW(GCOL_ASSUME(false), Error);
+  } else {
+    // Release builds: the macros neither evaluate nor throw.
+    EXPECT_NO_THROW({ GCOL_CONTRACT(false, "never evaluated"); });
+    EXPECT_NO_THROW(GCOL_ASSUME(false));
+    EXPECT_EQ(contract::checks_evaluated(), 0u);
+  }
+}
+
+TEST(Contract, CheckedIngestAcceptsWellFormedGraphs) {
+  // In checked builds build_bipartite/build_graph run analyze_graph as a
+  // contract; a clean instance must pass through unchanged in any build.
+  const BipartiteGraph g =
+      build_bipartite(gen_random_bipartite(50, 50, 200, 0xA11CE));
+  EXPECT_TRUE(g.validate());
+  Coo coo = gen_random_bipartite(40, 40, 160, 0xB0B);
+  coo.symmetrize();
+  EXPECT_TRUE(build_graph(coo).validate());
+}
+
+}  // namespace
+}  // namespace gcol

@@ -51,8 +51,9 @@ TEST(Schedules, TracesMatchAlgorithmNames) {
     const auto [color, conflict] = run("V-N1");
     EXPECT_EQ(color.find('N'), std::string::npos);
     EXPECT_EQ(conflict.substr(0, 1), "N");
-    if (conflict.size() > 1)
+    if (conflict.size() > 1) {
       EXPECT_EQ(conflict.find('N', 1), std::string::npos);
+    }
   }
   {
     const auto [color, conflict] = run("V-N2");
@@ -60,19 +61,26 @@ TEST(Schedules, TracesMatchAlgorithmNames) {
     EXPECT_EQ(conflict.substr(0, std::min<std::size_t>(2, conflict.size())),
               std::string("NN").substr(0, std::min<std::size_t>(
                                               2, conflict.size())));
-    if (conflict.size() > 2)
+    if (conflict.size() > 2) {
       EXPECT_EQ(conflict.find('N', 2), std::string::npos);
+    }
   }
   {
     const auto [color, conflict] = run("N1-N2");
     EXPECT_EQ(color.substr(0, 1), "N");
-    if (color.size() > 1) EXPECT_EQ(color.find('N', 1), std::string::npos);
+    if (color.size() > 1) {
+      EXPECT_EQ(color.find('N', 1), std::string::npos);
+    }
     EXPECT_EQ(conflict.substr(0, 1), "N");
   }
   {
     const auto [color, conflict] = run("N2-N2");
-    if (color.size() >= 2) EXPECT_EQ(color.substr(0, 2), "NN");
-    if (color.size() > 2) EXPECT_EQ(color.find('N', 2), std::string::npos);
+    if (color.size() >= 2) {
+      EXPECT_EQ(color.substr(0, 2), "NN");
+    }
+    if (color.size() > 2) {
+      EXPECT_EQ(color.find('N', 2), std::string::npos);
+    }
     (void)conflict;
   }
 }
@@ -100,7 +108,9 @@ TEST(Schedules, D2gcTracesMatchToo) {
   EXPECT_TRUE(is_valid_d2gc(g, r.colors));
   const auto [color, conflict] = kernel_trace(r);
   EXPECT_EQ(color.substr(0, 1), "N");
-  if (color.size() > 1) EXPECT_EQ(color.find('N', 1), std::string::npos);
+  if (color.size() > 1) {
+    EXPECT_EQ(color.find('N', 1), std::string::npos);
+  }
   EXPECT_EQ(conflict.substr(0, 1), "N");
 }
 

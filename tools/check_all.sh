@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# check_all.sh — the full local verification matrix, mirroring
+# .github/workflows/ci.yml:
+#
+#   1. default preset: build everything, run the whole test suite
+#   2. lint gate: gcol_lint self-test + repo scan over compile_commands
+#   3. analysis preset: GCOL_AUDIT + -Werror (+ clang-tidy if present),
+#      full suite with contracts and audit ledgers live
+#   4. sanitizer presets: asan / ubsan (full suite), tsan (robust label)
+#
+# Usage: tools/check_all.sh [--quick]   (--quick = steps 1-3 only)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS=${JOBS:-$(nproc)}
+QUICK=0
+[[ "${1:-}" == "--quick" ]] && QUICK=1
+
+step() { printf '\n=== %s ===\n' "$*"; }
+
+step "default: configure + build + full test suite"
+cmake --preset default
+cmake --build --preset default -j"$JOBS"
+ctest --preset default -j"$JOBS"
+
+step "lint gate"
+python3 tools/gcol_lint.py --self-test
+python3 tools/gcol_lint.py --compile-commands build/compile_commands.json
+
+step "analysis: GCOL_AUDIT + -Werror, full suite"
+cmake --preset analysis
+cmake --build --preset analysis -j"$JOBS"
+ctest --preset analysis-full -j"$JOBS"
+
+if [[ "$QUICK" == "1" ]]; then
+  step "quick mode: skipping sanitizers"
+  exit 0
+fi
+
+for san in asan ubsan; do
+  step "$san: full suite"
+  cmake --preset "$san"
+  cmake --build --preset "$san" -j"$JOBS"
+  ctest --preset "$san" -j"$JOBS"
+done
+
+step "tsan: robust label"
+cmake --preset tsan
+cmake --build --preset tsan -j"$JOBS"
+ctest --preset tsan -j"$JOBS"
+
+step "all checks passed"

@@ -1,0 +1,460 @@
+#!/usr/bin/env python3
+"""gcol_lint: the greedcolor repo-specific lint gate.
+
+Enforces project rules that generic tooling cannot express, as errors:
+
+  R001 omp-critical       `#pragma omp critical` is banned everywhere
+                          except util/counters.hpp. Counter merges go
+                          through CounterSlots (publish/merge_into);
+                          a critical section in a kernel serializes the
+                          very phase the paper parallelizes.
+  R002 raw-color-access   Inside an OpenMP parallel region, the shared
+                          color array may only be touched through the
+                          relaxed atomic_ref accessors (load_color /
+                          store_color / exchange_uncolor). A raw `c[...]`
+                          or `colors[...]` read or write is an
+                          unsynchronized access the speculative-race
+                          model does not sanction.
+  R003 kernel-alloc       No allocation, reallocation, or bounds-checked
+                          `.at()` inside a hot kernel loop (the body of
+                          an `omp for`). Workspaces are pre-sized by the
+                          drivers; an allocation here serializes threads
+                          on the heap lock and `.at()` adds a branch per
+                          adjacency entry.
+  R004 schedule-missing   Every `omp for` / `omp parallel for` in the
+                          core kernels must carry an explicit
+                          `schedule(...)` clause: the chunk size is part
+                          of the algorithm (the paper's "-64" variants),
+                          not an implementation default to inherit.
+
+R001 applies to every file; R002-R004 apply to files under src/core (the
+kernel layer) and to any file passed explicitly on the command line
+(which is how the negative-test fixtures are exercised).
+
+The file set comes from a CMake compilation database
+(--compile-commands) plus the headers under src/, so the gate sees
+exactly what the build sees. Exit codes: 0 clean, 1 violations, 2 usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import re
+import sys
+from dataclasses import dataclass, field
+
+REPO_MARKERS = ("CMakeLists.txt", "CMakePresets.json")
+
+RULES = {
+    "R001": "omp-critical",
+    "R002": "raw-color-access",
+    "R003": "kernel-alloc",
+    "R004": "schedule-missing",
+}
+
+RAW_COLOR_RE = re.compile(r"\b(?:c|colors)\s*\[")
+ALLOC_RES = [
+    re.compile(r"\.at\s*\("),
+    re.compile(r"\bnew\b"),
+    re.compile(r"\bmalloc\s*\("),
+    re.compile(r"\.resize\s*\("),
+    re.compile(r"\.reserve\s*\("),
+    re.compile(r"\bstd::(?:vector|string|map|unordered_map|set|unordered_set)\s*<"),
+]
+
+
+@dataclass
+class Violation:
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self, root: str) -> str:
+        rel = os.path.relpath(self.path, root)
+        return (f"{rel}:{self.line}: error: "
+                f"[{self.rule}/{RULES[self.rule]}] {self.message}")
+
+
+@dataclass
+class Scope:
+    kind: str  # "brace" | "stmt"
+    parallel: bool
+    hot: bool
+
+
+@dataclass
+class Pending:
+    parallel: bool = False
+    hot: bool = False
+
+    def any(self) -> bool:
+        return self.parallel or self.hot
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving newlines
+    and every other character position (so line numbers and braces in
+    code survive, while braces in comments/strings disappear)."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if ch == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if ch == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if ch == '"':
+                state = "str"
+                out.append('"')
+                i += 1
+                continue
+            if ch == "'":
+                state = "chr"
+                out.append("'")
+                i += 1
+                continue
+            out.append(ch)
+        elif state == "line":
+            if ch == "\n":
+                state = "code"
+                out.append("\n")
+            elif ch == "\\" and nxt == "\n":
+                out.append(" \n")
+                i += 2
+                continue
+            else:
+                out.append(" ")
+        elif state == "block":
+            if ch == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if ch == "\n" else " ")
+        elif state in ("str", "chr"):
+            quote = '"' if state == "str" else "'"
+            if ch == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if ch == quote:
+                state = "code"
+                out.append(quote)
+            elif ch == "\n":  # unterminated; bail back to code
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+def logical_lines(stripped: str):
+    """Yield (start_line, text) with backslash continuations joined
+    (pragmas may span physical lines)."""
+    physical = stripped.split("\n")
+    i = 0
+    while i < len(physical):
+        start = i + 1
+        buf = physical[i]
+        while buf.rstrip().endswith("\\") and i + 1 < len(physical):
+            buf = buf.rstrip()[:-1] + " " + physical[i + 1]
+            i += 1
+        yield start, buf
+        i += 1
+
+
+def omp_pragma_tokens(line: str):
+    m = re.match(r"\s*#\s*pragma\s+omp\b(.*)", line)
+    if not m:
+        return None
+    return re.findall(r"[A-Za-z_]\w*", m.group(1))
+
+
+class FileLinter:
+    """Lexical scanner tracking OpenMP parallel regions and omp-for loop
+    bodies through brace/paren structure (single-statement, braceless
+    loop bodies included)."""
+
+    def __init__(self, path: str, text: str, core_rules: bool):
+        self.path = path
+        self.core_rules = core_rules
+        self.stripped = strip_comments_and_strings(text)
+        self.violations: list[Violation] = []
+
+    def add(self, line: int, rule: str, message: str) -> None:
+        self.violations.append(Violation(self.path, line, rule, message))
+
+    def lint(self) -> list[Violation]:
+        self._check_pragmas()
+        if self.core_rules:
+            self._scan_scopes()
+        return self.violations
+
+    # ---- pragma-level rules (R001, R004) ----
+
+    def _check_pragmas(self) -> None:
+        allow_critical = self.path.replace(os.sep, "/").endswith(
+            "util/include/greedcolor/util/counters.hpp")
+        for lineno, line in logical_lines(self.stripped):
+            tokens = omp_pragma_tokens(line)
+            if tokens is None:
+                continue
+            if "critical" in tokens and not allow_critical:
+                self.add(lineno, "R001",
+                         "`#pragma omp critical` outside util/counters.hpp; "
+                         "use CounterSlots / per-thread state instead")
+            if self.core_rules and "for" in tokens and "schedule" not in tokens:
+                self.add(lineno, "R004",
+                         "omp for without an explicit schedule(...) clause")
+
+    # ---- scope-aware rules (R002, R003) ----
+
+    def _scan_scopes(self) -> None:
+        scopes: list[Scope] = []
+        pending = Pending()
+        paren_depth = 0
+        # after an omp-for/parallel pragma: "idle" -> (for seen) "header"
+        # -> (parens closed) "body" -> `{` or statement
+        for_state = "idle"
+        line_flags: dict[int, tuple[bool, bool]] = {}
+
+        def effective() -> tuple[bool, bool]:
+            par = any(s.parallel for s in scopes)
+            hot = any(s.hot for s in scopes)
+            return par, hot
+
+        def note_line(lineno: int) -> None:
+            par, hot = effective()
+            old = line_flags.get(lineno, (False, False))
+            line_flags[lineno] = (old[0] or par, old[1] or hot)
+
+        physical = self.stripped.split("\n")
+        for idx, raw_line in enumerate(physical):
+            lineno = idx + 1
+            tokens = omp_pragma_tokens(raw_line)
+            if tokens is not None:
+                if "parallel" in tokens:
+                    pending.parallel = True
+                if "for" in tokens:
+                    pending.hot = True
+                    for_state = "idle"
+                note_line(lineno)
+                continue
+            j = 0
+            while j < len(raw_line):
+                ch = raw_line[j]
+                if pending.any() and for_state == "idle":
+                    m = re.match(r"\bfor\b", raw_line[j:])
+                    if m and re.match(r"(^|\W)$", raw_line[max(0, j - 1):j]):
+                        for_state = "header"
+                if ch == "(":
+                    paren_depth += 1
+                elif ch == ")":
+                    paren_depth = max(0, paren_depth - 1)
+                    if for_state == "header" and paren_depth == 0:
+                        for_state = "body"
+                        j += 1
+                        continue
+                elif ch == "{":
+                    if pending.any():
+                        scopes.append(Scope("brace", pending.parallel,
+                                            pending.hot))
+                        pending = Pending()
+                        for_state = "idle"
+                    else:
+                        par, hot = effective()
+                        scopes.append(Scope("brace", par, hot))
+                elif ch == "}":
+                    while scopes and scopes[-1].kind == "stmt":
+                        scopes.pop()
+                    if scopes:
+                        scopes.pop()
+                elif ch == ";" and paren_depth == 0:
+                    if scopes and scopes[-1].kind == "stmt":
+                        scopes.pop()
+                elif for_state == "body" and not ch.isspace():
+                    # Braceless loop body: one statement, popped at `;`.
+                    scopes.append(Scope("stmt", pending.parallel, pending.hot))
+                    pending = Pending()
+                    for_state = "idle"
+                note_line(lineno)
+                j += 1
+            note_line(lineno)
+
+        for idx, raw_line in enumerate(physical):
+            lineno = idx + 1
+            par, hot = line_flags.get(lineno, (False, False))
+            if par and "atomic_ref" not in raw_line:
+                if RAW_COLOR_RE.search(raw_line):
+                    self.add(lineno, "R002",
+                             "raw color-array access inside a parallel "
+                             "region; use load_color/store_color "
+                             "(relaxed atomic_ref)")
+            if hot:
+                for rx in ALLOC_RES:
+                    if rx.search(raw_line):
+                        self.add(lineno, "R003",
+                                 "allocation / bounds-checked access inside "
+                                 "a hot kernel loop; pre-size workspaces in "
+                                 "the driver")
+                        break
+
+
+def find_root(start: str) -> str:
+    d = os.path.abspath(start)
+    while True:
+        if all(os.path.exists(os.path.join(d, m)) for m in REPO_MARKERS):
+            return d
+        parent = os.path.dirname(d)
+        if parent == d:
+            return os.path.abspath(start)
+        d = parent
+
+
+def collect_files(root: str, compile_commands: str | None) -> list[str]:
+    files: set[str] = set()
+    if compile_commands:
+        try:
+            with open(compile_commands, encoding="utf-8") as fh:
+                for entry in json.load(fh):
+                    path = entry.get("file", "")
+                    if not os.path.isabs(path):
+                        path = os.path.join(entry.get("directory", ""), path)
+                    path = os.path.realpath(path)
+                    if path.startswith(os.path.realpath(root) + os.sep):
+                        files.add(path)
+        except (OSError, ValueError) as exc:
+            print(f"gcol_lint: cannot read {compile_commands}: {exc}",
+                  file=sys.stderr)
+            sys.exit(2)
+    else:
+        for pat in ("src/**/*.cpp", "bench/**/*.cpp", "examples/**/*.cpp",
+                    "tests/**/*.cpp"):
+            files.update(
+                os.path.realpath(p)
+                for p in glob.glob(os.path.join(root, pat), recursive=True))
+    files.update(
+        os.path.realpath(p)
+        for p in glob.glob(os.path.join(root, "src/**/*.hpp"), recursive=True))
+    # Generated / third-party trees never participate.
+    files = {f for f in files
+             if f"{os.sep}build" not in f and f"{os.sep}_deps{os.sep}" not in f}
+    return sorted(files)
+
+
+def is_core(root: str, path: str) -> bool:
+    rel = os.path.relpath(path, root).replace(os.sep, "/")
+    return rel.startswith("src/core/")
+
+
+def lint_paths(root: str, paths: list[str],
+               explicit: bool) -> list[Violation]:
+    violations: list[Violation] = []
+    for path in paths:
+        try:
+            with open(path, encoding="utf-8", errors="replace") as fh:
+                text = fh.read()
+        except OSError as exc:
+            print(f"gcol_lint: cannot read {path}: {exc}", file=sys.stderr)
+            sys.exit(2)
+        core = explicit or is_core(root, path)
+        violations.extend(FileLinter(path, text, core).lint())
+    return violations
+
+
+def self_test(root: str) -> int:
+    fixtures = sorted(
+        glob.glob(os.path.join(root, "tools", "lint_fixtures", "*.cpp")))
+    if not fixtures:
+        print("gcol_lint --self-test: no fixtures found", file=sys.stderr)
+        return 2
+    failures = 0
+    for path in fixtures:
+        name = os.path.basename(path)
+        got = lint_paths(root, [path], explicit=True)
+        m = re.match(r"(r\d{3})_", name)
+        if m:
+            expected = m.group(1).upper()
+            ok = (len(got) == 1 and got[0].rule == expected)
+            detail = (f"expected exactly one {expected} violation, got "
+                      f"[{', '.join(v.rule for v in got) or 'none'}]")
+        else:  # clean_*.cpp fixtures must pass
+            expected = "clean"
+            ok = not got
+            detail = (f"expected no violations, got "
+                      f"[{', '.join(v.rule for v in got)}]")
+        status = "ok" if ok else "FAIL"
+        print(f"  {name:<34} {expected:<6} {status}")
+        if not ok:
+            failures += 1
+            print(f"    {detail}")
+            for v in got:
+                print(f"    {v.render(root)}")
+    total = len(fixtures)
+    print(f"gcol_lint --self-test: {total - failures}/{total} fixtures ok")
+    return 0 if failures == 0 else 1
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(prog="gcol_lint.py",
+                                     description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*",
+                        help="lint only these files (all rules apply)")
+    parser.add_argument("--compile-commands", metavar="JSON",
+                        help="compilation database to take the file set from")
+    parser.add_argument("--root", default=None,
+                        help="repository root (auto-detected by default)")
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the lint_fixtures negative tests")
+    args = parser.parse_args()
+
+    root = os.path.abspath(args.root) if args.root else find_root(
+        os.path.dirname(os.path.abspath(__file__)))
+
+    if args.list_rules:
+        for rule, name in sorted(RULES.items()):
+            print(f"{rule}  {name}")
+        return 0
+    if args.self_test:
+        return self_test(root)
+
+    if args.paths:
+        paths = [os.path.realpath(p) for p in args.paths]
+        violations = lint_paths(root, paths, explicit=True)
+        checked = len(paths)
+    else:
+        paths = collect_files(root, args.compile_commands)
+        if not paths:
+            print("gcol_lint: no files to lint (missing compile_commands?)",
+                  file=sys.stderr)
+            return 2
+        violations = lint_paths(root, paths, explicit=False)
+        checked = len(paths)
+
+    for v in sorted(violations, key=lambda v: (v.path, v.line)):
+        print(v.render(root))
+    if violations:
+        print(f"gcol_lint: {len(violations)} violation(s) in "
+              f"{checked} file(s)", file=sys.stderr)
+        return 1
+    print(f"gcol_lint: {checked} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,15 @@
+// Lint fixture: must trigger exactly one R001 (omp-critical) violation.
+// A critical section used for a counter merge — the exact pattern
+// CounterSlots exists to avoid.
+#include <cstdint>
+
+void fixture_r001(std::uint64_t* total, int n) {
+  std::uint64_t shared_sum = 0;
+#pragma omp parallel for schedule(static)
+  for (int i = 0; i < n; ++i) {
+    std::uint64_t local = static_cast<std::uint64_t>(i);
+#pragma omp critical
+    shared_sum += local;
+  }
+  *total = shared_sum;
+}

@@ -1,0 +1,9 @@
+// Lint fixture: must trigger exactly one R002 (raw-color-access)
+// violation. A plain write to the shared color array inside a parallel
+// region — the unsanctioned race the accessors exist to prevent.
+void fixture_r002(int* c, int n) {
+#pragma omp parallel
+  {
+    for (int v = 0; v < n; ++v) c[v] = v % 7;
+  }
+}

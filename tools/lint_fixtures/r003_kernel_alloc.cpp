@@ -1,0 +1,14 @@
+// Lint fixture: must trigger exactly one R003 (kernel-alloc) violation.
+// A bounds-checked .at() inside the body of an omp for — one branch per
+// adjacency entry in the hottest loop of the program.
+#include <cstddef>
+#include <vector>
+
+int fixture_r003(const std::vector<int>& deg, int n) {
+  int sum = 0;
+#pragma omp parallel for schedule(dynamic, 64) reduction(+ : sum)
+  for (int v = 0; v < n; ++v) {
+    sum += deg.at(static_cast<std::size_t>(v));
+  }
+  return sum;
+}

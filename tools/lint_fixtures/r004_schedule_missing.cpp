@@ -1,0 +1,8 @@
+// Lint fixture: must trigger exactly one R004 (schedule-missing)
+// violation. The chunk size is part of the algorithm (the paper's
+// "-64" variants); an omp for may not inherit the implementation
+// default.
+void fixture_r004(double* out, const double* in, int n) {
+#pragma omp parallel for
+  for (int i = 0; i < n; ++i) out[i] = in[i] * 2.0;
+}
