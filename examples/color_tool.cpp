@@ -13,6 +13,8 @@
 
 #include "greedcolor/analyze/audit.hpp"
 #include "greedcolor/analyze/structure.hpp"
+#include "greedcolor/check/explore.hpp"
+#include "greedcolor/check/trace.hpp"
 #include "greedcolor/core/bgpc.hpp"
 #include "greedcolor/core/color_stats.hpp"
 #include "greedcolor/core/d1gc.hpp"
@@ -115,7 +117,19 @@ static int run(int argc, char** argv) {
            "the graph is broken\n"
            "  --audit              attach the speculative-race auditor "
            "and print its report\n"
-           "exit codes: 0 ok, 1 usage, 2 bad input (typed), 3 internal\n";
+           "  --model-check [MODE] explore kernel schedules instead of "
+           "timing one run\n"
+           "                       (GCOL_MC builds; exhaustive|dpor|random, "
+           "default dpor)\n"
+           "  --mc-seed N          random-mode schedule seed (default 1)\n"
+           "  --mc-schedules N     random-mode schedule budget (default "
+           "256)\n"
+           "  --mc-vthreads N      virtual threads to schedule (default 2)\n"
+           "  --mc-replay FILE     replay one recorded schedule trace\n"
+           "  --mc-trace-out FILE  where to write a violation witness "
+           "(default violation.mctrace)\n"
+           "exit codes: 0 ok, 1 usage, 2 bad input (typed), 3 internal / "
+           "schedule violation\n";
     return EXIT_SUCCESS;
   }
   if (args.has("list")) {
@@ -185,6 +199,48 @@ static int run(int argc, char** argv) {
     if (want_audit)
       std::cout << "audit            " << audit_ctx.report().summary()
                 << "\n";
+  };
+  // Schedule exploration (--model-check): run the gcol-mc cooperative
+  // model checker over the configured kernels instead of timing a run.
+  const bool want_model_check = args.has("model-check");
+  check::McOptions mc_opts;
+  std::string mc_trace_out;
+  if (want_model_check) {
+    if (!check::kMcEnabled)
+      throw Error(ErrorCode::kInvalidArgument,
+                  "--model-check needs a GCOL_MC build "
+                  "(cmake --preset modelcheck)");
+    std::string mode = args.get_string("model-check", "dpor");
+    if (mode.empty()) mode = "dpor";
+    mc_opts.mode = check::explore_mode_from_string(mode);
+    mc_opts.seed = static_cast<std::uint64_t>(args.get_int("mc-seed", 1));
+    mc_opts.random_schedules =
+        static_cast<std::size_t>(args.get_int("mc-schedules", 256));
+    mc_opts.virtual_threads =
+        static_cast<int>(args.get_int("mc-vthreads", 2));
+    if (args.has("mc-replay")) {
+      mc_opts.mode = check::ExploreMode::kReplay;
+      mc_opts.replay =
+          check::read_trace_file(args.get_string("mc-replay", ""));
+    }
+    mc_trace_out = args.get_string("mc-trace-out", "violation.mctrace");
+    if (problem != "bgpc" && problem != "d2gc") {
+      std::cerr << "--model-check covers bgpc and d2gc, not '" << problem
+                << "'\n";
+      return EXIT_FAILURE;
+    }
+  }
+  const auto report_model_check = [&](const check::McResult& res) -> int {
+    std::cout << "model check      " << res.summary() << "\n";
+    if (res.clean()) return EXIT_SUCCESS;
+    for (const auto& v : res.violations)
+      std::cout << "violation        " << v.to_string() << "\n";
+    if (!res.witness.empty()) {
+      check::write_trace_file(res.witness, mc_trace_out);
+      std::cout << "witness trace    " << mc_trace_out
+                << " (reproduce with --mc-replay " << mc_trace_out << ")\n";
+    }
+    return 3;
   };
   const auto apply_robust_options = [&](ColoringOptions& options) {
     options.deadline_seconds = deadline_seconds;
@@ -256,8 +312,16 @@ static int run(int argc, char** argv) {
       if (balance == "B1") options.balance = BalancePolicy::kB1;
       if (balance == "B2") options.balance = BalancePolicy::kB2;
       apply_robust_options(options);
+      if (want_model_check)
+        return report_model_check(
+            check::model_check_bgpc(graph, options, order, mc_opts));
       name += " " + to_string(options.balance);
       result = color_bgpc_verified(graph, options, order);
+    }
+    if (want_model_check) {
+      std::cerr << "--model-check needs a speculative preset, not '" << algo
+                << "'\n";
+      return EXIT_FAILURE;
     }
     if (const auto violation = check_bgpc(graph, result.colors)) {
       std::cerr << "INVALID coloring: " << violation->to_string() << "\n";
@@ -285,7 +349,14 @@ static int run(int argc, char** argv) {
       if (balance == "B1") options.balance = BalancePolicy::kB1;
       if (balance == "B2") options.balance = BalancePolicy::kB2;
       apply_robust_options(options);
+      if (want_model_check)
+        return report_model_check(
+            check::model_check_d2gc(graph, options, order, mc_opts));
       result = color_d2gc_verified(graph, options, order);
+    }
+    if (want_model_check) {
+      std::cerr << "--model-check needs a speculative preset, not 'seq'\n";
+      return EXIT_FAILURE;
     }
     if (const auto violation = check_d2gc(graph, result.colors)) {
       std::cerr << "INVALID coloring: " << violation->to_string() << "\n";

@@ -27,12 +27,18 @@
 //    benign speculation (reads observed, writes overturned) so tests
 //    can assert the sanctioned mechanism actually engaged.
 //
-// One audited coloring at a time: the hooks reach the context through a
-// process-global registry (AuditScope). Attaching the same context to
-// concurrent colorings is unsupported (checked-build tooling, not a
-// hot-path feature).
+// The hooks reach the context through a process-global atomic registry
+// (AuditScope). Install is first-wins: one audited coloring holds the
+// registry at a time, and a scope that loses the race simply runs
+// unhooked — its per-round sweeps still fire (the driver calls its
+// context directly through ColoringOptions::auditor), only the ledger
+// attribution goes to the scope that won. Concurrent attach/detach from
+// multiple threads is therefore safe by construction: no torn pointer,
+// no dangling restore, no UB — just checked-build tooling that degrades
+// to sweep-only when contended.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -57,6 +63,12 @@ struct AuditOptions {
   /// Cap on recorded violations (the sweep keeps counting, but stops
   /// materializing descriptions).
   std::size_t max_violations = 32;
+  /// Write-ledger slots reserved per thread at attach time. The
+  /// overflow policy is grow-never-drop: a round that outruns the
+  /// reservation reallocates (counted in AuditReport::ledger_growths)
+  /// but records every event — an audit that silently dropped the write
+  /// it later needs to attribute would be worse than a slow one.
+  std::size_t ledger_reserve = 4096;
 };
 
 /// One escaped conflict: vertices `a` and `b` share `color` through
@@ -87,6 +99,10 @@ struct AuditReport {
   /// of their round — the sanctioned, paper-endorsed speculation
   /// (overturned by conflict removal or a later same-round store).
   std::uint64_t writes_overturned = 0;
+  /// GCOL_AUDIT builds: ledger reallocations past the per-thread
+  /// reservation (AuditOptions::ledger_reserve). Nonzero means the
+  /// audit paid heap traffic mid-round, never that events were lost.
+  std::uint64_t ledger_growths = 0;
   std::vector<AuditViolation> violations;
 
   [[nodiscard]] bool clean() const { return escaped_conflicts == 0; }
@@ -128,6 +144,7 @@ class AuditContext {
   struct alignas(64) Ledger {
     std::vector<WriteEvent> writes;
     std::uint64_t reads = 0;
+    std::uint64_t growths = 0;  ///< reallocations past the reservation
   };
 
   /// Harvest the round's ledgers: fills survivors_ with writes whose
@@ -161,7 +178,12 @@ class AuditContext {
 
 /// RAII installer used by the coloring drivers: installs `ctx` (may be
 /// null — then this is a no-op) as the active context for the duration
-/// of one engine invocation and restores the previous one on exit.
+/// of one engine invocation. Install is a first-wins CAS against the
+/// empty registry; a scope that finds it occupied (another coloring is
+/// already being audited, possibly on another thread) does not install
+/// and does not clear on exit — the winning scope's uninstall is the
+/// only store of nullptr, so concurrent scopes can never leave a
+/// dangling context behind.
 class AuditScope {
  public:
   AuditScope(AuditContext* ctx, int threads);
@@ -169,8 +191,11 @@ class AuditScope {
   AuditScope(const AuditScope&) = delete;
   AuditScope& operator=(const AuditScope&) = delete;
 
+  /// True when this scope won the registry (its context receives the
+  /// kernel ledger hooks; sweep-only otherwise).
+  [[nodiscard]] bool installed() const noexcept { return installed_; }
+
  private:
-  AuditContext* previous_;
   bool installed_;
 };
 

@@ -10,26 +10,31 @@ namespace gcol::audit {
 
 namespace {
 
-// The active-context registry. Plain pointer, set/cleared only between
-// parallel regions by the driver thread; the worker-side hooks read it
-// while no scope transition can happen (the scope outlives the engine
-// call that spawned the workers).
-AuditContext* g_active = nullptr;
+// The active-context registry. Atomic so concurrent colorings on
+// different threads can race their AuditScopes without UB: install is a
+// first-wins CAS from empty, uninstall is the winner's store of
+// nullptr. The worker-side hooks load it inside the engine's parallel
+// region, which the winning scope outlives by construction.
+std::atomic<AuditContext*> g_active{nullptr};
 
 }  // namespace
 
-AuditContext* active() noexcept { return g_active; }
+AuditContext* active() noexcept {
+  return g_active.load(std::memory_order_acquire);
+}
 
-AuditScope::AuditScope(AuditContext* ctx, int threads)
-    : previous_(g_active), installed_(ctx != nullptr) {
-  if (installed_) {
-    ctx->attach(threads);
-    g_active = ctx;
-  }
+AuditScope::AuditScope(AuditContext* ctx, int threads) : installed_(false) {
+  if (ctx == nullptr) return;
+  ctx->attach(threads);
+  AuditContext* expected = nullptr;
+  installed_ = g_active.compare_exchange_strong(
+      expected, ctx, std::memory_order_acq_rel, std::memory_order_acquire);
+  // Lost the race (another coloring is being audited): run sweep-only.
+  // The driver still reaches `ctx` directly via options.auditor.
 }
 
 AuditScope::~AuditScope() {
-  if (installed_) g_active = previous_;
+  if (installed_) g_active.store(nullptr, std::memory_order_release);
 }
 
 std::string AuditViolation::to_string() const {
@@ -45,7 +50,8 @@ std::string AuditReport::summary() const {
   std::ostringstream out;
   out << "rounds=" << rounds_audited << " escaped=" << escaped_conflicts
       << " reads=" << reads_recorded << " writes=" << writes_recorded
-      << " overturned=" << writes_overturned;
+      << " overturned=" << writes_overturned
+      << " ledger-growths=" << ledger_growths;
   return out.str();
 }
 
@@ -55,6 +61,9 @@ void AuditContext::attach(int threads) {
   const auto want = static_cast<std::size_t>(
       std::max(threads > 0 ? threads : max_threads(), 1));
   if (ledgers_.size() < want) ledgers_.resize(want);
+  for (Ledger& l : ledgers_)
+    if (l.writes.capacity() < options_.ledger_reserve)
+      l.writes.reserve(options_.ledger_reserve);
 }
 
 void AuditContext::begin_round(int round) {
@@ -74,7 +83,13 @@ void AuditContext::on_read(vid_t v, color_t col) {
 
 void AuditContext::on_write(vid_t v, color_t col) {
   const auto tid = static_cast<std::size_t>(current_thread());
-  if (tid < ledgers_.size()) ledgers_[tid].writes.push_back({v, col});
+  if (tid < ledgers_.size()) {
+    Ledger& l = ledgers_[tid];
+    // Grow-never-drop: past the reservation we pay a reallocation
+    // (counted, so tests and tuners can see it) but lose no event.
+    if (l.writes.size() == l.writes.capacity()) ++l.growths;
+    l.writes.push_back({v, col});
+  }
 }
 
 void AuditContext::harvest_ledgers(const color_t* c) {
@@ -85,6 +100,8 @@ void AuditContext::harvest_ledgers(const color_t* c) {
   }
   for (Ledger& l : ledgers_) {
     report_.reads_recorded += l.reads;
+    report_.ledger_growths += l.growths;
+    l.growths = 0;
     for (const WriteEvent& e : l.writes) {
       ++report_.writes_recorded;
       if (e.col == kNoColor) continue;  // conflict-removal uncolor

@@ -1,0 +1,46 @@
+// Replayable schedule traces for gcol-mc.
+//
+// A trace is the complete decision sequence of one checked execution:
+// the tid chosen at every juncture where >= 2 virtual threads were
+// runnable. Together with the fixture, options and seed (recorded
+// free-form in `label`), it pins the interleaving bit-for-bit — feeding
+// it back through the replay strategy reproduces the same terminal
+// state and therefore the same violation.
+//
+// Text format (one directive per line, '#' comments ignored):
+//
+//   gcol-mc-trace v1
+//   label=bgpc V-V threads=2 seed=7
+//   choices=0,1,1,0,2
+//
+// `choices` may be empty (a schedule with no real decision points).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gcol::check {
+
+struct McTrace {
+  std::uint32_t version = 1;
+  std::string label;                  ///< provenance, never interpreted
+  std::vector<std::uint8_t> choices;  ///< chosen tid per decision point
+
+  [[nodiscard]] bool empty() const { return choices.empty(); }
+  bool operator==(const McTrace& o) const {
+    return version == o.version && choices == o.choices;
+  }
+};
+
+[[nodiscard]] std::string encode_trace(const McTrace& trace);
+
+/// Parse the text format; throws Error(kBadInput) on malformed input or
+/// an unsupported version.
+[[nodiscard]] McTrace decode_trace(const std::string& text);
+
+/// File wrappers; throw Error(kIoError) on open/write failure.
+[[nodiscard]] McTrace read_trace_file(const std::string& path);
+void write_trace_file(const McTrace& trace, const std::string& path);
+
+}  // namespace gcol::check

@@ -1,0 +1,121 @@
+#include "greedcolor/check/trace.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "greedcolor/robust/error.hpp"
+
+namespace gcol::check {
+
+namespace {
+
+constexpr const char* kMagic = "gcol-mc-trace";
+
+/// Strip trailing CR (files written on Windows) and surrounding spaces.
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+std::uint8_t parse_choice(const std::string& tok, std::size_t index) {
+  if (tok.empty() || tok.find_first_not_of("0123456789") != std::string::npos)
+    raise(ErrorCode::kBadInput, "gcol-mc trace",
+          "choice #" + std::to_string(index) + " is not a number: '" +
+              tok + "'");
+  const unsigned long value = std::stoul(tok);
+  if (value > 255)
+    raise(ErrorCode::kBadInput, "gcol-mc trace",
+          "choice #" + std::to_string(index) + " out of range: " + tok);
+  return static_cast<std::uint8_t>(value);
+}
+
+}  // namespace
+
+std::string encode_trace(const McTrace& trace) {
+  std::ostringstream os;
+  os << kMagic << " v" << trace.version << "\n";
+  if (!trace.label.empty()) os << "label=" << trace.label << "\n";
+  os << "choices=";
+  for (std::size_t i = 0; i < trace.choices.size(); ++i) {
+    if (i != 0) os << ",";
+    os << static_cast<unsigned>(trace.choices[i]);
+  }
+  os << "\n";
+  return os.str();
+}
+
+McTrace decode_trace(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  McTrace trace;
+  bool saw_magic = false;
+  bool saw_choices = false;
+  while (std::getline(is, line)) {
+    line = trim(line);
+    if (line.empty() || line.front() == '#') continue;
+    if (!saw_magic) {
+      // Header: "gcol-mc-trace v<N>".
+      std::istringstream hs(line);
+      std::string magic, ver;
+      hs >> magic >> ver;
+      if (magic != kMagic || ver.size() < 2 || ver.front() != 'v')
+        raise(ErrorCode::kBadInput, "gcol-mc trace",
+              "missing 'gcol-mc-trace v1' header (got '" + line + "')");
+      const std::string digits = ver.substr(1);
+      if (digits.find_first_not_of("0123456789") != std::string::npos)
+        raise(ErrorCode::kBadInput, "gcol-mc trace",
+              "bad version '" + ver + "'");
+      trace.version = static_cast<std::uint32_t>(std::stoul(digits));
+      if (trace.version != 1)
+        raise(ErrorCode::kBadInput, "gcol-mc trace",
+              "unsupported version " + std::to_string(trace.version));
+      saw_magic = true;
+      continue;
+    }
+    if (line.rfind("label=", 0) == 0) {
+      trace.label = line.substr(6);
+      continue;
+    }
+    if (line.rfind("choices=", 0) == 0) {
+      saw_choices = true;
+      const std::string body = line.substr(8);
+      if (trim(body).empty()) continue;  // decision-free schedule
+      std::istringstream cs(body);
+      std::string tok;
+      while (std::getline(cs, tok, ','))
+        trace.choices.push_back(
+            parse_choice(trim(tok), trace.choices.size()));
+      continue;
+    }
+    raise(ErrorCode::kBadInput, "gcol-mc trace",
+          "unrecognized directive: '" + line + "'");
+  }
+  if (!saw_magic)
+    raise(ErrorCode::kBadInput, "gcol-mc trace", "empty trace input");
+  if (!saw_choices)
+    raise(ErrorCode::kBadInput, "gcol-mc trace", "missing choices= line");
+  return trace;
+}
+
+McTrace read_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in)
+    raise(ErrorCode::kIoError, "gcol-mc trace", "cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return decode_trace(buf.str());
+}
+
+void write_trace_file(const McTrace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out)
+    raise(ErrorCode::kIoError, "gcol-mc trace",
+          "cannot open " + path + " for writing");
+  out << encode_trace(trace);
+  if (!out)
+    raise(ErrorCode::kIoError, "gcol-mc trace", "write failed: " + path);
+}
+
+}  // namespace gcol::check

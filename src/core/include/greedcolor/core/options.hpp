@@ -18,6 +18,9 @@ struct FaultPlan;  // greedcolor/robust/fault.hpp
 namespace audit {
 class AuditContext;  // greedcolor/analyze/audit.hpp
 }
+namespace check {
+class McContext;  // greedcolor/check/mc.hpp
+}
 
 /// How the conflict queue for the next round is assembled.
 enum class QueuePolicy {
@@ -116,6 +119,13 @@ struct ColoringOptions {
   /// owned, may be null; one coloring at a time per context. See
   /// greedcolor/analyze/audit.hpp.
   audit::AuditContext* auditor = nullptr;
+
+  /// gcol-mc schedule-exploration checker: when attached (and armed),
+  /// the drivers report round boundaries into it and — in GCOL_MC
+  /// builds — the kernels' color accessors become cooperative schedule
+  /// points under its control. Not owned, may be null; one coloring at
+  /// a time per context. See greedcolor/check/mc.hpp.
+  check::McContext* checker = nullptr;
 
   /// Use the most-optimistic net coloring (Alg. 6, "Net-V1") instead of
   /// the two-pass Alg. 8 during net-colored rounds, optionally with its

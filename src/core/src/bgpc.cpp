@@ -8,6 +8,7 @@
 
 #include "bgpc_kernels.hpp"
 #include "greedcolor/analyze/audit.hpp"
+#include "greedcolor/check/mc.hpp"
 #include "greedcolor/order/locality.hpp"
 #include "greedcolor/robust/fault.hpp"
 #include "greedcolor/util/marker_set.hpp"
@@ -126,6 +127,7 @@ ColoringResult color_bgpc(const BipartiteGraph& g,
   while (!w.empty()) {
     ++round;
     if (options.auditor) options.auditor->begin_round(round);
+    if (options.checker) options.checker->begin_round(round, c, nsz);
     if (faults) inject_round_delay(*faults, round);  // straggler stall
     bool net_color, net_conflict;
     if (options.adaptive_threshold > 0.0) {
@@ -197,6 +199,9 @@ ColoringResult color_bgpc(const BipartiteGraph& g,
     // Audit after fault injection: an injected stale write is exactly
     // the "escaped conflict" shape the auditor exists to catch.
     if (options.auditor) options.auditor->end_round(g, c);
+    // Model checker sweep, same placement; `w` is already the next
+    // round's queue here (post-swap), which the no-loss check needs.
+    if (options.checker) options.checker->end_round(g, c, w);
 
     // Convergence watchdog: round budget + wall-clock deadline. Either
     // valve finishes the pending set with the guaranteed-termination

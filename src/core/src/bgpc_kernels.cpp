@@ -26,6 +26,7 @@ void color_vertex_impl(const BipartiteGraph& g, const std::vector<vid_t>& w,
 #pragma omp parallel num_threads(threads)
   {
     const int tid = current_thread();
+    GCOL_MC_REGION();
     ThreadWorkspace& tws = ws[static_cast<std::size_t>(tid)];
     typename FS::Set& f = FS::forbidden(tws);
     [[maybe_unused]] MarkerSet& visited = tws.visited;
@@ -71,6 +72,7 @@ void color_net_impl(const BipartiteGraph& g, color_t* c,
 #pragma omp parallel num_threads(threads)
   {
     const int tid = current_thread();
+    GCOL_MC_REGION();
     ThreadWorkspace& tws = ws[static_cast<std::size_t>(tid)];
     typename FS::Set& f = FS::forbidden(tws);
     std::vector<vid_t>& wlocal = tws.local_queue;
@@ -108,6 +110,7 @@ void color_net_v1_impl(const BipartiteGraph& g, color_t* c,
 #pragma omp parallel num_threads(threads)
   {
     const int tid = current_thread();
+    GCOL_MC_REGION();
     ThreadWorkspace& tws = ws[static_cast<std::size_t>(tid)];
     typename FS::Set& f = FS::forbidden(tws);
     KernelCounters local;
@@ -158,6 +161,7 @@ void conflict_vertex_impl(const BipartiteGraph& g, const std::vector<vid_t>& w,
 #pragma omp parallel num_threads(threads)
   {
     const int tid = current_thread();
+    GCOL_MC_REGION();
     [[maybe_unused]] MarkerSet& visited =
         ws[static_cast<std::size_t>(tid)].visited;
     KernelCounters local;
@@ -217,6 +221,7 @@ void conflict_net_impl(const BipartiteGraph& g, color_t* c,
 #pragma omp parallel num_threads(threads)
   {
     const int tid = current_thread();
+    GCOL_MC_REGION();
     ThreadWorkspace& tws = ws[static_cast<std::size_t>(tid)];
     typename FS::Set& f = FS::forbidden(tws);
     KernelCounters local;

@@ -8,6 +8,7 @@
 
 #include "d2gc_kernels.hpp"
 #include "greedcolor/analyze/audit.hpp"
+#include "greedcolor/check/mc.hpp"
 #include "greedcolor/order/locality.hpp"
 #include "greedcolor/robust/fault.hpp"
 #include "greedcolor/util/timer.hpp"
@@ -118,6 +119,7 @@ ColoringResult color_d2gc(const Graph& g, const ColoringOptions& options,
   while (!w.empty()) {
     ++round;
     if (options.auditor) options.auditor->begin_round(round);
+    if (options.checker) options.checker->begin_round(round, c, nsz);
     if (faults) inject_round_delay(*faults, round);  // straggler stall
     bool net_color, net_conflict;
     if (options.adaptive_threshold > 0.0) {
@@ -178,6 +180,8 @@ ColoringResult color_d2gc(const Graph& g, const ColoringOptions& options,
 
     // Audit after fault injection; see bgpc.cpp.
     if (options.auditor) options.auditor->end_round(g, c);
+    // Model checker sweep; `w` is the next round's queue (post-swap).
+    if (options.checker) options.checker->end_round(g, c, w);
 
     if (!w.empty()) {
       const bool capped = round >= options.max_rounds;

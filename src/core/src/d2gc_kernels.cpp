@@ -25,6 +25,7 @@ void color_vertex_impl(const Graph& g, const std::vector<vid_t>& w,
 #pragma omp parallel num_threads(threads)
   {
     const int tid = current_thread();
+    GCOL_MC_REGION();
     ThreadWorkspace& tws = ws[static_cast<std::size_t>(tid)];
     typename FS::Set& f = FS::forbidden(tws);
     [[maybe_unused]] MarkerSet& visited = tws.visited;
@@ -75,6 +76,7 @@ void color_net_impl(const Graph& g, color_t* c,
 #pragma omp parallel num_threads(threads)
   {
     const int tid = current_thread();
+    GCOL_MC_REGION();
     ThreadWorkspace& tws = ws[static_cast<std::size_t>(tid)];
     typename FS::Set& f = FS::forbidden(tws);
     std::vector<vid_t>& wlocal = tws.local_queue;
@@ -127,6 +129,7 @@ void conflict_vertex_impl(const Graph& g, const std::vector<vid_t>& w,
 #pragma omp parallel num_threads(threads)
   {
     const int tid = current_thread();
+    GCOL_MC_REGION();
     [[maybe_unused]] MarkerSet& visited =
         ws[static_cast<std::size_t>(tid)].visited;
     KernelCounters local;
@@ -192,6 +195,7 @@ void conflict_net_impl(const Graph& g, color_t* c,
 #pragma omp parallel num_threads(threads)
   {
     const int tid = current_thread();
+    GCOL_MC_REGION();
     ThreadWorkspace& tws = ws[static_cast<std::size_t>(tid)];
     typename FS::Set& f = FS::forbidden(tws);
     KernelCounters local;

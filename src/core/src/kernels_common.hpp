@@ -39,6 +39,28 @@
   } while (0)
 #endif
 
+// gcol-mc schedule points. GCOL_MC builds turn every color access into
+// a cooperative yield to the armed model checker (see
+// greedcolor/check/mc.hpp): the yield runs *before* the access, so the
+// checker decides which thread's pending read/write commits next.
+// GCOL_MC_REGION() registers the calling thread for one parallel
+// region. Both compile to nothing in normal builds — the hot path stays
+// a bare relaxed atomic op.
+#if defined(GCOL_MC)
+#include "greedcolor/check/mc.hpp"
+#define GCOL_MC_YIELD(v, kind) \
+  ::gcol::check::mc_yield((v), ::gcol::check::AccessKind::kind)
+#define GCOL_MC_REGION() \
+  ::gcol::check::McRegionScope gcol_mc_region_scope_ {}
+#else
+#define GCOL_MC_YIELD(v, kind) \
+  do {                         \
+  } while (0)
+#define GCOL_MC_REGION() \
+  do {                   \
+  } while (0)
+#endif
+
 namespace gcol::detail {
 
 /// Resolve 0 ("ambient") to the actual OpenMP thread count.
@@ -52,6 +74,7 @@ inline int resolve_threads(int requested) {
 // synchronization; relaxed atomics make that well-defined without any
 // x86 cost. All kernel code funnels c[] accesses through these.
 inline color_t load_color(color_t* c, vid_t v) {
+  GCOL_MC_YIELD(v, kLoad);
   const color_t col =
       std::atomic_ref<color_t>(c[static_cast<std::size_t>(v)])
           .load(std::memory_order_relaxed);
@@ -60,6 +83,7 @@ inline color_t load_color(color_t* c, vid_t v) {
 }
 
 inline void store_color(color_t* c, vid_t v, color_t col) {
+  GCOL_MC_YIELD(v, kStore);
   GCOL_AUDIT_WRITE(v, col);
   std::atomic_ref<color_t>(c[static_cast<std::size_t>(v)])
       .store(col, std::memory_order_relaxed);
@@ -69,6 +93,7 @@ inline void store_color(color_t* c, vid_t v, color_t col) {
 /// was already uncolored — the caller then skips the queue push, which
 /// deduplicates the next round's work queue).
 inline color_t exchange_uncolor(color_t* c, vid_t v) {
+  GCOL_MC_YIELD(v, kExchange);
   GCOL_AUDIT_WRITE(v, kNoColor);
   return std::atomic_ref<color_t>(c[static_cast<std::size_t>(v)])
       .exchange(kNoColor, std::memory_order_relaxed);

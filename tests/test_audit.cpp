@@ -9,6 +9,9 @@
 // in every build mode.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <thread>
+
 #include "greedcolor/analyze/audit.hpp"
 #include "greedcolor/core/bgpc.hpp"
 #include "greedcolor/core/d2gc.hpp"
@@ -169,6 +172,80 @@ TEST(AuditD2gc, SeededEscapedConflictIsCaught) {
   ASSERT_GT(r.faults_injected, 0) << "plan injected nothing";
   EXPECT_FALSE(ctx.report().clean());
   EXPECT_GT(ctx.report().escaped_conflicts, 0u);
+}
+
+// Registry contention: many threads race their own audited colorings.
+// The first-wins install contract promises (a) no UB / torn registry,
+// (b) every context still gets its full per-round sweep (that path does
+// not go through the registry), (c) nothing is left installed after the
+// last scope exits.
+TEST(AuditScopeTest, ConcurrentAttachDetachIsSafe) {
+  constexpr int kThreads = 4;
+  constexpr int kIters = 6;
+  std::array<audit::AuditContext, kThreads> ctxs;
+  std::array<int, kThreads> rounds{};
+  std::array<bool, kThreads> valid{};
+  valid.fill(true);
+  {
+    std::array<std::thread, kThreads> pool;
+    for (int t = 0; t < kThreads; ++t) {
+      pool[static_cast<std::size_t>(t)] = std::thread([&, t] {
+        const BipartiteGraph g =
+            audit_bipartite(0xC0 + static_cast<std::uint64_t>(t));
+        ColoringOptions opt = bgpc_preset("V-V");
+        opt.num_threads = 2;
+        opt.auditor = &ctxs[static_cast<std::size_t>(t)];
+        for (int i = 0; i < kIters; ++i) {
+          const auto r = color_bgpc(g, opt);
+          valid[static_cast<std::size_t>(t)] =
+              valid[static_cast<std::size_t>(t)] &&
+              is_valid_bgpc(g, r.colors);
+          rounds[static_cast<std::size_t>(t)] += r.rounds;
+        }
+      });
+    }
+    for (auto& th : pool) th.join();
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    const auto& rep = ctxs[static_cast<std::size_t>(t)].report();
+    EXPECT_TRUE(valid[static_cast<std::size_t>(t)]) << "thread " << t;
+    EXPECT_TRUE(rep.clean()) << "thread " << t << ": " << rep.summary();
+    // The sweep layer is per-context and registry-independent: every
+    // round of every coloring was audited even when the scope lost the
+    // ledger-hook registry to a sibling.
+    EXPECT_EQ(rep.rounds_audited, rounds[static_cast<std::size_t>(t)])
+        << "thread " << t;
+  }
+  EXPECT_EQ(audit::active(), nullptr);
+}
+
+// Overflow policy: a reservation the round outruns must reallocate and
+// keep recording (grow-never-drop), with the growth surfaced in the
+// report rather than silently absorbed.
+TEST(AuditLedger, OverflowGrowsAndNeverDrops) {
+  const BipartiteGraph g = audit_bipartite(0xAB8);
+  audit::AuditContext ctx({.ledger_reserve = 1});
+  ColoringOptions opt = bgpc_preset("V-V");
+  opt.num_threads = 2;
+  opt.auditor = &ctx;
+  const auto r = color_bgpc(g, opt);
+  ASSERT_TRUE(is_valid_bgpc(g, r.colors));
+  const auto& rep = ctx.report();
+  EXPECT_TRUE(rep.clean()) << rep.summary();
+  if constexpr (audit::kAuditEnabled) {
+    // Far more than one write per thread happens, so a one-slot
+    // reservation must have grown — and despite that, every
+    // speculative store is still accounted for (degree-0 vertices are
+    // colored outside the kernels and never hit the hooks).
+    EXPECT_GT(rep.ledger_growths, 0u) << rep.summary();
+    std::uint64_t kernel_colored = 0;
+    for (vid_t v = 0; v < g.num_vertices(); ++v)
+      if (g.vertex_degree(v) > 0) ++kernel_colored;
+    EXPECT_GE(rep.writes_recorded, kernel_colored) << rep.summary();
+  } else {
+    EXPECT_EQ(rep.ledger_growths, 0u);
+    EXPECT_EQ(rep.writes_recorded, 0u);
+  }
 }
 
 TEST(AuditReport, SummaryAndViolationFormat) {

@@ -6,9 +6,11 @@
 #   2. lint gate: gcol_lint self-test + repo scan over compile_commands
 #   3. analysis preset: GCOL_AUDIT + -Werror (+ clang-tidy if present),
 #      full suite with contracts and audit ledgers live
-#   4. sanitizer presets: asan / ubsan (full suite), tsan (robust label)
+#   4. modelcheck preset: GCOL_MC build, gcol-mc schedule exploration
+#      (exhaustive/DPOR tiny-graph corpus + fixed-seed fuzz budget)
+#   5. sanitizer presets: asan / ubsan (full suite), tsan (robust label)
 #
-# Usage: tools/check_all.sh [--quick]   (--quick = steps 1-3 only)
+# Usage: tools/check_all.sh [--quick]   (--quick = steps 1-4 only)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,6 +33,11 @@ step "analysis: GCOL_AUDIT + -Werror, full suite"
 cmake --preset analysis
 cmake --build --preset analysis -j"$JOBS"
 ctest --preset analysis-full -j"$JOBS"
+
+step "modelcheck: GCOL_MC, schedule exploration"
+cmake --preset modelcheck
+cmake --build --preset modelcheck -j"$JOBS"
+ctest --preset modelcheck -j"$JOBS" --timeout 600
 
 if [[ "$QUICK" == "1" ]]; then
   step "quick mode: skipping sanitizers"

@@ -26,14 +26,24 @@ Enforces project rules that generic tooling cannot express, as errors:
                           `schedule(...)` clause: the chunk size is part
                           of the algorithm (the paper's "-64" variants),
                           not an implementation default to inherit.
+  R005 raw-atomic-ref     `std::atomic_ref` on the color array is the
+                          accessor seam's private implementation detail:
+                          outside src/core/src/kernels_common.hpp it is
+                          banned in the kernel layer. Every tool that
+                          instruments the seam (the audit ledgers, the
+                          gcol-mc schedule points) hooks load_color /
+                          store_color / exchange_uncolor; a raw
+                          atomic_ref bypasses all of them silently.
 
-R001 applies to every file; R002-R004 apply to files under src/core (the
+R001 applies to every file; R002-R005 apply to files under src/core (the
 kernel layer) and to any file passed explicitly on the command line
 (which is how the negative-test fixtures are exercised).
+kernels_common.hpp itself is exempt from R005 — it is the accessor seam.
 
 The file set comes from a CMake compilation database
 (--compile-commands) plus the headers under src/, so the gate sees
-exactly what the build sees. Exit codes: 0 clean, 1 violations, 2 usage.
+exactly what the build sees. Exit codes: 0 clean, 1 violations,
+2 usage / unreadable input / internal error.
 """
 
 from __future__ import annotations
@@ -53,7 +63,12 @@ RULES = {
     "R002": "raw-color-access",
     "R003": "kernel-alloc",
     "R004": "schedule-missing",
+    "R005": "raw-atomic-ref",
 }
+
+# The one file allowed to spell std::atomic_ref: the accessor seam.
+ATOMIC_REF_SEAM = "core/src/kernels_common.hpp"
+ATOMIC_REF_RE = re.compile(r"\batomic_ref\b")
 
 RAW_COLOR_RE = re.compile(r"\b(?:c|colors)\s*\[")
 ALLOC_RES = [
@@ -202,7 +217,21 @@ class FileLinter:
         self._check_pragmas()
         if self.core_rules:
             self._scan_scopes()
+            self._check_atomic_ref()
         return self.violations
+
+    # ---- R005: atomic_ref confined to the accessor seam ----
+
+    def _check_atomic_ref(self) -> None:
+        if self.path.replace(os.sep, "/").endswith(ATOMIC_REF_SEAM):
+            return
+        for lineno, line in enumerate(self.stripped.split("\n"), start=1):
+            if ATOMIC_REF_RE.search(line):
+                self.add(lineno, "R005",
+                         "raw std::atomic_ref outside the kernels_common.hpp "
+                         "accessor seam; go through load_color/store_color/"
+                         "exchange_uncolor so audit and gcol-mc hooks see "
+                         "the access")
 
     # ---- pragma-level rules (R001, R004) ----
 
@@ -404,9 +433,48 @@ def self_test(root: str) -> int:
             print(f"    {detail}")
             for v in got:
                 print(f"    {v.render(root)}")
+    ec_failures = exit_code_self_test(root)
     total = len(fixtures)
-    print(f"gcol_lint --self-test: {total - failures}/{total} fixtures ok")
-    return 0 if failures == 0 else 1
+    print(f"gcol_lint --self-test: {total - failures}/{total} fixtures ok, "
+          f"{3 - ec_failures}/3 exit-code checks ok")
+    return 0 if failures + ec_failures == 0 else 1
+
+
+def exit_code_self_test(root: str) -> int:
+    """Verify the process-level exit-code contract by re-invoking the
+    script as CI would: findings exit 1, unreadable/unparsable inputs
+    and internal errors exit 2 (distinct, so a pipeline can tell "the
+    code is dirty" from "the gate itself broke")."""
+    import subprocess
+    import tempfile
+    script = os.path.abspath(__file__)
+    checks = []
+    dirty = os.path.join(root, "tools", "lint_fixtures",
+                         "r001_omp_critical.cpp")
+    checks.append(("findings exit 1",
+                   [sys.executable, script, dirty], 1))
+    with tempfile.NamedTemporaryFile("w", suffix=".json", delete=False) as fh:
+        fh.write("{ this is not json")
+        bad_json = fh.name
+    try:
+        checks.append(("unparsable compile_commands exit 2",
+                       [sys.executable, script,
+                        "--compile-commands", bad_json], 2))
+        checks.append(("missing file exit 2",
+                       [sys.executable, script,
+                        os.path.join(root, "no", "such", "file.cpp")], 2))
+        failures = 0
+        for name, cmd, want in checks:
+            rc = subprocess.run(cmd, capture_output=True,
+                                check=False).returncode
+            ok = rc == want
+            print(f"  {name:<34} exit-{want} {'ok' if ok else 'FAIL'}")
+            if not ok:
+                failures += 1
+                print(f"    expected exit {want}, got {rc}")
+        return failures
+    finally:
+        os.unlink(bad_json)
 
 
 def main() -> int:
@@ -457,4 +525,14 @@ def main() -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    # Exit-code contract: 0 clean, 1 violations, 2 for anything that
+    # means the gate itself could not do its job (usage errors already
+    # exit 2 via argparse; an unexpected crash must not exit 1 and be
+    # mistaken for "findings").
+    try:
+        sys.exit(main())
+    except KeyboardInterrupt:
+        sys.exit(130)
+    except Exception as exc:  # noqa: BLE001 — the process boundary
+        print(f"gcol_lint: internal error: {exc}", file=sys.stderr)
+        sys.exit(2)

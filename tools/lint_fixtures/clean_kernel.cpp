@@ -1,11 +1,12 @@
 // Lint fixture: a well-behaved kernel-shaped function that must pass
-// every rule — explicit schedule, color access only through a relaxed
-// atomic_ref, no allocation in the loop body, no critical sections.
-#include <atomic>
+// every rule — explicit schedule, color access only through the
+// kernels_common.hpp accessor seam (no raw atomic_ref: R005), no
+// allocation in the loop body, no critical sections.
+void store_color(int* c, int v, int x);  // the accessor seam
 
 void fixture_clean(int* c, int n) {
 #pragma omp parallel for schedule(dynamic, 32)
   for (int v = 0; v < n; ++v) {
-    std::atomic_ref<int>(c[v]).store(v % 3, std::memory_order_relaxed);
+    store_color(c, v, v % 3);
   }
 }

@@ -1,0 +1,13 @@
+// Lint fixture: R005 — a raw std::atomic_ref on the shared color array
+// outside the kernels_common.hpp accessor seam. The access itself is
+// race-free, which is exactly why the rule exists: it silently bypasses
+// every instrument hooked on load_color/store_color (audit ledgers,
+// gcol-mc schedule points) while looking correct.
+#include <atomic>
+
+void fixture_r005(int* c, int n) {
+#pragma omp parallel for schedule(dynamic, 32)
+  for (int v = 0; v < n; ++v) {
+    std::atomic_ref<int>(c[v]).store(1, std::memory_order_relaxed);
+  }
+}
