@@ -1,0 +1,227 @@
+// Chaos benchmark: degradation curves of BGPC under injected faults.
+//
+// Sweeps FaultPlan drop / reorder / duplicate rates over two execution
+// modes — the shared-memory verified pipeline (stale speculative writes
+// at the same rate, its native fault kind) and the sharded superstep
+// runtime (lossy boundary exchange) — and records how color count,
+// wall time, retries, and repair volume degrade as the fault rate
+// rises. The robust analogue of bench/fig2_bgpc_sweep: the claim under
+// test is not speed but that validity never degrades, only cost.
+//
+// With --json PATH writes a gcol-bench-chaos-v1 document (the committed
+// BENCH_chaos.json). Exit status is nonzero if any run produced an
+// invalid coloring or a sharded drop-curve lost monotonicity (the
+// Bernoulli streams are threshold-coupled per seed, so the dropped
+// volume must be nondecreasing in the rate).
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "greedcolor/core/verify.hpp"
+#include "greedcolor/dist/dist_bgpc.hpp"
+#include "greedcolor/graph/datasets.hpp"
+#include "greedcolor/robust/fault.hpp"
+#include "greedcolor/robust/verified.hpp"
+#include "greedcolor/util/argparse.hpp"
+#include "greedcolor/util/table.hpp"
+
+namespace {
+
+using namespace gcol;
+
+struct Point {
+  double rate = 0.0;
+  color_t colors = 0;
+  double wall_ms = 0.0;
+  int supersteps = 0;
+  std::uint64_t retries = 0;
+  vid_t dirty_boundary = 0;
+  vid_t repaired = 0;
+  std::uint64_t dropped = 0;
+  bool degraded = false;
+  bool valid = true;
+};
+
+struct Curve {
+  std::string mode;  ///< "shared" | "sharded"
+  std::string kind;  ///< "stale" | "drop" | "reorder" | "dup" | "mixed"
+  std::vector<Point> points;
+
+  [[nodiscard]] bool dropped_monotone() const {
+    for (std::size_t i = 1; i < points.size(); ++i)
+      if (points[i].dropped < points[i - 1].dropped) return false;
+    return true;
+  }
+};
+
+std::string plan_spec(const std::string& kind, double rate) {
+  std::ostringstream os;
+  os << "seed=13";
+  if (rate <= 0.0) return os.str();
+  if (kind == "drop") os << ",drop=" << rate;
+  if (kind == "reorder") os << ",reorder=" << rate << ",delay-steps=2";
+  if (kind == "dup") os << ",dup=" << rate;
+  if (kind == "mixed")
+    os << ",drop=" << rate << ",reorder=" << rate << ",dup=" << rate;
+  return os.str();
+}
+
+void write_json(const std::string& path, bool smoke, int ranks,
+                const std::vector<std::pair<std::string,
+                                            std::vector<Curve>>>& sets) {
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"gcol-bench-chaos-v1\",\n"
+     << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+     << "  \"ranks\": " << ranks << ",\n  \"datasets\": [\n";
+  for (std::size_t d = 0; d < sets.size(); ++d) {
+    os << "    {\"name\": \"" << sets[d].first << "\", \"curves\": [\n";
+    const auto& curves = sets[d].second;
+    for (std::size_t c = 0; c < curves.size(); ++c) {
+      const Curve& cv = curves[c];
+      os << "      {\"mode\": \"" << cv.mode << "\", \"kind\": \""
+         << cv.kind << "\", \"dropped_monotone\": "
+         << (cv.dropped_monotone() ? "true" : "false")
+         << ", \"points\": [\n";
+      for (std::size_t i = 0; i < cv.points.size(); ++i) {
+        const Point& p = cv.points[i];
+        os << "        {\"rate\": " << p.rate << ", \"colors\": "
+           << p.colors << ", \"wall_ms\": " << p.wall_ms
+           << ", \"supersteps\": " << p.supersteps << ", \"retries\": "
+           << p.retries << ", \"dirty_boundary\": " << p.dirty_boundary
+           << ", \"repaired\": " << p.repaired << ", \"dropped\": "
+           << p.dropped << ", \"degraded\": "
+           << (p.degraded ? "true" : "false") << ", \"valid\": "
+           << (p.valid ? "true" : "false") << "}"
+           << (i + 1 < cv.points.size() ? "," : "") << "\n";
+      }
+      os << "      ]}" << (c + 1 < curves.size() ? "," : "") << "\n";
+    }
+    os << "    ]}" << (d + 1 < sets.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  std::ofstream out(path);
+  out << os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ArgParser args(argc, argv);
+  const bool smoke = args.has("smoke");
+  const int ranks = static_cast<int>(args.get_int("ranks", 8));
+  const std::string json_path = args.get_string("json", "");
+  const auto datasets =
+      args.has("datasets")
+          ? std::vector<std::string>{args.get_string("datasets", "")}
+          : (smoke ? std::vector<std::string>{"afshell_s"}
+                   : std::vector<std::string>{"afshell_s", "copapers_s",
+                                              "movielens_s"});
+  const std::vector<double> rates =
+      smoke ? std::vector<double>{0.0, 0.25, 0.5}
+            : std::vector<double>{0.0, 0.1, 0.25, 0.5};
+  const std::vector<std::string> kinds = {"drop", "reorder", "dup",
+                                          "mixed"};
+
+  bench::SweepConfig banner;
+  banner.datasets = datasets;
+  banner.threads = {1};
+  bench::print_banner("Chaos sweep: fault rate vs degradation", banner);
+
+  bool all_valid = true;
+  bool all_monotone = true;
+  std::vector<std::pair<std::string, std::vector<Curve>>> sets;
+  for (const auto& name : datasets) {
+    const BipartiteGraph g = load_bipartite(name);
+    std::vector<Curve> curves;
+
+    // Shared-memory mode: the verified pipeline's native fault is the
+    // stale speculative write; repair is its degradation channel.
+    Curve shared{"shared", "stale", {}};
+    for (const double rate : rates) {
+      const FaultPlan plan =
+          FaultPlan::parse(plan_spec("", 0.0) +
+                           (rate > 0.0 ? ",stale=" + std::to_string(rate)
+                                       : ""));
+      ColoringOptions opt = bgpc_preset("N1-N2");
+      if (rate > 0.0) opt.fault_plan = &plan;
+      const auto r = color_bgpc_verified(g, opt);
+      Point p;
+      p.rate = rate;
+      p.colors = r.num_colors;
+      p.wall_ms = r.total_seconds * 1e3;
+      p.repaired = r.repaired_vertices;
+      p.degraded = r.degraded;
+      p.valid = is_valid_bgpc(g, r.colors);
+      all_valid = all_valid && p.valid;
+      shared.points.push_back(p);
+    }
+    curves.push_back(shared);
+
+    // Sharded mode: one curve per transport fault kind.
+    for (const auto& kind : kinds) {
+      Curve curve{"sharded", kind, {}};
+      for (const double rate : rates) {
+        const FaultPlan plan = FaultPlan::parse(plan_spec(kind, rate));
+        DistOptions opt;
+        opt.num_ranks = ranks;
+        if (rate > 0.0) opt.fault_plan = &plan;
+        const auto r = color_bgpc_distributed(g, opt);
+        Point p;
+        p.rate = rate;
+        p.colors = r.num_colors;
+        p.wall_ms = r.total_seconds * 1e3;
+        p.supersteps = r.stats.supersteps;
+        p.retries = r.stats.retries;
+        p.dirty_boundary = r.stats.dirty_boundary;
+        p.repaired = r.stats.repair_recolored;
+        p.dropped = r.stats.messages_dropped;
+        p.degraded = r.degraded;
+        p.valid = is_valid_bgpc(g, r.colors) && !r.stats.fallback;
+        all_valid = all_valid && p.valid;
+        curve.points.push_back(p);
+      }
+      all_monotone = all_monotone && curve.dropped_monotone();
+      curves.push_back(curve);
+    }
+
+    std::cout << "--- " << name << " ---\n";
+    TextTable t;
+    t.set_header({"mode", "kind", "rate", "colors", "ms", "supersteps",
+                  "retries", "dirty", "repaired", "valid"});
+    for (const auto& cv : curves) {
+      for (const auto& p : cv.points)
+        t.add_row({cv.mode, cv.kind, TextTable::fmt(p.rate),
+                   TextTable::fmt_sep(p.colors), TextTable::fmt(p.wall_ms),
+                   TextTable::fmt(static_cast<std::int64_t>(p.supersteps)),
+                   TextTable::fmt_sep(static_cast<std::int64_t>(p.retries)),
+                   TextTable::fmt_sep(static_cast<std::int64_t>(
+                       p.dirty_boundary)),
+                   TextTable::fmt_sep(static_cast<std::int64_t>(p.repaired)),
+                   p.valid ? "yes" : "NO"});
+    }
+    std::cout << t.to_string() << "\n";
+    sets.emplace_back(name, std::move(curves));
+  }
+
+  if (!json_path.empty()) {
+    write_json(json_path, smoke, ranks, sets);
+    std::cout << "json written to " << json_path << "\n";
+  }
+  if (!all_valid) {
+    std::cout << "FAIL: an injected-fault run produced an invalid "
+                 "coloring or hit the sequential fallback\n";
+    return 1;
+  }
+  if (!all_monotone) {
+    std::cout << "FAIL: dropped-message volume not monotone in the fault "
+                 "rate\n";
+    return 1;
+  }
+  std::cout << "expected shape: colors and repair volume drift up with "
+               "the fault rate;\nvalidity holds at every point (the "
+               "degradation ladder absorbs the loss).\n";
+  return 0;
+}

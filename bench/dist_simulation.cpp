@@ -1,8 +1,9 @@
 // Related-work context bench: the distributed-memory BSP formulation
 // (Bozdağ et al.) that the paper's net-based approach descends from,
-// simulated per rank count. Reports the quantities that motivated a
-// shared-memory redesign: boundary fraction, supersteps, messages per
-// vertex, and the color cost relative to the shared-memory N1-N2.
+// run on the sharded superstep runtime per rank count. Reports the
+// quantities that motivated a shared-memory redesign: boundary
+// fraction, supersteps, messages per vertex, and the color cost
+// relative to the shared-memory N1-N2.
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -46,7 +47,7 @@ int main(int argc, char** argv) {
            TextTable::fmt(100.0 * r.stats.boundary_vertices /
                           g.num_vertices()),
            TextTable::fmt(static_cast<std::int64_t>(r.stats.supersteps)),
-           TextTable::fmt(static_cast<double>(r.stats.messages) /
+           TextTable::fmt(static_cast<double>(r.stats.messages_sent) /
                           g.num_vertices()),
            TextTable::fmt_sep(static_cast<std::int64_t>(r.stats.conflicts)),
            TextTable::fmt_sep(r.num_colors),

@@ -106,7 +106,10 @@ static int run(int argc, char** argv) {
            "  --locality none|sort|full  cache-locality pre-pass "
            "(default none)\n"
            "  --threads N          0 = OpenMP default\n"
-           "  --ranks N            dist: simulated MPI ranks (default 4)\n"
+           "  --ranks N            dist: shard count (default 4)\n"
+           "  --transport T        dist: mailbox|socket (default mailbox)\n"
+           "  --retries N          dist: batch retries before give-up "
+           "(default 8)\n"
            "  --recolor            run iterated-greedy post-pass (bgpc)\n"
            "  --stats-only         print dataset statistics and exit\n"
            "  --deadline-ms N      convergence-watchdog wall deadline\n"
@@ -267,22 +270,36 @@ static int run(int argc, char** argv) {
       dopt.deadline_seconds = deadline_seconds;
       if (max_rounds > 0) dopt.max_supersteps = max_rounds;
       if (have_fault_plan) dopt.fault_plan = &fault_plan;
+      if (args.get_string("transport", "mailbox") == "socket")
+        dopt.transport = DistOptions::TransportKind::kSocket;
+      dopt.max_retries = static_cast<int>(args.get_int("retries", 8));
       const auto r = color_bgpc_distributed_verified(graph, dopt);
       std::cout << "instance         " << signature(graph) << "\n"
-                << "ranks            " << dopt.num_ranks << "\n"
+                << "ranks            " << dopt.num_ranks << " ("
+                << (dopt.transport == DistOptions::TransportKind::kSocket
+                        ? "socket"
+                        : "mailbox")
+                << " transport)\n"
                 << "colors           " << r.num_colors << " (lower bound "
                 << graph.max_net_degree() << ")\n"
                 << "boundary         " << r.stats.boundary_vertices << " of "
                 << graph.num_vertices() << "\n"
                 << "supersteps       " << r.stats.supersteps << "\n"
-                << "messages         " << r.stats.messages << "\n"
+                << "messages         sent=" << r.stats.messages_sent
+                << " delivered=" << r.stats.messages_delivered
+                << " dropped=" << r.stats.messages_dropped
+                << " stale_ignored=" << r.stats.messages_stale_ignored
+                << " duplicated=" << r.stats.messages_duplicated << "\n"
                 << "conflicts        " << r.stats.conflicts << "\n"
+                << "retries          " << r.stats.retries
+                << " (simulated backoff " << r.stats.backoff_us_total
+                << " us)\n"
                 << "robust           degraded=" << (r.degraded ? "yes" : "no")
                 << " fallback=" << (r.stats.fallback ? "yes" : "no")
                 << " deadline_hit=" << (r.stats.deadline_hit ? "yes" : "no")
-                << " repaired=" << r.repaired_vertices
-                << " dropped=" << r.stats.dropped_updates
-                << " reordered=" << r.stats.reordered_updates << "\n"
+                << " dirty=" << r.stats.dirty_boundary
+                << " repair_recolored=" << r.stats.repair_recolored
+                << " repaired=" << r.repaired_vertices << "\n"
                 << "wall time        " << r.total_seconds * 1e3 << " ms\n";
       return EXIT_SUCCESS;
     }

@@ -1,17 +1,21 @@
-// Simulated distributed-memory BGPC (the Bozdağ–Gebremedhin–Manne–
-// Boman–Çatalyürek framework, refs [5], [6], [27], [28] of the paper).
+// Sharded superstep BGPC runtime (descended from the Bozdağ–
+// Gebremedhin–Manne–Boman–Çatalyürek distributed framework, refs [5],
+// [6], [27], [28] of the paper).
 //
-// The paper's net-based conflict removal descends from the
-// distributed-memory D2GC algorithms that resolve conflicts "around
-// middle vertices". This module reproduces that lineage as a
-// single-process BSP simulation: columns are partitioned across ranks,
-// interior vertices are colored communication-free, and boundary
-// vertices go through synchronous supersteps of speculative coloring +
-// conflict resolution, with remote color information one superstep
-// stale — the staleness is exactly what creates distributed conflicts.
-// The simulator counts supersteps and messages so the shared- vs
-// distributed-memory trade-off the paper's related work discusses can
-// be measured offline.
+// Columns are partitioned across shards (make_partition + make_shards);
+// each shard colors on its own CSR slice — interior vertices
+// communication-free, boundary vertices through synchronous supersteps
+// of speculative coloring + conflict detection against one-superstep-
+// stale ghost colors. Unlike the previous single-process simulation,
+// *all* cross-shard information moves as batched, versioned boundary
+// messages through a pluggable Transport (in-process mailbox or a real
+// loopback socket), and the runtime tolerates a misbehaving transport:
+// stale or duplicated deliveries are ignored by a per-vertex version
+// guard, missing batches are retried with exponential backoff, and
+// after max_retries the affected boundary vertices are marked dirty and
+// finished through repair_bgpc — the degradation ladder is
+// retry -> repair -> sequential fallback, and every rung still yields a
+// valid coloring.
 #pragma once
 
 #include <cstdint>
@@ -33,23 +37,63 @@ struct DistOptions {
   /// Wall-clock watchdog on the superstep loop (0 disables); on expiry
   /// the remaining boundary vertices are finished sequentially.
   double deadline_seconds = 0.0;
-  /// Deterministic fault injection for the superstep color exchange
-  /// (drop / reorder); not owned, may be null.
+  /// Deterministic fault injection for the boundary exchange (drop /
+  /// duplicate / reorder / delay / partition); not owned, may be null.
   const FaultPlan* fault_plan = nullptr;
+
+  /// Which transport carries the boundary batches. kMailbox is the
+  /// in-process FIFO; kSocket frames every batch through a non-blocking
+  /// AF_UNIX socketpair. Both yield identical colorings.
+  enum class TransportKind { kMailbox, kSocket } transport =
+      TransportKind::kMailbox;
+  /// Resend attempts per (src, dst, superstep) batch before the
+  /// destination gives up and marks the border dirty.
+  int max_retries = 8;
+  /// Exponential backoff between retries: min(cap, base << attempt)
+  /// microseconds, *simulated* — recorded in the retry trace and
+  /// backoff_us_total, never slept, so traces stay deterministic and
+  /// tests fast.
+  std::uint64_t backoff_base_us = 100;
+  std::uint64_t backoff_cap_us = 100000;
 };
 
 struct DistStats {
   vid_t interior_vertices = 0;  ///< colored with zero communication
   vid_t boundary_vertices = 0;
   int supersteps = 0;           ///< boundary rounds until conflict-free
-  /// Color-notification messages: one per (newly colored boundary
-  /// vertex, distinct remote rank sharing a net with it).
-  std::uint64_t messages = 0;
+
+  // Message accounting, in per-vertex update units (a batch of k
+  // boundary colors counts k). sent >= delivered + dropped_in_flight;
+  // stale_ignored and duplicated are subsets of delivered.
+  std::uint64_t messages_sent = 0;       ///< handed to the transport
+  std::uint64_t messages_delivered = 0;  ///< drained by a receiver
+  std::uint64_t messages_dropped = 0;    ///< lost in flight (injected)
+  /// Delivered but discarded by the ghost-version guard (stale,
+  /// reordered, or duplicated — the guard cannot tell and need not).
+  std::uint64_t messages_stale_ignored = 0;
+  std::uint64_t messages_duplicated = 0; ///< injected duplicate deliveries
+
   std::uint64_t conflicts = 0;  ///< boundary re-colorings, total
+  std::uint64_t retries = 0;    ///< batch retransmissions requested
+  std::uint64_t backoff_us_total = 0;  ///< simulated backoff, summed
+  vid_t dirty_boundary = 0;     ///< vertices finalized via give-up
+  vid_t repair_recolored = 0;   ///< recolored by the post-loop repair
+
   bool fallback = false;        ///< max_supersteps or deadline hit
   bool deadline_hit = false;    ///< deadline_seconds expired
-  std::uint64_t dropped_updates = 0;    ///< injected: exchanges lost
-  std::uint64_t reordered_updates = 0;  ///< injected: delivered late
+};
+
+/// One retransmission decision, for deterministic trace comparison:
+/// the runtime requested attempt `attempt` of the (src -> dst) batch of
+/// `superstep` after simulating `backoff_us` of backoff.
+struct RetryEvent {
+  int superstep = 0;
+  int src = 0;
+  int dst = 0;
+  int attempt = 0;
+  std::uint64_t backoff_us = 0;
+
+  friend bool operator==(const RetryEvent&, const RetryEvent&) = default;
 };
 
 struct DistResult {
@@ -57,17 +101,22 @@ struct DistResult {
   color_t num_colors = 0;
   DistStats stats;
   double total_seconds = 0.0;
-  bool degraded = false;        ///< fallback ran or a repair was needed
+  bool degraded = false;        ///< fallback, give-up, or repair ran
   vid_t repaired_vertices = 0;  ///< set by the verified entry point
+  /// Every retry in request order; identical across runs for a fixed
+  /// (graph, options, fault plan) triple.
+  std::vector<RetryEvent> retry_trace;
 };
 
 /// Owner rank per column vertex.
 [[nodiscard]] std::vector<int> make_partition(vid_t n,
                                               const DistOptions& options);
 
-/// Simulated distributed BGPC. Deterministic for fixed options: ranks
-/// are processed in order inside each superstep, and remote colors are
-/// read from the previous superstep's snapshot (true BSP semantics).
+/// Sharded superstep BGPC. Deterministic for fixed options: shard state
+/// is disjoint (OpenMP schedule cannot matter), transport calls are
+/// serialized on the driver thread between compute phases, and fault
+/// decisions are pure functions of the plan. A single-rank run contains
+/// no boundary vertices and reproduces color_bgpc_sequential exactly.
 [[nodiscard]] DistResult color_bgpc_distributed(
     const BipartiteGraph& g, const DistOptions& options = {});
 

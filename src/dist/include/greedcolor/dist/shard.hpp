@@ -1,0 +1,92 @@
+// Shard: one rank's slice of a bipartite coloring instance.
+//
+// A shard owns a contiguous-or-hashed subset of the column (vertex)
+// side, produced by make_partition, plus the *ghost* columns it must
+// observe: every foreign column sharing a mixed net with an owned one.
+// The slice is materialized as a real BipartiteGraph over local ids —
+// owned columns first, ghosts after — so the per-shard coloring kernels
+// run on shard-local memory only and never dereference the global
+// graph. All cross-shard information flows through the Transport layer
+// as end-of-superstep boundary batches (see dist_bgpc.cpp); this header
+// is deliberately transport-free.
+//
+// Local id convention: [0, num_owned()) are owned columns in ascending
+// global order (so a one-shard run first-fits in exactly the sequential
+// order), [num_owned(), num_local()) are ghosts, also ascending.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "greedcolor/graph/bipartite.hpp"
+#include "greedcolor/util/types.hpp"
+
+namespace gcol {
+
+struct Shard {
+  int id = 0;
+  int num_shards = 1;
+
+  /// Global ids of the owned columns, ascending.
+  std::vector<vid_t> owned;
+  /// Global ids of the ghost columns (foreign columns sharing a mixed
+  /// net with an owned column), ascending.
+  std::vector<vid_t> ghosts;
+  /// Owner shard of each ghost (parallel to `ghosts`).
+  std::vector<int> ghost_owner;
+  /// Global ids of the nets present in the slice (every net incident to
+  /// an owned column), ascending.
+  std::vector<vid_t> nets;
+
+  /// The slice itself: vertices are owned+ghost columns under local
+  /// ids, nets are the shard's nets under local ids. Ghost adjacency is
+  /// restricted to the shard's nets, so both CSR halves agree.
+  BipartiteGraph local;
+
+  /// Per owned local id: 1 iff the column touches a mixed net (and thus
+  /// participates in the superstep exchange).
+  std::vector<std::uint8_t> owned_boundary;
+
+  /// Neighbor shards (those sharing at least one mixed net), ascending.
+  std::vector<int> neighbors;
+  /// border[i]: owned local ids sharing a mixed net with a column of
+  /// neighbors[i], ascending. This is simultaneously the set whose
+  /// colors neighbors[i] needs (the outgoing batch) and the set whose
+  /// conflict detection depends on ghosts owned by neighbors[i] (the
+  /// vertices marked dirty when that neighbor stays unreachable).
+  std::vector<std::vector<vid_t>> border;
+
+  [[nodiscard]] vid_t num_owned() const {
+    return static_cast<vid_t>(owned.size());
+  }
+  [[nodiscard]] vid_t num_ghosts() const {
+    return static_cast<vid_t>(ghosts.size());
+  }
+  [[nodiscard]] vid_t num_local() const {
+    return num_owned() + num_ghosts();
+  }
+
+  /// Global id of a local column id (owned or ghost).
+  [[nodiscard]] vid_t global_of(vid_t local) const {
+    return local < num_owned()
+               ? owned[static_cast<std::size_t>(local)]
+               : ghosts[static_cast<std::size_t>(local - num_owned())];
+  }
+
+  /// Local id of a ghost by global id, or kInvalidVertex when the
+  /// column is not a ghost of this shard (binary search; deterministic).
+  [[nodiscard]] vid_t ghost_local(vid_t global) const;
+
+  /// Index of `shard` in `neighbors`, or -1.
+  [[nodiscard]] int neighbor_index(int shard) const;
+};
+
+/// Partition g's column side into shards according to `owner` (from
+/// make_partition): classifies mixed nets, collects ghosts, and builds
+/// each shard's local CSR slice. Throws Error(kInvalidArgument) when
+/// owner.size() != g.num_vertices() or an owner id is out of range.
+[[nodiscard]] std::vector<Shard> make_shards(const BipartiteGraph& g,
+                                             const std::vector<int>& owner,
+                                             int num_shards);
+
+}  // namespace gcol

@@ -1,0 +1,153 @@
+// Transport: the boundary-exchange seam of the sharded BGPC runtime.
+//
+// Shards never touch each other's memory; the only way color
+// information crosses a shard boundary is a BoundaryBatch pushed
+// through this interface. Two real transports implement it — an
+// in-process mailbox (no locks: sends and pumps are driver-phase
+// serialized, shard compute phases never touch the transport) and a
+// loopback byte transport that frames every batch through a kernel
+// socketpair, exercising real serialization, short reads/writes, and
+// flow control on the same code path an MPI/socket backend would use.
+// LossyTransport decorates either with deterministic FaultPlan-driven
+// drop / duplicate / delay / reorder decisions so every chaos scenario
+// replays bit-for-bit.
+//
+// This header is private to src/dist: everything outside configures the
+// runtime through DistOptions (lint rule R006 enforces the confinement,
+// mirroring R005's accessor-seam rule).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "greedcolor/util/types.hpp"
+
+namespace gcol {
+
+struct FaultPlan;  // greedcolor/robust/fault.hpp
+
+/// One column's color as of `version` (a Lamport-style per-vertex
+/// change counter: 2*superstep for a coloring, 2*superstep+1 for a
+/// conflict uncoloring — strictly monotone per vertex, so receivers
+/// can discard stale or duplicated deliveries instead of letting an
+/// out-of-order batch overwrite newer state).
+struct BoundaryUpdate {
+  vid_t vertex = 0;  ///< global column id
+  color_t color = kNoColor;
+  std::uint32_t version = 0;
+};
+
+/// End-of-superstep batch src -> dst. Batches are *cumulative*: they
+/// carry the full border state relevant to dst, so one successful
+/// delivery heals any number of previously lost exchanges.
+struct BoundaryBatch {
+  int src = 0;
+  int dst = 0;
+  int superstep = 0;  ///< sequence number per (src, dst) pair
+  int attempt = 0;    ///< 0 = first send, >0 = retransmission
+  std::vector<BoundaryUpdate> updates;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Enqueue a batch for delivery. May buffer; pump() moves traffic.
+  virtual void send(const BoundaryBatch& batch) = 0;
+
+  /// Move in-flight traffic toward the destination inboxes.
+  virtual void pump() = 0;
+
+  /// Drain every batch delivered to shard `dst`, in delivery order.
+  virtual std::vector<BoundaryBatch> receive(int dst) = 0;
+
+  /// Superstep tick: decorators holding delayed traffic release
+  /// batches whose due superstep has arrived.
+  virtual void advance_to(int superstep) { (void)superstep; }
+};
+
+/// In-process mailbox: per-destination FIFO. Lock-free by phase
+/// discipline — all calls happen on the driver thread between shard
+/// compute phases, so plain containers suffice and delivery order is
+/// deterministic (send order).
+class MailboxTransport final : public Transport {
+ public:
+  explicit MailboxTransport(int num_shards);
+  void send(const BoundaryBatch& batch) override;
+  void pump() override {}
+  std::vector<BoundaryBatch> receive(int dst) override;
+
+ private:
+  std::vector<std::deque<BoundaryBatch>> inbox_;
+};
+
+/// Loopback byte transport: every batch is length-prefix framed and
+/// written through a non-blocking AF_UNIX socketpair, then read back,
+/// reassembled from partial reads, and routed by the frame header.
+/// Payloads larger than the kernel buffer flow through multiple
+/// pump() rounds (writes stop at EAGAIN and resume after the reader
+/// drains). Throws Error(kIoError) on socket failures.
+class LoopbackTransport final : public Transport {
+ public:
+  explicit LoopbackTransport(int num_shards);
+  ~LoopbackTransport() override;
+  LoopbackTransport(const LoopbackTransport&) = delete;
+  LoopbackTransport& operator=(const LoopbackTransport&) = delete;
+
+  void send(const BoundaryBatch& batch) override;
+  void pump() override;
+  std::vector<BoundaryBatch> receive(int dst) override;
+
+ private:
+  int fds_[2] = {-1, -1};     ///< [0] write side, [1] read side
+  std::string outbuf_;        ///< frames not yet accepted by the kernel
+  std::string inbuf_;         ///< partial frame reassembly
+  std::vector<std::deque<BoundaryBatch>> inbox_;
+};
+
+/// Per-kind delivery counters a LossyTransport accumulates, in
+/// per-vertex update units (a batch of k boundary colors counts k), the
+/// same units DistStats uses for its messages_* fields.
+struct LossyCounters {
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t delayed = 0;  ///< reorder victims held back >= 1 superstep
+};
+
+/// Chaos decorator: consults a FaultPlan before forwarding to the
+/// inner transport. Decisions are pure functions of (plan seed, fault
+/// stream, superstep, src, dst, attempt) — retransmissions roll fresh
+/// decisions, which is what makes bounded retry effective against
+/// sub-1.0 rates — so a scenario replays bit-for-bit from its spec.
+/// Reorder victims are withheld until `delay_update_supersteps` (>= 1)
+/// supersteps later; a partition window drops everything a shard sends
+/// for `partition_supersteps` supersteps regardless of retries.
+class LossyTransport final : public Transport {
+ public:
+  LossyTransport(Transport& inner, const FaultPlan& plan, int num_shards);
+
+  void send(const BoundaryBatch& batch) override;
+  void pump() override;
+  std::vector<BoundaryBatch> receive(int dst) override;
+  void advance_to(int superstep) override;
+
+  [[nodiscard]] const LossyCounters& counters() const { return counters_; }
+
+ private:
+  struct Delayed {
+    int due_superstep;
+    BoundaryBatch batch;
+  };
+
+  Transport& inner_;
+  const FaultPlan& plan_;
+  int num_shards_;
+  int superstep_ = 0;
+  std::deque<Delayed> delayed_;
+  LossyCounters counters_;
+};
+
+}  // namespace gcol

@@ -1,10 +1,16 @@
 #include "greedcolor/dist/dist_bgpc.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <memory>
 #include <stdexcept>
+#include <utility>
 
 #include "greedcolor/core/bgpc.hpp"
+#include "greedcolor/dist/shard.hpp"
+#include "greedcolor/dist/transport.hpp"
 #include "greedcolor/robust/fault.hpp"
+#include "greedcolor/robust/repair.hpp"
 #include "greedcolor/util/marker_set.hpp"
 #include "greedcolor/util/prng.hpp"
 #include "greedcolor/util/timer.hpp"
@@ -13,22 +19,58 @@ namespace gcol {
 
 namespace {
 
-/// First-fit against an explicit color reader (local-live or
-/// remote-stale, the caller decides per neighbor).
-template <typename ColorReader>
-color_t first_fit(const BipartiteGraph& g, vid_t u, MarkerSet& forbidden,
-                  ColorReader read) {
+/// Mutable per-shard runtime state. Shard states are pairwise disjoint,
+/// so the compute phases parallelize over shards with no sharing at all
+/// — determinism cannot depend on the OpenMP schedule.
+struct ShardState {
+  /// Local-id colors (owned live, ghosts as last accepted update).
+  std::vector<color_t> colors;
+  /// Local-id versions: for owned vertices the stamp sent with their
+  /// color (2*superstep on coloring, 2*superstep+1 on uncoloring); for
+  /// ghosts the version guard that rejects stale deliveries.
+  std::vector<std::uint32_t> version;
+  /// Owned vertices finalized by a give-up: they keep their speculative
+  /// color, skip conflict detection, and are left to repair_bgpc.
+  std::vector<std::uint8_t> dirty;
+  /// Owned local ids still awaiting a stable color, ascending.
+  std::vector<vid_t> pending;
+  MarkerSet forbidden;
+  std::uint64_t conflicts = 0;  ///< reduced into DistStats after the loop
+};
+
+/// Sequential first-fit over the shard's local CSR slice.
+color_t first_fit_local(const BipartiteGraph& local, vid_t lu,
+                        const std::vector<color_t>& colors,
+                        MarkerSet& forbidden) {
   forbidden.clear();
-  for (const vid_t v : g.nets(u)) {
-    for (const vid_t w : g.vtxs(v)) {
-      if (w == u) continue;
-      const color_t cw = read(w);
-      if (cw != kNoColor) forbidden.insert(cw);
+  for (const vid_t lv : local.nets(lu)) {
+    for (const vid_t lw : local.vtxs(lv)) {
+      if (lw == lu) continue;
+      const color_t c = colors[static_cast<std::size_t>(lw)];
+      if (c != kNoColor) forbidden.insert(c);
     }
   }
   color_t col = 0;
   while (forbidden.contains(col)) ++col;
   return col;
+}
+
+/// Cumulative batch src -> neighbors[ni]: the full border state the
+/// destination depends on, so one delivery heals any number of
+/// previously lost exchanges.
+BoundaryBatch build_batch(const Shard& shard, const ShardState& state,
+                          std::size_t ni, int superstep, int attempt) {
+  BoundaryBatch b;
+  b.src = shard.id;
+  b.dst = shard.neighbors[ni];
+  b.superstep = superstep;
+  b.attempt = attempt;
+  b.updates.reserve(shard.border[ni].size());
+  for (const vid_t lu : shard.border[ni])
+    b.updates.push_back({shard.global_of(lu),
+                         state.colors[static_cast<std::size_t>(lu)],
+                         state.version[static_cast<std::size_t>(lu)]});
+  return b;
 }
 
 }  // namespace
@@ -59,175 +101,288 @@ DistResult color_bgpc_distributed(const BipartiteGraph& g,
   DistResult result;
   result.colors.assign(static_cast<std::size_t>(n), kNoColor);
 
-  // Classify: u is boundary iff some net of u touches a foreign column.
-  // Precompute per-net "touches ranks" lazily via a scan.
-  std::vector<std::uint8_t> boundary(static_cast<std::size_t>(n), 0);
-  std::vector<vid_t> mixed_nets;
-  for (vid_t v = 0; v < g.num_nets(); ++v) {
-    const auto vs = g.vtxs(v);
-    if (vs.empty()) continue;
-    const int first = owner[static_cast<std::size_t>(vs.front())];
-    bool mixed = false;
-    for (const vid_t w : vs) {
-      if (owner[static_cast<std::size_t>(w)] != first) {
-        mixed = true;
-        break;
-      }
-    }
-    if (mixed) {
-      mixed_nets.push_back(v);
-      for (const vid_t w : vs) boundary[static_cast<std::size_t>(w)] = 1;
-    }
-  }
-
-  // Per-rank vertex lists in id order (deterministic local schedules).
-  std::vector<std::vector<vid_t>> interior(
-      static_cast<std::size_t>(options.num_ranks));
-  std::vector<std::vector<vid_t>> pending(
-      static_cast<std::size_t>(options.num_ranks));
-  for (vid_t u = 0; u < n; ++u) {
-    auto& bucket = boundary[static_cast<std::size_t>(u)]
-                       ? pending[static_cast<std::size_t>(
-                             owner[static_cast<std::size_t>(u)])]
-                       : interior[static_cast<std::size_t>(
-                             owner[static_cast<std::size_t>(u)])];
-    bucket.push_back(u);
-    if (boundary[static_cast<std::size_t>(u)])
-      ++result.stats.boundary_vertices;
-    else
-      ++result.stats.interior_vertices;
-  }
-
+  const int num_shards = options.num_ranks;
+  const std::vector<Shard> shards = make_shards(g, owner, num_shards);
   const auto marker_cap =
       static_cast<std::size_t>(bgpc_color_bound(g)) + 2;
-  MarkerSet forbidden(marker_cap);
-  MarkerSet rank_marks(static_cast<std::size_t>(options.num_ranks));
-  color_t* c = result.colors.data();
 
-  // Phase 1: interior vertices — two interior vertices of different
-  // ranks never share a net, so rank-local greedy is conflict-free and
-  // needs no messages.
-  for (const auto& verts : interior) {
-    for (const vid_t u : verts) {
-      c[static_cast<std::size_t>(u)] = first_fit(
-          g, u, forbidden, [&](vid_t w) { return c[static_cast<std::size_t>(w)]; });
+  std::vector<ShardState> states(shards.size());
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    const Shard& shard = shards[s];
+    ShardState& st = states[s];
+    st.colors.assign(static_cast<std::size_t>(shard.num_local()), kNoColor);
+    st.version.assign(static_cast<std::size_t>(shard.num_local()), 0);
+    st.dirty.assign(static_cast<std::size_t>(shard.num_owned()), 0);
+    st.forbidden.ensure_capacity(marker_cap);
+    for (vid_t lu = 0; lu < shard.num_owned(); ++lu)
+      if (shard.owned_boundary[static_cast<std::size_t>(lu)])
+        st.pending.push_back(lu);
+    result.stats.boundary_vertices += static_cast<vid_t>(st.pending.size());
+    result.stats.interior_vertices +=
+        shard.num_owned() - static_cast<vid_t>(st.pending.size());
+  }
+
+  // Interior phase: two interior vertices of different shards never
+  // share a net, so shard-local greedy is conflict-free and needs no
+  // messages. A single-shard run has no boundary at all and first-fits
+  // in ascending global order — exactly the sequential schedule.
+  const int num_states = static_cast<int>(states.size());
+#pragma omp parallel for schedule(static)
+  for (int s = 0; s < num_states; ++s) {
+    const Shard& shard = shards[static_cast<std::size_t>(s)];
+    ShardState& st = states[static_cast<std::size_t>(s)];
+    for (vid_t lu = 0; lu < shard.num_owned(); ++lu) {
+      if (shard.owned_boundary[static_cast<std::size_t>(lu)]) continue;
+      st.colors[static_cast<std::size_t>(lu)] =
+          first_fit_local(shard.local, lu, st.colors, st.forbidden);
     }
   }
 
-  // Phase 2: boundary supersteps. Remote colors are read from the
-  // previous superstep's snapshot; local colors are live. After every
-  // rank has speculated, conflicts are resolved globally (smaller id
-  // keeps its color — the static tie-break of refs [27], [28]).
-  std::vector<color_t> snapshot = result.colors;
-  int superstep = 0;
-  std::size_t remaining = 0;
-  for (const auto& verts : pending) remaining += verts.size();
-
+  // Transport stack: the real transport, optionally wrapped by the
+  // deterministic chaos decorator.
+  std::unique_ptr<Transport> base;
+  if (options.transport == DistOptions::TransportKind::kSocket)
+    base = std::make_unique<LoopbackTransport>(num_shards);
+  else
+    base = std::make_unique<MailboxTransport>(num_shards);
   const FaultPlan* faults =
       options.fault_plan && options.fault_plan->any_dist_faults()
           ? options.fault_plan
           : nullptr;
-  // Updates the fault plan reorders are delivered at the *next*
-  // exchange, possibly overwriting a newer color (out-of-order).
-  std::vector<std::pair<vid_t, color_t>> deferred;
+  std::unique_ptr<LossyTransport> lossy;
+  if (faults)
+    lossy = std::make_unique<LossyTransport>(*base, *faults, num_shards);
+  Transport& net = lossy ? static_cast<Transport&>(*lossy) : *base;
+
   const auto past_deadline = [&] {
     return options.deadline_seconds > 0.0 &&
            total.seconds() >= options.deadline_seconds;
   };
 
+  std::size_t remaining = 0;
+  for (const auto& st : states) remaining += st.pending.size();
+
+  // awaiting[d][ni] == 1 while shard d still expects this superstep's
+  // batch from its ni-th neighbor.
+  std::vector<std::vector<std::uint8_t>> awaiting(shards.size());
+  for (std::size_t s = 0; s < shards.size(); ++s)
+    awaiting[s].assign(shards[s].neighbors.size(), 0);
+
+  int superstep = 0;
   while (remaining > 0 && superstep < options.max_supersteps &&
          !past_deadline()) {
     ++superstep;
-    // Speculative coloring, rank by rank (each rank is sequential; the
-    // simulation's determinism comes from this fixed order, which does
-    // not affect the semantics — ranks only read remote *snapshot*
-    // colors anyway).
-    for (int rank = 0; rank < options.num_ranks; ++rank) {
-      for (const vid_t u : pending[static_cast<std::size_t>(rank)]) {
-        if (c[static_cast<std::size_t>(u)] != kNoColor) continue;
-        const color_t col = first_fit(g, u, forbidden, [&](vid_t w) {
-          return owner[static_cast<std::size_t>(w)] == rank
-                     ? c[static_cast<std::size_t>(w)]
-                     : snapshot[static_cast<std::size_t>(w)];
-        });
-        c[static_cast<std::size_t>(u)] = col;
-        // One notification per distinct remote rank sharing a net.
-        rank_marks.clear();
-        for (const vid_t v : g.nets(u)) {
-          for (const vid_t w : g.vtxs(v)) {
-            const int rw = owner[static_cast<std::size_t>(w)];
-            if (rw != rank && !rank_marks.contains(rw)) {
-              rank_marks.insert(rw);
-              ++result.stats.messages;
+
+    // P1 — speculate: each shard first-fits its pending vertices in
+    // ascending order against live local colors and (one superstep
+    // stale) ghost colors. The staleness is what creates distributed
+    // conflicts, exactly as in refs [27], [28].
+#pragma omp parallel for schedule(static)
+    for (int s = 0; s < num_states; ++s) {
+      const Shard& shard = shards[static_cast<std::size_t>(s)];
+      ShardState& st = states[static_cast<std::size_t>(s)];
+      for (const vid_t lu : st.pending) {
+        st.colors[static_cast<std::size_t>(lu)] =
+            first_fit_local(shard.local, lu, st.colors, st.forbidden);
+        st.version[static_cast<std::size_t>(lu)] =
+            2u * static_cast<std::uint32_t>(superstep);
+      }
+    }
+
+    // X — exchange, driver thread only. One cumulative batch per
+    // neighbor pair; missing batches are retried with (simulated)
+    // exponential backoff, and after max_retries the receiver gives up
+    // and finalizes the affected border as dirty.
+    net.advance_to(superstep);
+    for (std::size_t s = 0; s < shards.size(); ++s) {
+      const Shard& shard = shards[s];
+      for (std::size_t ni = 0; ni < shard.neighbors.size(); ++ni) {
+        BoundaryBatch b = build_batch(shard, states[s], ni, superstep, 0);
+        result.stats.messages_sent += b.updates.size();
+        net.send(b);
+      }
+      std::fill(awaiting[s].begin(), awaiting[s].end(), 1);
+    }
+
+    int attempt = 0;
+    while (true) {
+      net.pump();
+      for (std::size_t d = 0; d < shards.size(); ++d) {
+        const Shard& shard = shards[d];
+        ShardState& st = states[d];
+        for (const BoundaryBatch& b : net.receive(static_cast<int>(d))) {
+          result.stats.messages_delivered += b.updates.size();
+          if (b.superstep == superstep) {
+            const int ni = shard.neighbor_index(b.src);
+            if (ni >= 0) awaiting[d][static_cast<std::size_t>(ni)] = 0;
+          }
+          // Batches from earlier supersteps (delay victims) still flow
+          // through the version guard: cumulative content means any
+          // entry newer than the ghost's copy is worth applying.
+          for (const BoundaryUpdate& u : b.updates) {
+            const vid_t gl = shard.ghost_local(u.vertex);
+            if (gl == kInvalidVertex) continue;
+            if (u.version > st.version[static_cast<std::size_t>(gl)]) {
+              st.version[static_cast<std::size_t>(gl)] = u.version;
+              st.colors[static_cast<std::size_t>(gl)] = u.color;
+            } else {
+              ++result.stats.messages_stale_ignored;
             }
           }
         }
       }
+      std::vector<std::pair<int, int>> missing;  // (src, dst)
+      for (std::size_t d = 0; d < shards.size(); ++d)
+        for (std::size_t ni = 0; ni < awaiting[d].size(); ++ni)
+          if (awaiting[d][ni])
+            missing.emplace_back(shards[d].neighbors[ni],
+                                 static_cast<int>(d));
+      if (missing.empty()) break;
+      std::sort(missing.begin(), missing.end());
+      if (attempt >= options.max_retries) {
+        // Give up: the receiver finalizes every border vertex whose
+        // conflict detection depends on the silent sender. They keep
+        // their speculative colors; repair_bgpc settles any clash.
+        for (const auto& [src, dst] : missing) {
+          const Shard& shard = shards[static_cast<std::size_t>(dst)];
+          ShardState& st = states[static_cast<std::size_t>(dst)];
+          const int ni = shard.neighbor_index(src);
+          for (const vid_t lu : shard.border[static_cast<std::size_t>(ni)]) {
+            if (!st.dirty[static_cast<std::size_t>(lu)]) {
+              st.dirty[static_cast<std::size_t>(lu)] = 1;
+              ++result.stats.dirty_boundary;
+            }
+          }
+          awaiting[static_cast<std::size_t>(dst)]
+                  [static_cast<std::size_t>(ni)] = 0;
+        }
+        break;
+      }
+      ++attempt;
+      const auto shift =
+          static_cast<unsigned>(std::min(attempt - 1, 20));
+      const std::uint64_t backoff = std::min(
+          options.backoff_cap_us, options.backoff_base_us << shift);
+      for (const auto& [src, dst] : missing) {
+        const Shard& shard = shards[static_cast<std::size_t>(src)];
+        const auto ni =
+            static_cast<std::size_t>(shard.neighbor_index(dst));
+        BoundaryBatch b =
+            build_batch(shard, states[static_cast<std::size_t>(src)], ni,
+                        superstep, attempt);
+        result.stats.messages_sent += b.updates.size();
+        ++result.stats.retries;
+        result.stats.backoff_us_total += backoff;
+        result.retry_trace.push_back(
+            {superstep, src, dst, attempt, backoff});
+        net.send(b);
+      }
     }
 
-    // Global conflict resolution, net-based over the rank-crossing
-    // nets only (same-rank clashes are impossible: a rank reads its own
-    // colors live). The first — i.e. smallest-id — occurrence of each
-    // color keeps it, the static tie-break of refs [27], [28].
-    for (const vid_t v : mixed_nets) {
-      forbidden.clear();
-      for (const vid_t u : g.vtxs(v)) {
-        const color_t cu = c[static_cast<std::size_t>(u)];
+    // P2 — conflict detection: an owned vertex loses iff a ghost on a
+    // shared net holds the same color with a smaller global id (the
+    // static tie-break of refs [27], [28]); at most one side of any
+    // clash uncolors. Dirty vertices are final and skipped.
+#pragma omp parallel for schedule(static)
+    for (int s = 0; s < num_states; ++s) {
+      const Shard& shard = shards[static_cast<std::size_t>(s)];
+      ShardState& st = states[static_cast<std::size_t>(s)];
+      const vid_t n_owned = shard.num_owned();
+      for (vid_t lu = 0; lu < n_owned; ++lu) {
+        if (!shard.owned_boundary[static_cast<std::size_t>(lu)] ||
+            st.dirty[static_cast<std::size_t>(lu)])
+          continue;
+        const color_t cu = st.colors[static_cast<std::size_t>(lu)];
         if (cu == kNoColor) continue;
-        if (forbidden.contains(cu)) {
-          c[static_cast<std::size_t>(u)] = kNoColor;
-          ++result.stats.conflicts;
-        } else {
-          forbidden.insert(cu);
+        const vid_t gu = shard.global_of(lu);
+        bool lose = false;
+        for (const vid_t lv : shard.local.nets(lu)) {
+          for (const vid_t lw : shard.local.vtxs(lv)) {
+            if (lw < n_owned) continue;  // only ghosts can clash here
+            if (st.colors[static_cast<std::size_t>(lw)] == cu &&
+                shard.global_of(lw) < gu) {
+              lose = true;
+              break;
+            }
+          }
+          if (lose) break;
+        }
+        if (lose) {
+          st.colors[static_cast<std::size_t>(lu)] = kNoColor;
+          st.version[static_cast<std::size_t>(lu)] =
+              2u * static_cast<std::uint32_t>(superstep) + 1u;
+          ++st.conflicts;
         }
       }
+      // Safety net: a dirty vertex is finalized, so it must hold a
+      // color (P1 colors every pending vertex before any give-up, so
+      // this loop is normally empty).
+      for (vid_t lu = 0; lu < n_owned; ++lu) {
+        if (!st.dirty[static_cast<std::size_t>(lu)] ||
+            st.colors[static_cast<std::size_t>(lu)] != kNoColor)
+          continue;
+        st.colors[static_cast<std::size_t>(lu)] =
+            first_fit_local(shard.local, lu, st.colors, st.forbidden);
+        st.version[static_cast<std::size_t>(lu)] =
+            2u * static_cast<std::uint32_t>(superstep);
+      }
+      st.pending.clear();
+      for (vid_t lu = 0; lu < n_owned; ++lu)
+        if (shard.owned_boundary[static_cast<std::size_t>(lu)] &&
+            !st.dirty[static_cast<std::size_t>(lu)] &&
+            st.colors[static_cast<std::size_t>(lu)] == kNoColor)
+          st.pending.push_back(lu);
     }
 
     remaining = 0;
-    for (const auto& verts : pending)
-      for (const vid_t u : verts)
-        remaining += c[static_cast<std::size_t>(u)] == kNoColor;
+    for (const auto& st : states) remaining += st.pending.size();
+  }
 
-    // End-of-superstep exchange. Interior colors are final before the
-    // loop, so only boundary notifications can be dropped or reordered.
-    // Faults only ever make the snapshot *staler*; the global conflict
-    // resolution above reads live colors, so validity is unaffected —
-    // convergence is what degrades (watchdog territory).
-    if (faults) {
-      for (const auto& [u, col] : deferred)
-        snapshot[static_cast<std::size_t>(u)] = col;
-      deferred.clear();
-      for (vid_t u = 0; u < n; ++u) {
-        if (!boundary[static_cast<std::size_t>(u)]) continue;
-        const color_t live = c[static_cast<std::size_t>(u)];
-        if (snapshot[static_cast<std::size_t>(u)] == live) continue;
-        if (faults->drop_update(superstep, u)) {
-          ++result.stats.dropped_updates;
-        } else if (faults->reorder_update(superstep, u)) {
-          deferred.emplace_back(u, live);
-          ++result.stats.reordered_updates;
-        } else {
-          snapshot[static_cast<std::size_t>(u)] = live;
-        }
-      }
-    } else {
-      snapshot = result.colors;
-    }
+  for (const auto& st : states) result.stats.conflicts += st.conflicts;
+  if (lossy) {
+    result.stats.messages_dropped = lossy->counters().dropped;
+    result.stats.messages_duplicated = lossy->counters().duplicated;
+  }
+
+  // Gather owned colors into the global array.
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    const Shard& shard = shards[s];
+    for (vid_t lu = 0; lu < shard.num_owned(); ++lu)
+      result.colors[static_cast<std::size_t>(
+          shard.owned[static_cast<std::size_t>(lu)])] =
+          states[s].colors[static_cast<std::size_t>(lu)];
   }
 
   if (remaining > 0) {
-    // Safety valve: finish sequentially (still valid, extra colors ok).
+    // Bottom of the degradation ladder: max_supersteps or the deadline
+    // expired with vertices still pending — finish them sequentially
+    // against live global colors (still valid, extra colors ok).
     result.stats.fallback = true;
     result.stats.deadline_hit = past_deadline();
     result.degraded = true;
-    for (const auto& verts : pending) {
-      for (const vid_t u : verts) {
-        if (c[static_cast<std::size_t>(u)] != kNoColor) continue;
-        c[static_cast<std::size_t>(u)] = first_fit(
-            g, u, forbidden,
-            [&](vid_t w) { return c[static_cast<std::size_t>(w)]; });
+    MarkerSet forbidden(marker_cap);
+    for (vid_t u = 0; u < n; ++u) {
+      if (result.colors[static_cast<std::size_t>(u)] != kNoColor) continue;
+      forbidden.clear();
+      for (const vid_t v : g.nets(u)) {
+        for (const vid_t w : g.vtxs(v)) {
+          if (w == u) continue;
+          const color_t cw = result.colors[static_cast<std::size_t>(w)];
+          if (cw != kNoColor) forbidden.insert(cw);
+        }
       }
+      color_t col = 0;
+      while (forbidden.contains(col)) ++col;
+      result.colors[static_cast<std::size_t>(u)] = col;
     }
+  }
+
+  if (result.stats.dirty_boundary > 0) {
+    // Middle rung: give-ups finalized vertices without full conflict
+    // information; one repair pass settles whatever actually clashed.
+    const RepairStats rs = repair_bgpc(g, result.colors);
+    result.stats.repair_recolored = rs.repaired;
+    result.degraded = true;
   }
 
   result.stats.supersteps = superstep;

@@ -1,0 +1,191 @@
+#include "greedcolor/dist/shard.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "greedcolor/robust/error.hpp"
+
+namespace gcol {
+
+vid_t Shard::ghost_local(vid_t global) const {
+  const auto it = std::lower_bound(ghosts.begin(), ghosts.end(), global);
+  if (it == ghosts.end() || *it != global) return kInvalidVertex;
+  return num_owned() + static_cast<vid_t>(it - ghosts.begin());
+}
+
+int Shard::neighbor_index(int shard) const {
+  const auto it = std::lower_bound(neighbors.begin(), neighbors.end(), shard);
+  if (it == neighbors.end() || *it != shard) return -1;
+  return static_cast<int>(it - neighbors.begin());
+}
+
+std::vector<Shard> make_shards(const BipartiteGraph& g,
+                               const std::vector<int>& owner,
+                               int num_shards) {
+  const vid_t n = g.num_vertices();
+  if (num_shards < 1)
+    raise(ErrorCode::kInvalidArgument, "make_shards",
+          "num_shards must be >= 1, got " + std::to_string(num_shards));
+  if (owner.size() != static_cast<std::size_t>(n))
+    raise(ErrorCode::kInvalidArgument, "make_shards",
+          "owner array has " + std::to_string(owner.size()) +
+              " entries for " + std::to_string(n) + " vertices");
+  for (const int r : owner)
+    if (r < 0 || r >= num_shards)
+      raise(ErrorCode::kInvalidArgument, "make_shards",
+            "owner id " + std::to_string(r) + " outside [0, " +
+                std::to_string(num_shards) + ")");
+
+  std::vector<Shard> shards(static_cast<std::size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    shards[static_cast<std::size_t>(s)].id = s;
+    shards[static_cast<std::size_t>(s)].num_shards = num_shards;
+  }
+  for (vid_t u = 0; u < n; ++u)
+    shards[static_cast<std::size_t>(owner[static_cast<std::size_t>(u)])]
+        .owned.push_back(u);
+
+  // Classify nets once, globally: a net is mixed iff its columns span
+  // more than one shard. Every column of a mixed net is a boundary
+  // vertex of its owner and a ghost of every other shard on the net.
+  std::vector<std::uint8_t> mixed(static_cast<std::size_t>(g.num_nets()), 0);
+  for (vid_t v = 0; v < g.num_nets(); ++v) {
+    const auto vs = g.vtxs(v);
+    if (vs.empty()) continue;
+    const int first = owner[static_cast<std::size_t>(vs.front())];
+    for (const vid_t w : vs) {
+      if (owner[static_cast<std::size_t>(w)] != first) {
+        mixed[static_cast<std::size_t>(v)] = 1;
+        break;
+      }
+    }
+  }
+
+  // Per shard: incident nets, ghosts, and neighbor shards. `mark` and
+  // `smark` dedup per shard; both are reset between shards by sweeping
+  // only what was set.
+  std::vector<std::uint8_t> net_mark(static_cast<std::size_t>(g.num_nets()),
+                                     0);
+  std::vector<std::uint8_t> col_mark(static_cast<std::size_t>(n), 0);
+  std::vector<std::uint8_t> shard_mark(static_cast<std::size_t>(num_shards),
+                                       0);
+  for (auto& shard : shards) {
+    const int s = shard.id;
+    for (const vid_t u : shard.owned) {
+      for (const vid_t v : g.nets(u)) {
+        if (net_mark[static_cast<std::size_t>(v)]) continue;
+        net_mark[static_cast<std::size_t>(v)] = 1;
+        shard.nets.push_back(v);
+        if (!mixed[static_cast<std::size_t>(v)]) continue;
+        for (const vid_t w : g.vtxs(v)) {
+          const int rw = owner[static_cast<std::size_t>(w)];
+          if (rw == s) continue;
+          if (!col_mark[static_cast<std::size_t>(w)]) {
+            col_mark[static_cast<std::size_t>(w)] = 1;
+            shard.ghosts.push_back(w);
+          }
+          if (!shard_mark[static_cast<std::size_t>(rw)]) {
+            shard_mark[static_cast<std::size_t>(rw)] = 1;
+            shard.neighbors.push_back(rw);
+          }
+        }
+      }
+    }
+    std::sort(shard.nets.begin(), shard.nets.end());
+    std::sort(shard.ghosts.begin(), shard.ghosts.end());
+    std::sort(shard.neighbors.begin(), shard.neighbors.end());
+    shard.ghost_owner.reserve(shard.ghosts.size());
+    for (const vid_t w : shard.ghosts)
+      shard.ghost_owner.push_back(owner[static_cast<std::size_t>(w)]);
+    for (const vid_t v : shard.nets)
+      net_mark[static_cast<std::size_t>(v)] = 0;
+    for (const vid_t w : shard.ghosts)
+      col_mark[static_cast<std::size_t>(w)] = 0;
+    for (const int r : shard.neighbors)
+      shard_mark[static_cast<std::size_t>(r)] = 0;
+  }
+
+  // Build each shard's local CSR slice and border sets. `local_col` is
+  // a global scratch map valid for one shard at a time.
+  std::vector<vid_t> local_col(static_cast<std::size_t>(n), kInvalidVertex);
+  for (auto& shard : shards) {
+    const vid_t n_owned = shard.num_owned();
+    const vid_t n_local = shard.num_local();
+    for (vid_t lu = 0; lu < n_owned; ++lu)
+      local_col[static_cast<std::size_t>(
+          shard.owned[static_cast<std::size_t>(lu)])] = lu;
+    for (std::size_t i = 0; i < shard.ghosts.size(); ++i)
+      local_col[static_cast<std::size_t>(shard.ghosts[i])] =
+          n_owned + static_cast<vid_t>(i);
+
+    // Net side first: each shard net keeps only its local columns (for
+    // mixed nets that is owned + ghosts of *this* shard — a third
+    // shard's columns on the net are ghosts here too, so nothing is
+    // lost; for local nets it is every column).
+    const vid_t n_nets = static_cast<vid_t>(shard.nets.size());
+    std::vector<eid_t> nptr(static_cast<std::size_t>(n_nets) + 1, 0);
+    std::vector<vid_t> nadj;
+    for (vid_t lv = 0; lv < n_nets; ++lv) {
+      const vid_t v = shard.nets[static_cast<std::size_t>(lv)];
+      for (const vid_t w : g.vtxs(v)) {
+        const vid_t lw = local_col[static_cast<std::size_t>(w)];
+        if (lw != kInvalidVertex) nadj.push_back(lw);
+      }
+      nptr[static_cast<std::size_t>(lv) + 1] =
+          static_cast<eid_t>(nadj.size());
+    }
+    // Transpose to the vertex side.
+    std::vector<eid_t> vptr(static_cast<std::size_t>(n_local) + 1, 0);
+    for (const vid_t lw : nadj)
+      ++vptr[static_cast<std::size_t>(lw) + 1];
+    for (vid_t lu = 0; lu < n_local; ++lu)
+      vptr[static_cast<std::size_t>(lu) + 1] +=
+          vptr[static_cast<std::size_t>(lu)];
+    std::vector<vid_t> vadj(nadj.size());
+    std::vector<eid_t> cursor(vptr.begin(), vptr.end() - 1);
+    for (vid_t lv = 0; lv < n_nets; ++lv) {
+      for (eid_t e = nptr[static_cast<std::size_t>(lv)];
+           e < nptr[static_cast<std::size_t>(lv) + 1]; ++e) {
+        const vid_t lw = nadj[static_cast<std::size_t>(e)];
+        vadj[static_cast<std::size_t>(
+            cursor[static_cast<std::size_t>(lw)]++)] = lv;
+      }
+    }
+    shard.local = BipartiteGraph(n_local, n_nets, std::move(vptr),
+                                 std::move(vadj), std::move(nptr),
+                                 std::move(nadj));
+
+    // Boundary flags and per-neighbor border sets.
+    shard.owned_boundary.assign(static_cast<std::size_t>(n_owned), 0);
+    shard.border.assign(shard.neighbors.size(), {});
+    std::vector<std::uint8_t> seen(shard.neighbors.size(), 0);
+    for (vid_t lu = 0; lu < n_owned; ++lu) {
+      std::fill(seen.begin(), seen.end(), 0);
+      bool boundary = false;
+      for (const vid_t lv : shard.local.nets(lu)) {
+        const vid_t v = shard.nets[static_cast<std::size_t>(lv)];
+        if (!mixed[static_cast<std::size_t>(v)]) continue;
+        boundary = true;
+        for (const vid_t lw : shard.local.vtxs(lv)) {
+          if (lw < n_owned) continue;  // only ghosts pick the neighbor
+          const int rw =
+              shard.ghost_owner[static_cast<std::size_t>(lw - n_owned)];
+          const int ni = shard.neighbor_index(rw);
+          if (ni >= 0 && !seen[static_cast<std::size_t>(ni)]) {
+            seen[static_cast<std::size_t>(ni)] = 1;
+            shard.border[static_cast<std::size_t>(ni)].push_back(lu);
+          }
+        }
+      }
+      if (boundary) shard.owned_boundary[static_cast<std::size_t>(lu)] = 1;
+    }
+
+    for (const vid_t u : shard.owned)
+      local_col[static_cast<std::size_t>(u)] = kInvalidVertex;
+    for (const vid_t w : shard.ghosts)
+      local_col[static_cast<std::size_t>(w)] = kInvalidVertex;
+  }
+  return shards;
+}
+
+}  // namespace gcol

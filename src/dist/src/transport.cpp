@@ -1,0 +1,228 @@
+#include "greedcolor/dist/transport.hpp"
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "greedcolor/robust/error.hpp"
+#include "greedcolor/robust/fault.hpp"
+
+namespace gcol {
+
+namespace {
+
+/// Fault-decision key for a batch: one Bernoulli stream per (src, dst)
+/// pair, advanced by superstep and attempt. Retransmissions must roll
+/// *fresh* decisions (attempt is mixed into the step), otherwise a
+/// dropped batch would stay dropped forever and bounded retry could
+/// never help; attempts are capped so the encoding stays dense.
+vid_t batch_key(const BoundaryBatch& b, int num_shards) {
+  return static_cast<vid_t>(b.src * num_shards + b.dst);
+}
+
+int decision_step(const BoundaryBatch& b) {
+  return b.superstep * 64 + std::min(b.attempt, 63);
+}
+
+void append_raw(std::string& out, const void* p, std::size_t n) {
+  out.append(static_cast<const char*>(p), n);
+}
+
+template <typename T>
+T read_raw(const char* p) {
+  T value;
+  std::memcpy(&value, p, sizeof(T));
+  return value;
+}
+
+}  // namespace
+
+// ---- MailboxTransport ----
+
+MailboxTransport::MailboxTransport(int num_shards)
+    : inbox_(static_cast<std::size_t>(num_shards)) {}
+
+void MailboxTransport::send(const BoundaryBatch& batch) {
+  inbox_[static_cast<std::size_t>(batch.dst)].push_back(batch);
+}
+
+std::vector<BoundaryBatch> MailboxTransport::receive(int dst) {
+  auto& box = inbox_[static_cast<std::size_t>(dst)];
+  std::vector<BoundaryBatch> out(box.begin(), box.end());
+  box.clear();
+  return out;
+}
+
+// ---- LoopbackTransport ----
+
+LoopbackTransport::LoopbackTransport(int num_shards)
+    : inbox_(static_cast<std::size_t>(num_shards)) {
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds_) != 0)
+    raise(ErrorCode::kIoError, "LoopbackTransport",
+          std::string("socketpair: ") + std::strerror(errno));
+  for (const int fd : fds_) {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+      raise(ErrorCode::kIoError, "LoopbackTransport",
+            std::string("fcntl O_NONBLOCK: ") + std::strerror(errno));
+  }
+}
+
+LoopbackTransport::~LoopbackTransport() {
+  for (const int fd : fds_)
+    if (fd >= 0) ::close(fd);
+}
+
+void LoopbackTransport::send(const BoundaryBatch& batch) {
+  // Frame: u32 payload length, then src/dst/superstep/attempt (i32),
+  // update count (u32), and count (vertex, color, version) triples.
+  const std::uint32_t count =
+      static_cast<std::uint32_t>(batch.updates.size());
+  const std::uint32_t payload =
+      4 * sizeof(std::int32_t) + sizeof(std::uint32_t) +
+      count * (sizeof(vid_t) + sizeof(color_t) + sizeof(std::uint32_t));
+  append_raw(outbuf_, &payload, sizeof payload);
+  const std::int32_t header[4] = {batch.src, batch.dst, batch.superstep,
+                                  batch.attempt};
+  append_raw(outbuf_, header, sizeof header);
+  append_raw(outbuf_, &count, sizeof count);
+  for (const BoundaryUpdate& u : batch.updates) {
+    append_raw(outbuf_, &u.vertex, sizeof u.vertex);
+    append_raw(outbuf_, &u.color, sizeof u.color);
+    append_raw(outbuf_, &u.version, sizeof u.version);
+  }
+}
+
+void LoopbackTransport::pump() {
+  // Alternate non-blocking writes and reads until the outgoing buffer
+  // is drained: the reader side frees kernel buffer space, so a payload
+  // larger than the socket buffer flows through in multiple rounds.
+  while (true) {
+    bool progress = false;
+    while (!outbuf_.empty()) {
+      const ssize_t w = ::write(fds_[0], outbuf_.data(), outbuf_.size());
+      if (w > 0) {
+        outbuf_.erase(0, static_cast<std::size_t>(w));
+        progress = true;
+      } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        break;
+      } else {
+        raise(ErrorCode::kIoError, "LoopbackTransport",
+              std::string("write: ") + std::strerror(errno));
+      }
+    }
+    char buf[1 << 16];
+    while (true) {
+      const ssize_t r = ::read(fds_[1], buf, sizeof buf);
+      if (r > 0) {
+        inbuf_.append(buf, static_cast<std::size_t>(r));
+        progress = true;
+      } else if (r == 0 ||
+                 (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))) {
+        break;
+      } else {
+        raise(ErrorCode::kIoError, "LoopbackTransport",
+              std::string("read: ") + std::strerror(errno));
+      }
+    }
+    // Reassemble complete frames; a partial tail waits for more bytes.
+    std::size_t pos = 0;
+    while (inbuf_.size() - pos >= sizeof(std::uint32_t)) {
+      const auto payload = read_raw<std::uint32_t>(inbuf_.data() + pos);
+      if (inbuf_.size() - pos - sizeof payload < payload) break;
+      const char* p = inbuf_.data() + pos + sizeof payload;
+      BoundaryBatch batch;
+      batch.src = read_raw<std::int32_t>(p);
+      batch.dst = read_raw<std::int32_t>(p + 4);
+      batch.superstep = read_raw<std::int32_t>(p + 8);
+      batch.attempt = read_raw<std::int32_t>(p + 12);
+      const auto count = read_raw<std::uint32_t>(p + 16);
+      p += 20;
+      batch.updates.resize(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        batch.updates[i].vertex = read_raw<vid_t>(p);
+        batch.updates[i].color = read_raw<color_t>(p + sizeof(vid_t));
+        batch.updates[i].version = read_raw<std::uint32_t>(
+            p + sizeof(vid_t) + sizeof(color_t));
+        p += sizeof(vid_t) + sizeof(color_t) + sizeof(std::uint32_t);
+      }
+      if (batch.dst < 0 ||
+          batch.dst >= static_cast<int>(inbox_.size()))
+        raise(ErrorCode::kInternalInvariant, "LoopbackTransport",
+              "frame routed to unknown shard " + std::to_string(batch.dst));
+      inbox_[static_cast<std::size_t>(batch.dst)].push_back(
+          std::move(batch));
+      pos += sizeof payload + payload;
+    }
+    inbuf_.erase(0, pos);
+    if (outbuf_.empty() || !progress) break;
+  }
+}
+
+std::vector<BoundaryBatch> LoopbackTransport::receive(int dst) {
+  auto& box = inbox_[static_cast<std::size_t>(dst)];
+  std::vector<BoundaryBatch> out(std::make_move_iterator(box.begin()),
+                                 std::make_move_iterator(box.end()));
+  box.clear();
+  return out;
+}
+
+// ---- LossyTransport ----
+
+LossyTransport::LossyTransport(Transport& inner, const FaultPlan& plan,
+                               int num_shards)
+    : inner_(inner), plan_(plan), num_shards_(num_shards) {}
+
+void LossyTransport::send(const BoundaryBatch& batch) {
+  const vid_t key = batch_key(batch, num_shards_);
+  const int step = decision_step(batch);
+  const bool partitioned =
+      plan_.partition_supersteps > 0 && plan_.partition_shard == batch.src &&
+      batch.superstep >= plan_.partition_start_superstep &&
+      batch.superstep <
+          plan_.partition_start_superstep + plan_.partition_supersteps;
+  if (partitioned || plan_.drop_update(step, key)) {
+    counters_.dropped += batch.updates.size();
+    return;
+  }
+  if (plan_.reorder_update(step, key)) {
+    counters_.delayed += batch.updates.size();
+    delayed_.push_back(
+        {batch.superstep + std::max(1, plan_.delay_update_supersteps),
+         batch});
+    return;
+  }
+  inner_.send(batch);
+  if (plan_.duplicate_update(step, key)) {
+    counters_.duplicated += batch.updates.size();
+    inner_.send(batch);
+  }
+}
+
+void LossyTransport::pump() { inner_.pump(); }
+
+std::vector<BoundaryBatch> LossyTransport::receive(int dst) {
+  return inner_.receive(dst);
+}
+
+void LossyTransport::advance_to(int superstep) {
+  superstep_ = superstep;
+  // Release everything that has served its delay; the receiver's
+  // version guard decides whether the contents are still useful.
+  auto it = delayed_.begin();
+  while (it != delayed_.end()) {
+    if (it->due_superstep <= superstep_) {
+      inner_.send(it->batch);
+      it = delayed_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  inner_.advance_to(superstep);
+}
+
+}  // namespace gcol

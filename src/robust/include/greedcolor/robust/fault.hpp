@@ -37,13 +37,27 @@ struct FaultPlan {
   /// Stall length per delayed round, in milliseconds.
   int delay_ms = 0;
 
-  // --- distributed simulation (color_bgpc_distributed supersteps) ---
-  /// Fraction of per-vertex end-of-superstep color notifications that
-  /// are silently dropped (remote ranks keep reading stale colors).
+  // --- sharded runtime (color_bgpc_distributed boundary exchange) ---
+  /// Fraction of end-of-superstep boundary batches that are silently
+  /// dropped (remote shards keep reading stale ghost colors until a
+  /// retry or a later cumulative batch gets through).
   double drop_update_rate = 0.0;
-  /// Fraction delivered one superstep late, possibly overwriting a
-  /// newer value (out-of-order delivery).
+  /// Fraction delivered late (out of order); the ghost-version guard
+  /// keeps a late batch from overwriting newer state.
   double reorder_update_rate = 0.0;
+  /// Fraction of delivered batches that arrive twice (the duplicate is
+  /// detected by the version guard and counted as stale).
+  double duplicate_update_rate = 0.0;
+  /// How many supersteps a reorder victim is withheld (0 behaves as 1).
+  int delay_update_supersteps = 0;
+  /// Partition window: every batch shard `partition_shard` sends during
+  /// supersteps [partition_start_superstep, partition_start_superstep +
+  /// partition_supersteps) is dropped, retries included — the full
+  /// outage that forces the dirty/repair path. Disabled while
+  /// partition_supersteps == 0.
+  int partition_shard = 0;
+  int partition_start_superstep = 0;
+  int partition_supersteps = 0;
 
   // --- ingest (harness-side corruption of byte streams) ---
   /// Per-byte bit-flip probability applied by corrupt_bytes().
@@ -52,7 +66,8 @@ struct FaultPlan {
   double truncate_fraction = 0.0;
 
   /// Parse a comma-separated spec: "seed=42,stale=0.05,drop=0.2,
-  /// reorder=0.1,delay-rounds=3,delay-ms=10,flip=0.01,trunc=0.5".
+  /// reorder=0.1,dup=0.1,delay-steps=2,part=1,part-start=0,part-steps=3,
+  /// delay-rounds=3,delay-ms=10,flip=0.01,trunc=0.5".
   /// Unknown keys or unparsable values throw Error(kInvalidArgument).
   [[nodiscard]] static FaultPlan parse(const std::string& spec);
 
@@ -63,7 +78,8 @@ struct FaultPlan {
     return stale_color_rate > 0.0 || delay_rounds > 0;
   }
   [[nodiscard]] bool any_dist_faults() const {
-    return drop_update_rate > 0.0 || reorder_update_rate > 0.0;
+    return drop_update_rate > 0.0 || reorder_update_rate > 0.0 ||
+           duplicate_update_rate > 0.0 || partition_supersteps > 0;
   }
 
   // Deterministic per-item decisions.
@@ -73,6 +89,7 @@ struct FaultPlan {
   }
   [[nodiscard]] bool drop_update(int superstep, vid_t u) const;
   [[nodiscard]] bool reorder_update(int superstep, vid_t u) const;
+  [[nodiscard]] bool duplicate_update(int superstep, vid_t u) const;
 
   /// Corrupted copy of `bytes`: truncated to (1 - truncate_fraction) of
   /// its length, then bit-flipped per flip_byte_rate. `variant` selects

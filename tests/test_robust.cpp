@@ -61,18 +61,32 @@ TEST(RobustError, ToStringIsStableAndDistinct) {
 
 TEST(FaultPlan, SpecRoundTrips) {
   const auto plan = FaultPlan::parse(
-      "seed=42,stale=0.05,drop=0.2,reorder=0.1,delay-rounds=3,delay-ms=10,"
+      "seed=42,stale=0.05,drop=0.2,reorder=0.1,dup=0.15,delay-steps=2,"
+      "part=1,part-start=2,part-steps=3,delay-rounds=3,delay-ms=10,"
       "flip=0.01,trunc=0.5");
   EXPECT_EQ(plan.seed, 42u);
   EXPECT_DOUBLE_EQ(plan.stale_color_rate, 0.05);
   EXPECT_DOUBLE_EQ(plan.drop_update_rate, 0.2);
   EXPECT_DOUBLE_EQ(plan.reorder_update_rate, 0.1);
+  EXPECT_DOUBLE_EQ(plan.duplicate_update_rate, 0.15);
+  EXPECT_EQ(plan.delay_update_supersteps, 2);
+  EXPECT_EQ(plan.partition_shard, 1);
+  EXPECT_EQ(plan.partition_start_superstep, 2);
+  EXPECT_EQ(plan.partition_supersteps, 3);
   EXPECT_EQ(plan.delay_rounds, 3);
   EXPECT_EQ(plan.delay_ms, 10);
   EXPECT_DOUBLE_EQ(plan.flip_byte_rate, 0.01);
   EXPECT_DOUBLE_EQ(plan.truncate_fraction, 0.5);
   const auto back = FaultPlan::parse(plan.to_spec());
   EXPECT_EQ(back.to_spec(), plan.to_spec());
+}
+
+TEST(FaultPlan, DistFaultDetectionCoversNewKinds) {
+  EXPECT_FALSE(FaultPlan{}.any_dist_faults());
+  EXPECT_TRUE(FaultPlan::parse("dup=0.1").any_dist_faults());
+  EXPECT_TRUE(FaultPlan::parse("part=0,part-steps=2").any_dist_faults());
+  // delay-steps alone only shapes reorder victims; it is not a fault.
+  EXPECT_FALSE(FaultPlan::parse("delay-steps=3").any_dist_faults());
 }
 
 TEST(FaultPlan, UnderscoresNormalizeToDashes) {
@@ -318,8 +332,9 @@ TEST(Verified, DistSurvivesDroppedAndReorderedUpdates) {
   opt.fault_plan = &plan;
   const auto r = color_bgpc_distributed_verified(g, opt);
   EXPECT_FALSE(check_bgpc(g, r.colors).has_value());
-  EXPECT_GT(r.stats.dropped_updates, 0u);
-  EXPECT_GT(r.stats.reordered_updates, 0u);
+  EXPECT_GT(r.stats.messages_dropped, 0u);
+  EXPECT_GT(r.stats.retries, 0u);
+  EXPECT_FALSE(r.stats.fallback);
 }
 
 TEST(Verified, DistDeadlineFallsBackToSequential) {

@@ -34,10 +34,22 @@ Enforces project rules that generic tooling cannot express, as errors:
                           gcol-mc schedule points) hooks load_color /
                           store_color / exchange_uncolor; a raw
                           atomic_ref bypasses all of them silently.
+  R006 transport-outside-dist
+                          The boundary-exchange Transport layer
+                          (greedcolor/dist/transport.hpp and the
+                          Transport / MailboxTransport /
+                          LoopbackTransport / LossyTransport types) is
+                          private to src/dist. Everything else talks to
+                          the sharded runtime through DistOptions
+                          (TransportKind is the public switch); a direct
+                          Transport use elsewhere bypasses the fault
+                          plumbing, retry accounting, and versioned
+                          delivery the runtime guarantees.
 
 R001 applies to every file; R002-R005 apply to files under src/core (the
-kernel layer) and to any file passed explicitly on the command line
-(which is how the negative-test fixtures are exercised).
+kernel layer), R006 to files under src/ outside src/dist, and all of
+them to any file passed explicitly on the command line (which is how
+the negative-test fixtures are exercised).
 kernels_common.hpp itself is exempt from R005 — it is the accessor seam.
 
 The file set comes from a CMake compilation database
@@ -64,11 +76,19 @@ RULES = {
     "R003": "kernel-alloc",
     "R004": "schedule-missing",
     "R005": "raw-atomic-ref",
+    "R006": "transport-outside-dist",
 }
 
 # The one file allowed to spell std::atomic_ref: the accessor seam.
 ATOMIC_REF_SEAM = "core/src/kernels_common.hpp"
 ATOMIC_REF_RE = re.compile(r"\batomic_ref\b")
+
+# Matches the Transport interface and its implementations but not the
+# public TransportKind switch (no word boundary inside "TransportKind").
+TRANSPORT_RE = re.compile(r"\b(?:Mailbox|Loopback|Lossy)?Transport\b")
+# Checked against the raw text: the stripper blanks quoted include paths.
+TRANSPORT_INCLUDE_RE = re.compile(
+    r'^\s*#\s*include\s*["<][^">]*greedcolor/dist/transport\.hpp[">]')
 
 RAW_COLOR_RE = re.compile(r"\b(?:c|colors)\s*\[")
 ALLOC_RES = [
@@ -204,9 +224,12 @@ class FileLinter:
     bodies through brace/paren structure (single-statement, braceless
     loop bodies included)."""
 
-    def __init__(self, path: str, text: str, core_rules: bool):
+    def __init__(self, path: str, text: str, core_rules: bool,
+                 dist_guard: bool = False):
         self.path = path
         self.core_rules = core_rules
+        self.dist_guard = dist_guard
+        self.raw = text
         self.stripped = strip_comments_and_strings(text)
         self.violations: list[Violation] = []
 
@@ -218,7 +241,26 @@ class FileLinter:
         if self.core_rules:
             self._scan_scopes()
             self._check_atomic_ref()
+        if self.dist_guard:
+            self._check_transport()
         return self.violations
+
+    # ---- R006: the Transport layer stays private to src/dist ----
+
+    def _check_transport(self) -> None:
+        for lineno, line in enumerate(self.raw.split("\n"), start=1):
+            if TRANSPORT_INCLUDE_RE.search(line):
+                self.add(lineno, "R006",
+                         "greedcolor/dist/transport.hpp is private to "
+                         "src/dist; drive the runtime through DistOptions "
+                         "(TransportKind) instead")
+        for lineno, line in enumerate(self.stripped.split("\n"), start=1):
+            if TRANSPORT_RE.search(line):
+                self.add(lineno, "R006",
+                         "Transport type used outside src/dist; the "
+                         "boundary-exchange layer is private — select a "
+                         "transport with DistOptions::transport "
+                         "(TransportKind)")
 
     # ---- R005: atomic_ref confined to the accessor seam ----
 
@@ -390,6 +432,11 @@ def is_core(root: str, path: str) -> bool:
     return rel.startswith("src/core/")
 
 
+def is_dist_guarded(root: str, path: str) -> bool:
+    rel = os.path.relpath(path, root).replace(os.sep, "/")
+    return rel.startswith("src/") and not rel.startswith("src/dist/")
+
+
 def lint_paths(root: str, paths: list[str],
                explicit: bool) -> list[Violation]:
     violations: list[Violation] = []
@@ -401,7 +448,8 @@ def lint_paths(root: str, paths: list[str],
             print(f"gcol_lint: cannot read {path}: {exc}", file=sys.stderr)
             sys.exit(2)
         core = explicit or is_core(root, path)
-        violations.extend(FileLinter(path, text, core).lint())
+        dist_guard = explicit or is_dist_guarded(root, path)
+        violations.extend(FileLinter(path, text, core, dist_guard).lint())
     return violations
 
 

@@ -1,0 +1,19 @@
+// Lint fixture: R006 — a Transport implementation instantiated outside
+// src/dist. The type name alone is the violation: the boundary-exchange
+// layer (Transport and its mailbox/loopback/lossy implementations) is
+// private to the sharded runtime, and everything else must go through
+// DistOptions::transport (TransportKind), which keeps the fault
+// plumbing, retry accounting, and versioned delivery in the loop.
+// TransportKind itself is fine — the selector below must not fire.
+namespace gcol {
+enum class TransportKind { kMailbox, kSocket };
+}
+
+void fixture_r006() {
+  gcol::TransportKind kind = gcol::TransportKind::kMailbox;
+  (void)kind;
+  void* mbox = nullptr;  // stands in for: new gcol::MailboxTransport()
+  (void)mbox;
+  gcol::MailboxTransport* leaked = nullptr;
+  (void)leaked;
+}
