@@ -1,6 +1,10 @@
 // Micro-benchmarks for the coloring kernels themselves: sequential
 // baseline, each parallel preset at one thread (pure work comparison),
 // balancing overhead, verification, and recoloring.
+//
+// Every kernel benchmark runs a 100 ms warmup and reports the
+// median/mean/stddev of 3 repetitions — single-shot numbers on a
+// shared box are dominated by scheduler noise.
 #include <benchmark/benchmark.h>
 
 #include "greedcolor/core/bgpc.hpp"
@@ -25,6 +29,10 @@ const Graph& bench_unigraph() {
   return g;
 }
 
+// Shared stability settings: warmup + median-of-3 (see file comment).
+#define GCOL_BENCH_STABLE \
+  ->MinWarmUpTime(0.1)->Repetitions(3)->ReportAggregatesOnly(true)
+
 void BM_Bgpc_Sequential(benchmark::State& state) {
   const auto& g = bench_graph();
   for (auto _ : state) {
@@ -33,7 +41,7 @@ void BM_Bgpc_Sequential(benchmark::State& state) {
   }
   state.counters["edges"] = static_cast<double>(g.num_edges());
 }
-BENCHMARK(BM_Bgpc_Sequential);
+BENCHMARK(BM_Bgpc_Sequential) GCOL_BENCH_STABLE;
 
 void BM_Bgpc_Preset(benchmark::State& state, const char* name, int threads,
                     ForbiddenSetKind fset = ForbiddenSetKind::kStamped) {
@@ -47,26 +55,35 @@ void BM_Bgpc_Preset(benchmark::State& state, const char* name, int threads,
     benchmark::DoNotOptimize(r.num_colors);
   }
 }
-BENCHMARK_CAPTURE(BM_Bgpc_Preset, VV_t1, "V-V", 1);
-BENCHMARK_CAPTURE(BM_Bgpc_Preset, VV64D_t1, "V-V-64D", 1);
-BENCHMARK_CAPTURE(BM_Bgpc_Preset, VN2_t1, "V-N2", 1);
-BENCHMARK_CAPTURE(BM_Bgpc_Preset, N1N2_t1, "N1-N2", 1);
-BENCHMARK_CAPTURE(BM_Bgpc_Preset, N2N2_t1, "N2-N2", 1);
-BENCHMARK_CAPTURE(BM_Bgpc_Preset, VN2_t4, "V-N2", 4);
-BENCHMARK_CAPTURE(BM_Bgpc_Preset, N1N2_t4, "N1-N2", 4);
-// Same kernels with the word-parallel forbidden sets: the _bitmap rows
-// against their stamped twins above are the wall-clock side of the
-// probe-count reduction tracked in BENCH_kernels.json.
+BENCHMARK_CAPTURE(BM_Bgpc_Preset, VV_t1, "V-V", 1) GCOL_BENCH_STABLE;
+BENCHMARK_CAPTURE(BM_Bgpc_Preset, VV64D_t1, "V-V-64D", 1) GCOL_BENCH_STABLE;
+BENCHMARK_CAPTURE(BM_Bgpc_Preset, VN2_t1, "V-N2", 1) GCOL_BENCH_STABLE;
+BENCHMARK_CAPTURE(BM_Bgpc_Preset, N1N2_t1, "N1-N2", 1) GCOL_BENCH_STABLE;
+BENCHMARK_CAPTURE(BM_Bgpc_Preset, N2N2_t1, "N2-N2", 1) GCOL_BENCH_STABLE;
+BENCHMARK_CAPTURE(BM_Bgpc_Preset, VN2_t4, "V-N2", 4) GCOL_BENCH_STABLE;
+BENCHMARK_CAPTURE(BM_Bgpc_Preset, N1N2_t4, "N1-N2", 4) GCOL_BENCH_STABLE;
+// Same kernels with the word-parallel forbidden sets: the _bitmap /
+// _twolevel rows against their stamped twins above are the wall-clock
+// side of the probe-count reduction tracked in BENCH_kernels.json, and
+// the _adaptive rows time the per-phase engine's choices.
 BENCHMARK_CAPTURE(BM_Bgpc_Preset, VV_t1_bitmap, "V-V", 1,
-                  ForbiddenSetKind::kBitmap);
+                  ForbiddenSetKind::kBitmap) GCOL_BENCH_STABLE;
 BENCHMARK_CAPTURE(BM_Bgpc_Preset, VV64D_t1_bitmap, "V-V-64D", 1,
-                  ForbiddenSetKind::kBitmap);
+                  ForbiddenSetKind::kBitmap) GCOL_BENCH_STABLE;
 BENCHMARK_CAPTURE(BM_Bgpc_Preset, N1N2_t1_bitmap, "N1-N2", 1,
-                  ForbiddenSetKind::kBitmap);
+                  ForbiddenSetKind::kBitmap) GCOL_BENCH_STABLE;
 BENCHMARK_CAPTURE(BM_Bgpc_Preset, VN2_t4_bitmap, "V-N2", 4,
-                  ForbiddenSetKind::kBitmap);
+                  ForbiddenSetKind::kBitmap) GCOL_BENCH_STABLE;
 BENCHMARK_CAPTURE(BM_Bgpc_Preset, N1N2_t4_bitmap, "N1-N2", 4,
-                  ForbiddenSetKind::kBitmap);
+                  ForbiddenSetKind::kBitmap) GCOL_BENCH_STABLE;
+BENCHMARK_CAPTURE(BM_Bgpc_Preset, N1N2_t1_twolevel, "N1-N2", 1,
+                  ForbiddenSetKind::kTwoLevel) GCOL_BENCH_STABLE;
+BENCHMARK_CAPTURE(BM_Bgpc_Preset, VV_t1_adaptive, "V-V", 1,
+                  ForbiddenSetKind::kAdaptive) GCOL_BENCH_STABLE;
+BENCHMARK_CAPTURE(BM_Bgpc_Preset, VN2_t4_adaptive, "V-N2", 4,
+                  ForbiddenSetKind::kAdaptive) GCOL_BENCH_STABLE;
+BENCHMARK_CAPTURE(BM_Bgpc_Preset, N1N2_t4_adaptive, "N1-N2", 4,
+                  ForbiddenSetKind::kAdaptive) GCOL_BENCH_STABLE;
 
 void BM_Bgpc_Balance(benchmark::State& state, BalancePolicy policy) {
   const auto& g = bench_graph();
@@ -79,9 +96,12 @@ void BM_Bgpc_Balance(benchmark::State& state, BalancePolicy policy) {
     benchmark::DoNotOptimize(r.num_colors);
   }
 }
-BENCHMARK_CAPTURE(BM_Bgpc_Balance, U, BalancePolicy::kNone);
-BENCHMARK_CAPTURE(BM_Bgpc_Balance, B1, BalancePolicy::kB1);
-BENCHMARK_CAPTURE(BM_Bgpc_Balance, B2, BalancePolicy::kB2);
+BENCHMARK_CAPTURE(BM_Bgpc_Balance, U, BalancePolicy::kNone)
+GCOL_BENCH_STABLE;
+BENCHMARK_CAPTURE(BM_Bgpc_Balance, B1, BalancePolicy::kB1)
+GCOL_BENCH_STABLE;
+BENCHMARK_CAPTURE(BM_Bgpc_Balance, B2, BalancePolicy::kB2)
+GCOL_BENCH_STABLE;
 
 void BM_D2gc_Preset(benchmark::State& state, const char* name,
                     ForbiddenSetKind fset = ForbiddenSetKind::kStamped) {
@@ -95,12 +115,16 @@ void BM_D2gc_Preset(benchmark::State& state, const char* name,
     benchmark::DoNotOptimize(r.num_colors);
   }
 }
-BENCHMARK_CAPTURE(BM_D2gc_Preset, VV64D, "V-V-64D");
-BENCHMARK_CAPTURE(BM_D2gc_Preset, N1N2, "N1-N2");
+BENCHMARK_CAPTURE(BM_D2gc_Preset, VV64D, "V-V-64D") GCOL_BENCH_STABLE;
+BENCHMARK_CAPTURE(BM_D2gc_Preset, N1N2, "N1-N2") GCOL_BENCH_STABLE;
 BENCHMARK_CAPTURE(BM_D2gc_Preset, VV64D_bitmap, "V-V-64D",
-                  ForbiddenSetKind::kBitmap);
+                  ForbiddenSetKind::kBitmap) GCOL_BENCH_STABLE;
 BENCHMARK_CAPTURE(BM_D2gc_Preset, N1N2_bitmap, "N1-N2",
-                  ForbiddenSetKind::kBitmap);
+                  ForbiddenSetKind::kBitmap) GCOL_BENCH_STABLE;
+BENCHMARK_CAPTURE(BM_D2gc_Preset, VV64D_adaptive, "V-V-64D",
+                  ForbiddenSetKind::kAdaptive) GCOL_BENCH_STABLE;
+BENCHMARK_CAPTURE(BM_D2gc_Preset, N1N2_adaptive, "N1-N2",
+                  ForbiddenSetKind::kAdaptive) GCOL_BENCH_STABLE;
 
 void BM_Verify_Bgpc(benchmark::State& state) {
   const auto& g = bench_graph();

@@ -2,11 +2,19 @@
 //
 // Phase A times raw data-structure operations (insert / contains /
 // first-fit scan) on the paper's stamped MarkerSet vs. the word-parallel
-// BitMarkerSet. Phase B runs the full BGPC/D2GC kernels over the
-// Table II stand-in registry in both forbidden-set modes and records
-// wall time plus the machine-independent work counters.
+// BitMarkerSet and the two-level TwoLevelBitMarkerSet. The L-sweep
+// repeats the same ops across color bounds 16..8192 and reports the
+// per-op crossover points the adaptive engine's thresholds are derived
+// from (greedcolor/core/adaptive.hpp). Phase B runs the full BGPC/D2GC
+// kernels over the Table II stand-in registry in stamped, bitmap, and
+// adaptive modes and records wall time plus the machine-independent
+// work counters.
 //
-// With --json PATH the harness writes a gcol-bench-kernels-v1 document
+// Every timing is a median of `reps` after one untimed warmup pass —
+// single-shot numbers on an oversubscribed box are noise, and the
+// committed trajectory gates on these values.
+//
+// With --json PATH the harness writes a gcol-bench-kernels-v2 document
 // (the committed BENCH_kernels.json perf trajectory); the summary block
 // includes the geometric-mean probe reduction of bitmap over stamped,
 // which tier-1 asserts stays >= 25%.
@@ -19,6 +27,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "greedcolor/core/adaptive.hpp"
 #include "greedcolor/core/verify.hpp"
 #include "greedcolor/graph/datasets.hpp"
 #include "greedcolor/util/argparse.hpp"
@@ -36,6 +45,24 @@ struct OpRecord {
   std::string op;
   double stamped_ms = 0.0;
   double bitmap_ms = 0.0;
+  double twolevel_ms = 0.0;
+};
+
+/// One (op, L) point of the color-bound sweep.
+struct LSweepRecord {
+  std::string op;
+  int l = 0;
+  double stamped_ms = 0.0;
+  double bitmap_ms = 0.0;
+  double twolevel_ms = 0.0;
+};
+
+/// Smallest sweep L from which a word-parallel structure beats stamped
+/// for the rest of the sweep (0 = wins everywhere, -1 = never settles).
+struct Crossover {
+  std::string op;
+  int bitmap_l = -1;
+  int twolevel_l = -1;
 };
 
 struct KernelRecord {
@@ -44,7 +71,7 @@ struct KernelRecord {
   std::string algo;
   std::string fset;
   int threads = 1;
-  double wall_ms = 0.0;  ///< best-of-reps
+  double wall_ms = 0.0;  ///< median over reps, after one warmup run
   color_t colors = 0;
   int rounds = 0;
   KernelCounters color_counters;
@@ -58,6 +85,25 @@ struct KernelRecord {
     return color_counters.edges_visited + conflict_counters.edges_visited;
   }
 };
+
+/// Median of a sample (the harness-wide aggregation; best-of hides
+/// systematic slowness, means are dragged by scheduler stalls).
+double median(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const std::size_t mid = xs.size() / 2;
+  return xs.size() % 2 ? xs[mid] : 0.5 * (xs[mid - 1] + xs[mid]);
+}
+
+/// Warmup once, then return the median of `reps` timed runs of `fn`.
+template <class Fn>
+double warm_median(int reps, Fn&& fn) {
+  (void)fn();  // warmup: touch the structures, fault the pages
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(std::max(reps, 1)));
+  for (int r = 0; r < std::max(reps, 1); ++r) times.push_back(fn());
+  return median(std::move(times));
+}
 
 // --- Phase A: raw structure ops -------------------------------------
 
@@ -80,13 +126,13 @@ std::vector<int> make_keys(std::size_t count, int universe,
 template <class Set>
 double time_inserts(const std::vector<int>& keys, int rounds) {
   Set set;
-  set.ensure_capacity(2048);
+  set.ensure_capacity(16384);
   volatile std::uint64_t sink = 0;
   WallTimer t;
   for (int r = 0; r < rounds; ++r) {
     set.clear();
     for (const int k : keys) set.insert(k);
-    sink += static_cast<std::uint64_t>(set.contains(keys.front()));
+    sink = sink + static_cast<std::uint64_t>(set.contains(keys.front()));
   }
   (void)sink;
   return t.milliseconds();
@@ -95,20 +141,21 @@ double time_inserts(const std::vector<int>& keys, int rounds) {
 template <class Set>
 double time_contains(const std::vector<int>& keys, int rounds) {
   Set set;
-  set.ensure_capacity(2048);
+  set.ensure_capacity(16384);
   set.clear();
   for (std::size_t i = 0; i < keys.size(); i += 2) set.insert(keys[i]);
   volatile std::uint64_t hits = 0;
   WallTimer t;
   for (int r = 0; r < rounds; ++r)
     for (const int k : keys)
-      hits += static_cast<std::uint64_t>(set.contains(k));
+      hits = hits + static_cast<std::uint64_t>(set.contains(k));
   (void)hits;
   return t.milliseconds();
 }
 
-// First-fit scan over a mostly-full set: the hot operation the bitmap
-// accelerates 64 colors per probe.
+// First-fit scan over a mostly-full set: the hot operation the word
+// scans accelerate 64 colors (one word) or 4096 colors (one full
+// two-level block) per probe.
 double time_first_fit_stamped(const std::vector<int>& keys, int universe,
                               int rounds) {
   MarkerSet set;
@@ -121,15 +168,16 @@ double time_first_fit_stamped(const std::vector<int>& keys, int universe,
     // The paper's linear probe: first color not in the set.
     color_t c = 0;
     while (set.contains(c)) ++c;
-    sink += static_cast<std::uint64_t>(c);
+    sink = sink + static_cast<std::uint64_t>(c);
   }
   (void)sink;
   return t.milliseconds();
 }
 
-double time_first_fit_bitmap(const std::vector<int>& keys, int universe,
-                             int rounds) {
-  BitMarkerSet set;
+template <class Set>
+double time_first_fit_words(const std::vector<int>& keys, int universe,
+                            int rounds) {
+  Set set;
   set.ensure_capacity(static_cast<std::size_t>(universe) + 64);
   set.clear();
   for (const int k : keys) set.insert(k);
@@ -137,12 +185,52 @@ double time_first_fit_bitmap(const std::vector<int>& keys, int universe,
   std::uint64_t probes = 0;
   WallTimer t;
   for (int r = 0; r < rounds; ++r)
-    sink += static_cast<std::uint64_t>(set.first_free_at_or_above(0, probes));
+    sink = sink + static_cast<std::uint64_t>(set.first_free_at_or_above(0, probes));
   (void)sink;
   return t.milliseconds();
 }
 
-std::vector<OpRecord> run_phase_a(bool smoke) {
+/// Time the three structures on one op family at color bound `l`.
+LSweepRecord sweep_point(const std::string& op, int l, std::size_t count,
+                         int rounds, int reps) {
+  // Work stays proportional to `count`, not to L: the kernels issue the
+  // same number of inserts regardless of the color bound; only the key
+  // range (and hence the structure's resident footprint) widens.
+  const auto keys = make_keys(count, l, 0x5eedULL + static_cast<unsigned>(l));
+  LSweepRecord rec;
+  rec.op = op;
+  rec.l = l;
+  if (op == "insert") {
+    rec.stamped_ms =
+        warm_median(reps, [&] { return time_inserts<MarkerSet>(keys, rounds); });
+    rec.bitmap_ms = warm_median(
+        reps, [&] { return time_inserts<BitMarkerSet>(keys, rounds); });
+    rec.twolevel_ms = warm_median(
+        reps, [&] { return time_inserts<TwoLevelBitMarkerSet>(keys, rounds); });
+  } else if (op == "contains") {
+    rec.stamped_ms = warm_median(
+        reps, [&] { return time_contains<MarkerSet>(keys, rounds); });
+    rec.bitmap_ms = warm_median(
+        reps, [&] { return time_contains<BitMarkerSet>(keys, rounds); });
+    rec.twolevel_ms = warm_median(
+        reps, [&] { return time_contains<TwoLevelBitMarkerSet>(keys, rounds); });
+  } else {  // first_fit over a dense ~3/4-full prefix
+    std::vector<int> dense = keys;
+    for (int k = 0; k < l - l / 4; ++k) dense.push_back(k);
+    const int ff_rounds = rounds * 16;
+    rec.stamped_ms = warm_median(
+        reps, [&] { return time_first_fit_stamped(dense, l, ff_rounds); });
+    rec.bitmap_ms = warm_median(reps, [&] {
+      return time_first_fit_words<BitMarkerSet>(dense, l, ff_rounds);
+    });
+    rec.twolevel_ms = warm_median(reps, [&] {
+      return time_first_fit_words<TwoLevelBitMarkerSet>(dense, l, ff_rounds);
+    });
+  }
+  return rec;
+}
+
+std::vector<OpRecord> run_phase_a(bool smoke, int reps) {
   const std::size_t count = smoke ? 20000 : 200000;
   const int universe = 4096;
   const int rounds = smoke ? 20 : 200;
@@ -152,14 +240,81 @@ std::vector<OpRecord> run_phase_a(bool smoke) {
   for (int k = 0; k < universe / 2; ++k) dense.push_back(k);
 
   std::vector<OpRecord> ops;
-  ops.push_back({"insert", time_inserts<MarkerSet>(keys, rounds),
-                 time_inserts<BitMarkerSet>(keys, rounds)});
-  ops.push_back({"contains", time_contains<MarkerSet>(keys, rounds),
-                 time_contains<BitMarkerSet>(keys, rounds)});
+  ops.push_back(
+      {"insert",
+       warm_median(reps, [&] { return time_inserts<MarkerSet>(keys, rounds); }),
+       warm_median(reps,
+                   [&] { return time_inserts<BitMarkerSet>(keys, rounds); }),
+       warm_median(reps, [&] {
+         return time_inserts<TwoLevelBitMarkerSet>(keys, rounds);
+       })});
+  ops.push_back(
+      {"contains",
+       warm_median(reps,
+                   [&] { return time_contains<MarkerSet>(keys, rounds); }),
+       warm_median(reps,
+                   [&] { return time_contains<BitMarkerSet>(keys, rounds); }),
+       warm_median(reps, [&] {
+         return time_contains<TwoLevelBitMarkerSet>(keys, rounds);
+       })});
   ops.push_back({"first_fit",
-                 time_first_fit_stamped(dense, universe, rounds * 64),
-                 time_first_fit_bitmap(dense, universe, rounds * 64)});
+                 warm_median(reps,
+                             [&] {
+                               return time_first_fit_stamped(dense, universe,
+                                                             rounds * 64);
+                             }),
+                 warm_median(reps,
+                             [&] {
+                               return time_first_fit_words<BitMarkerSet>(
+                                   dense, universe, rounds * 64);
+                             }),
+                 warm_median(reps, [&] {
+                   return time_first_fit_words<TwoLevelBitMarkerSet>(
+                       dense, universe, rounds * 64);
+                 })});
   return ops;
+}
+
+// --- L-sweep: where does each representation start paying off? ------
+
+std::vector<LSweepRecord> run_lsweep(bool smoke, int reps) {
+  const std::size_t count = smoke ? 20000 : 100000;
+  const int rounds = smoke ? 10 : 50;
+  std::vector<LSweepRecord> out;
+  for (const char* op : {"insert", "contains", "first_fit"})
+    for (int l = 16; l <= 8192; l *= 2)
+      out.push_back(sweep_point(op, l, count, rounds, reps));
+  return out;
+}
+
+std::vector<Crossover> lsweep_crossovers(
+    const std::vector<LSweepRecord>& sweep) {
+  std::vector<Crossover> out;
+  for (const char* op : {"insert", "contains", "first_fit"}) {
+    Crossover c;
+    c.op = op;
+    // Scan from the top of the sweep down: the crossover is the
+    // smallest L such that the structure wins at every point >= L.
+    int bitmap_l = 0, twolevel_l = 0;
+    bool bitmap_live = true, twolevel_live = true;
+    for (auto it = sweep.rbegin(); it != sweep.rend(); ++it) {
+      if (it->op != op) continue;
+      if (bitmap_live && it->bitmap_ms < it->stamped_ms)
+        bitmap_l = it->l;
+      else
+        bitmap_live = bitmap_l == 0;
+      if (twolevel_live && it->twolevel_ms < it->stamped_ms)
+        twolevel_l = it->l;
+      else
+        twolevel_live = twolevel_l == 0;
+    }
+    c.bitmap_l = bitmap_l == 0 ? -1 : bitmap_l;
+    c.twolevel_l = twolevel_l == 0 ? -1 : twolevel_l;
+    // A structure that wins at the smallest sweep point too wins
+    // "everywhere" in the measured range.
+    out.push_back(c);
+  }
+  return out;
 }
 
 // --- Phase B: kernel sweep ------------------------------------------
@@ -174,19 +329,21 @@ KernelRecord run_bgpc_mode(const BipartiteGraph& g,
   rec.algo = algo;
   rec.fset = to_string(fset);
   rec.threads = threads;
-  rec.wall_ms = 1e300;
   ColoringOptions opt = bgpc_preset(algo);
   opt.num_threads = threads;
   opt.forbidden_set = fset;
-  for (int rep = 0; rep < std::max(reps, 1); ++rep) {
+  std::vector<double> times;
+  for (int rep = 0; rep <= std::max(reps, 1); ++rep) {
     const ColoringResult r = color_bgpc(g, opt);
-    if (r.total_seconds * 1e3 < rec.wall_ms) rec.wall_ms = r.total_seconds * 1e3;
+    if (rep == 0) continue;  // warmup: graph + color pages now hot
+    times.push_back(r.total_seconds * 1e3);
     rec.colors = r.num_colors;
     rec.rounds = r.rounds;
     rec.color_counters = r.total_color_counters();
     rec.conflict_counters = r.total_conflict_counters();
     if (!is_valid_bgpc(g, r.colors)) rec.valid = false;
   }
+  rec.wall_ms = median(std::move(times));
   return rec;
 }
 
@@ -199,19 +356,21 @@ KernelRecord run_d2gc_mode(const Graph& g, const std::string& dataset,
   rec.algo = algo;
   rec.fset = to_string(fset);
   rec.threads = threads;
-  rec.wall_ms = 1e300;
   ColoringOptions opt = d2gc_preset(algo);
   opt.num_threads = threads;
   opt.forbidden_set = fset;
-  for (int rep = 0; rep < std::max(reps, 1); ++rep) {
+  std::vector<double> times;
+  for (int rep = 0; rep <= std::max(reps, 1); ++rep) {
     const ColoringResult r = color_d2gc(g, opt);
-    if (r.total_seconds * 1e3 < rec.wall_ms) rec.wall_ms = r.total_seconds * 1e3;
+    if (rep == 0) continue;  // warmup
+    times.push_back(r.total_seconds * 1e3);
     rec.colors = r.num_colors;
     rec.rounds = r.rounds;
     rec.color_counters = r.total_color_counters();
     rec.conflict_counters = r.total_conflict_counters();
     if (!is_valid_d2gc(g, r.colors)) rec.valid = false;
   }
+  rec.wall_ms = median(std::move(times));
   return rec;
 }
 
@@ -222,24 +381,28 @@ std::vector<KernelRecord> run_phase_b(bool smoke, int threads, int reps) {
   std::vector<std::string> d2gc_sets = dataset_names(true);
   if (smoke) {
     // Two structurally distinct stand-ins keep the smoke run under a
-    // few seconds while still exercising mesh- and overlap-style rows.
+    // minute while still exercising mesh- and overlap-style rows.
     bgpc_sets = {"bone_s", "copapers_s"};
     if (d2gc_sets.size() > 1) d2gc_sets.resize(1);
   }
 
+  // stamped/bitmap are the probe-reduction twins the summary gates on;
+  // adaptive is the mode the wall-time gate (tools/bench_gate.py)
+  // compares against both of them.
+  const ForbiddenSetKind modes[] = {ForbiddenSetKind::kStamped,
+                                    ForbiddenSetKind::kBitmap,
+                                    ForbiddenSetKind::kAdaptive};
   std::vector<KernelRecord> records;
   for (const auto& name : bgpc_sets) {
     const BipartiteGraph g = load_bipartite(name);
     for (const auto& algo : bgpc_algos)
-      for (const ForbiddenSetKind fset :
-           {ForbiddenSetKind::kStamped, ForbiddenSetKind::kBitmap})
+      for (const ForbiddenSetKind fset : modes)
         records.push_back(run_bgpc_mode(g, name, algo, fset, threads, reps));
   }
   for (const auto& name : d2gc_sets) {
     const Graph g = load_graph(name);
     for (const auto& algo : d2gc_algos)
-      for (const ForbiddenSetKind fset :
-           {ForbiddenSetKind::kStamped, ForbiddenSetKind::kBitmap})
+      for (const ForbiddenSetKind fset : modes)
         records.push_back(run_d2gc_mode(g, name, algo, fset, threads, reps));
   }
   return records;
@@ -282,22 +445,53 @@ std::string json_escape(const std::string& s) {
 }
 
 void write_json(const std::string& path, const std::vector<OpRecord>& ops,
+                const std::vector<LSweepRecord>& sweep,
+                const std::vector<Crossover>& crossovers,
                 const std::vector<KernelRecord>& records, bool smoke,
                 int threads, int reps) {
   std::ostringstream os;
   os.setf(std::ios::fixed);
   os.precision(4);
-  os << "{\n  \"schema\": \"gcol-bench-kernels-v1\",\n";
+  os << "{\n  \"schema\": \"gcol-bench-kernels-v2\",\n";
   os << "  \"config\": {\"smoke\": " << (smoke ? "true" : "false")
-     << ", \"threads\": " << threads << ", \"reps\": " << reps << "},\n";
+     << ", \"threads\": " << threads << ", \"reps\": " << reps
+     << ", \"aggregation\": \"median\"},\n";
   os << "  \"structure_ops\": [\n";
   for (std::size_t i = 0; i < ops.size(); ++i) {
     const auto& op = ops[i];
     os << "    {\"op\": \"" << json_escape(op.op) << "\", \"stamped_ms\": "
-       << op.stamped_ms << ", \"bitmap_ms\": " << op.bitmap_ms << "}"
+       << op.stamped_ms << ", \"bitmap_ms\": " << op.bitmap_ms
+       << ", \"twolevel_ms\": " << op.twolevel_ms << "}"
        << (i + 1 < ops.size() ? "," : "") << "\n";
   }
-  os << "  ],\n  \"kernels\": [\n";
+  os << "  ],\n  \"lsweep\": [\n";
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const auto& r = sweep[i];
+    os << "    {\"op\": \"" << json_escape(r.op) << "\", \"l\": " << r.l
+       << ", \"stamped_ms\": " << r.stamped_ms
+       << ", \"bitmap_ms\": " << r.bitmap_ms
+       << ", \"twolevel_ms\": " << r.twolevel_ms << "}"
+       << (i + 1 < sweep.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"crossovers\": [\n";
+  for (std::size_t i = 0; i < crossovers.size(); ++i) {
+    const auto& c = crossovers[i];
+    os << "    {\"op\": \"" << json_escape(c.op)
+       << "\", \"bitmap_beats_stamped_from_l\": " << c.bitmap_l
+       << ", \"twolevel_beats_stamped_from_l\": " << c.twolevel_l << "}"
+       << (i + 1 < crossovers.size() ? "," : "") << "\n";
+  }
+  // The thresholds the shipped adaptive engine actually uses — kept in
+  // the trajectory next to the sweep they were derived from.
+  const AdaptiveFsThresholds& t = adaptive_fs_thresholds();
+  os << "  ],\n  \"thresholds\": {"
+     << "\"net_color_bitmap_max_l\": " << t.net_color_bitmap_max_l
+     << ", \"vertex_bitmap_max_l\": " << t.vertex_bitmap_max_l
+     << ", \"vertex_bitmap_min_colored_frac\": "
+     << t.vertex_bitmap_min_colored_frac
+     << ", \"vertex_twolevel_min_l\": " << t.vertex_twolevel_min_l
+     << ", \"switch_margin\": " << t.switch_margin << "},\n";
+  os << "  \"kernels\": [\n";
   for (std::size_t i = 0; i < records.size(); ++i) {
     const auto& r = records[i];
     os << "    {\"kind\": \"" << r.kind << "\", \"dataset\": \""
@@ -325,25 +519,39 @@ int main(int argc, char** argv) {
   const ArgParser args(argc, argv);
   const bool smoke = args.has("smoke");
   const int threads = static_cast<int>(args.get_int("threads", 4));
-  const int reps = static_cast<int>(args.get_int("reps", smoke ? 1 : 3));
+  const int reps = static_cast<int>(args.get_int("reps", 3));
   const std::string json_path = args.get_string("json", "");
 
   std::cout << "=== forbidden-set micro-benchmark ===\n"
             << env_banner() << "\n"
             << (smoke ? "smoke" : "full") << " run, threads=" << threads
-            << " reps=" << reps << "\n\n";
+            << " reps=" << reps << " (median, 1 warmup)\n\n";
 
-  const auto ops = run_phase_a(smoke);
+  const auto ops = run_phase_a(smoke, reps);
   TextTable ta;
-  ta.set_header({"op", "stamped ms", "bitmap ms", "speedup"},
+  ta.set_header({"op", "stamped ms", "bitmap ms", "twolevel ms", "speedup"},
                 {TextTable::Align::kLeft});
   for (const auto& op : ops)
     ta.add_row({op.op, TextTable::fmt(op.stamped_ms),
-                TextTable::fmt(op.bitmap_ms),
+                TextTable::fmt(op.bitmap_ms), TextTable::fmt(op.twolevel_ms),
                 TextTable::fmt(op.bitmap_ms > 0.0
                                    ? op.stamped_ms / op.bitmap_ms
                                    : 0.0)});
   std::cout << ta.to_string() << "\n";
+
+  const auto sweep = run_lsweep(smoke, reps);
+  const auto crossovers = lsweep_crossovers(sweep);
+  TextTable tc;
+  tc.set_header({"op", "bitmap wins from L", "twolevel wins from L"},
+                {TextTable::Align::kLeft});
+  const auto fmt_l = [](int l) {
+    return l < 0 ? std::string("never")
+                 : (l <= 16 ? std::string("always") : TextTable::fmt(
+                       static_cast<std::int64_t>(l)));
+  };
+  for (const auto& c : crossovers)
+    tc.add_row({c.op, fmt_l(c.bitmap_l), fmt_l(c.twolevel_l)});
+  std::cout << tc.to_string() << "\n";
 
   const auto records = run_phase_b(smoke, threads, reps);
   TextTable tb;
@@ -368,7 +576,8 @@ int main(int argc, char** argv) {
             << "% fewer probes)\n";
 
   if (!json_path.empty()) {
-    write_json(json_path, ops, records, smoke, threads, reps);
+    write_json(json_path, ops, sweep, crossovers, records, smoke, threads,
+               reps);
     std::cout << "json written to " << json_path << "\n";
   }
 

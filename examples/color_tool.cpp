@@ -68,16 +68,20 @@ void print_report(const gcol::ColoringResult& result,
             << " faults_injected=" << result.faults_injected << "\n";
   TextTable t;
   t.set_header({"round", "|W|", "conflicts", "color ms", "conflict ms",
-                "kernels"},
+                "kernels", "fset"},
                {TextTable::Align::kRight});
   for (const auto& it : result.iterations) {
     std::string kernels = it.net_based_coloring ? "N-" : "V-";
     kernels += it.net_based_conflict ? "N" : "V";
+    // The concrete representation each phase ran with (the adaptive
+    // engine's per-round choice; fixed modes show the same pair).
+    const std::string fsets = gcol::to_string(it.color_forbidden_set) + "/" +
+                              gcol::to_string(it.conflict_forbidden_set);
     t.add_row({TextTable::fmt(static_cast<std::int64_t>(it.round)),
                TextTable::fmt(static_cast<std::int64_t>(it.queue_size)),
                TextTable::fmt(static_cast<std::int64_t>(it.conflicts)),
                TextTable::fmt(it.color_seconds * 1e3),
-               TextTable::fmt(it.conflict_seconds * 1e3), kernels});
+               TextTable::fmt(it.conflict_seconds * 1e3), kernels, fsets});
   }
   std::cout << t.to_string();
 }
@@ -101,8 +105,10 @@ static int run(int argc, char** argv) {
            "                       smallest-last smallest-last-relaxed\n"
            "                       incidence-degree\n"
            "  --balance U|B1|B2    balancing heuristic (default U)\n"
-           "  --forbidden-set stamped|bitmap  forbidden-set representation\n"
-           "                       (default bitmap; stamped = paper-exact)\n"
+           "  --forbidden-set stamped|bitmap|twolevel|adaptive\n"
+           "                       forbidden-set representation (default\n"
+           "                       adaptive = per-phase choice; stamped = "
+           "paper-exact)\n"
            "  --locality none|sort|full  cache-locality pre-pass "
            "(default none)\n"
            "  --threads N          0 = OpenMP default\n"
@@ -180,7 +186,7 @@ static int run(int argc, char** argv) {
     std::cout << "fault plan       " << fault_plan.to_spec() << "\n";
   }
   const ForbiddenSetKind forbidden_set =
-      forbidden_set_from_string(args.get_string("forbidden-set", "bitmap"));
+      forbidden_set_from_string(args.get_string("forbidden-set", "adaptive"));
   const LocalityMode locality =
       locality_from_string(args.get_string("locality", "none"));
   // Speculative-race auditor (--audit): checks the partial coloring

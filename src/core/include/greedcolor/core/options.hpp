@@ -37,8 +37,10 @@ enum class BalancePolicy {
 
 /// Forbidden-set representation used by the coloring kernels.
 enum class ForbiddenSetKind {
-  kStamped,  ///< the paper's stamped plain arrays (one probe per color)
-  kBitmap,   ///< word-parallel BitMarkerSet (first-fit via bit scans)
+  kStamped,   ///< the paper's stamped plain arrays (one probe per color)
+  kBitmap,    ///< word-parallel BitMarkerSet (first-fit via bit scans)
+  kTwoLevel,  ///< two-level bitmap: summary word skips full 64-word blocks
+  kAdaptive,  ///< per-phase choice among the above (see core/adaptive.hpp)
 };
 
 /// Optional pre-pass that reorders the graph for cache locality before
@@ -55,7 +57,8 @@ enum class LocalityMode {
 [[nodiscard]] std::string to_string(ForbiddenSetKind f);
 [[nodiscard]] std::string to_string(LocalityMode m);
 
-/// Parse "stamped" / "bitmap"; throws std::invalid_argument otherwise.
+/// Parse "stamped" / "bitmap" / "twolevel" / "adaptive"; throws
+/// std::invalid_argument otherwise.
 [[nodiscard]] ForbiddenSetKind forbidden_set_from_string(
     const std::string& name);
 
@@ -85,9 +88,12 @@ struct ColoringOptions {
 
   BalancePolicy balance = BalancePolicy::kNone;
 
-  /// Forbidden-set representation. The bitmap is the fast default; the
-  /// reproduction benches pin kStamped to stay paper-faithful.
-  ForbiddenSetKind forbidden_set = ForbiddenSetKind::kBitmap;
+  /// Forbidden-set representation. kAdaptive (the default) lets the
+  /// drivers pick the representation per phase and round from the
+  /// colored fraction and the running color bound — it matches or beats
+  /// both fixed modes on every BENCH_kernels.json row. The reproduction
+  /// benches pin kStamped to stay paper-faithful.
+  ForbiddenSetKind forbidden_set = ForbiddenSetKind::kAdaptive;
 
   /// Opt-in locality reordering pre-pass (see LocalityMode).
   LocalityMode locality = LocalityMode::kNone;

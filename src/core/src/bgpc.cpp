@@ -9,6 +9,7 @@
 #include "bgpc_kernels.hpp"
 #include "greedcolor/analyze/audit.hpp"
 #include "greedcolor/check/mc.hpp"
+#include "greedcolor/core/adaptive.hpp"
 #include "greedcolor/order/locality.hpp"
 #include "greedcolor/robust/fault.hpp"
 #include "greedcolor/util/marker_set.hpp"
@@ -84,12 +85,21 @@ ColoringResult color_bgpc(const BipartiteGraph& g,
   audit::AuditScope audit_scope(options.auditor, threads);
   const auto marker_cap =
       static_cast<std::size_t>(bgpc_color_bound(g)) + 2;
-  const bool bitmap = options.forbidden_set == ForbiddenSetKind::kBitmap;
+  // Any non-stamped mode may run a dedup (visited-set) kernel; adaptive
+  // can pick one mid-run, so it pre-sizes the dedup universe too.
+  const bool dedup = options.forbidden_set != ForbiddenSetKind::kStamped;
   std::vector<ThreadWorkspace> workspaces(
       static_cast<std::size_t>(threads));
   for (auto& ws : workspaces)
     ws.prepare(marker_cap, static_cast<std::size_t>(g.max_net_degree()),
-               bitmap ? static_cast<std::size_t>(n) : 0);
+               dedup ? static_cast<std::size_t>(n) : 0);
+
+  // Resolves kAdaptive to a concrete representation per phase and
+  // round; a fixed requested kind passes through unchanged. Seeded with
+  // the max net degree: the net kernels' reverse-first-fit never starts
+  // above it, so it is the round-1 color-bound estimate.
+  AdaptiveFsEngine fs_engine(options.forbidden_set,
+                             static_cast<color_t>(g.max_net_degree()));
 
   ColoringResult result;
   // Raw buffer + static parallel fill: the same threads that will color
@@ -153,32 +163,38 @@ ColoringResult color_bgpc(const BipartiteGraph& g,
     stats.queue_size = w.size();
     stats.net_based_coloring = net_color;
     stats.net_based_conflict = net_conflict;
+    const ForbiddenSetKind color_fs =
+        fs_engine.color_kind(net_color, w.size(), nsz);
+    const ForbiddenSetKind conflict_fs = fs_engine.conflict_kind(net_conflict);
+    stats.color_forbidden_set = color_fs;
+    stats.conflict_forbidden_set = conflict_fs;
 
     WallTimer phase;
     if (net_color) {
       if (options.net_v1)
         detail::bgpc_color_net_v1(g, c, workspaces, options.net_v1_reverse,
-                                  options.forbidden_set, options.chunk_size,
+                                  color_fs, options.chunk_size,
                                   threads, stats.color_counters);
       else
         detail::bgpc_color_net(g, c, workspaces, options.balance,
-                               options.forbidden_set, options.chunk_size,
+                               color_fs, options.chunk_size,
                                threads, stats.color_counters);
     } else {
       detail::bgpc_color_vertex(g, w, c, workspaces, options.balance,
-                                options.forbidden_set, options.chunk_size,
+                                color_fs, options.chunk_size,
                                 threads, stats.color_counters);
     }
     stats.color_seconds = phase.seconds();
+    fs_engine.observe_round(stats.color_counters.max_color);
 
     phase.reset();
     if (net_conflict) {
-      detail::bgpc_conflict_net(g, c, workspaces, options.forbidden_set,
+      detail::bgpc_conflict_net(g, c, workspaces, conflict_fs,
                                 options.chunk_size, threads, wnext,
                                 stats.conflict_counters);
     } else {
       detail::bgpc_conflict_vertex(g, w, c, workspaces, options.queue,
-                                   options.forbidden_set, options.chunk_size,
+                                   conflict_fs, options.chunk_size,
                                    threads, wnext, stats.conflict_counters);
     }
     stats.conflict_seconds = phase.seconds();
@@ -241,7 +257,12 @@ ColoringResult color_bgpc_sequential(const BipartiteGraph& g,
 
   ColoringResult result;
   result.colors.assign(static_cast<std::size_t>(n), kNoColor);
-  MarkerSet forbidden(static_cast<std::size_t>(bgpc_color_bound(g)) + 2);
+  // Sequential path draws its scratch from a ThreadWorkspace like the
+  // parallel kernels (lint R007: no direct marker-set construction in
+  // the BGPC/D2GC layer).
+  ThreadWorkspace scratch;
+  scratch.prepare(static_cast<std::size_t>(bgpc_color_bound(g)) + 2, 0);
+  MarkerSet& forbidden = scratch.forbidden;
 
   WallTimer total;
   IterationStats stats;

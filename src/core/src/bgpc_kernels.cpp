@@ -29,7 +29,7 @@ void color_vertex_impl(const BipartiteGraph& g, const std::vector<vid_t>& w,
     GCOL_MC_REGION();
     ThreadWorkspace& tws = ws[static_cast<std::size_t>(tid)];
     typename FS::Set& f = FS::forbidden(tws);
-    [[maybe_unused]] MarkerSet& visited = tws.visited;
+    [[maybe_unused]] BitMarkerSet& visited = FS::visited(tws);
     PolicyState st;
     KernelCounters local;
 #pragma omp for schedule(dynamic, chunk) nowait
@@ -41,7 +41,14 @@ void color_vertex_impl(const BipartiteGraph& g, const std::vector<vid_t>& w,
         visited.insert(wv);
       }
       for (const vid_t v : g.nets(wv)) {
-        for (const vid_t u : g.vtxs(v)) {
+        const auto vs = g.vtxs(v);
+        const std::size_t deg = vs.size();
+        for (std::size_t j = 0; j < deg; ++j) {
+          // The distance-2 gather is the random-access hot spot: hint
+          // the color word a few entries ahead so the load below hits.
+          if (j + kColorPrefetchDist < deg)
+            prefetch_color(c, vs[j + kColorPrefetchDist]);
+          const vid_t u = vs[j];
           GCOL_COUNT(++local.edges_visited);
           if constexpr (FS::kDedupNeighbors) {
             // Each distance-2 neighbor contributes one color no matter
@@ -56,6 +63,7 @@ void color_vertex_impl(const BipartiteGraph& g, const std::vector<vid_t>& w,
       }
       const color_t col = pick_vertex_color<B>(st, f, wv, local.color_probes);
       store_color(c, wv, col);
+      local.max_color = std::max(local.max_color, col);
       GCOL_COUNT(++local.colored);
     }
     slots.publish(tid, local);
@@ -85,7 +93,12 @@ void color_net_impl(const BipartiteGraph& g, color_t* c,
       wlocal.clear();
       // Pass 1 (Alg. 8 lines 4-8): mark forbidden colors, queue the
       // vertices that are uncolored or locally color-duplicated.
-      for (const vid_t u : g.vtxs(v)) {
+      const auto vs = g.vtxs(v);
+      const std::size_t deg = vs.size();
+      for (std::size_t j = 0; j < deg; ++j) {
+        if (j + kColorPrefetchDist < deg)
+          prefetch_color(c, vs[j + kColorPrefetchDist]);
+        const vid_t u = vs[j];
         GCOL_COUNT(++local.edges_visited);
         const color_t cu = load_color(c, u);
         if (cu == kNoColor || f.test_and_set(cu)) wlocal.push_back(u);
@@ -93,8 +106,7 @@ void color_net_impl(const BipartiteGraph& g, color_t* c,
       if (wlocal.empty()) continue;
       // Pass 2 (lines 9-14): reverse first-fit from |vtxs(v)|-1, or the
       // balancing variant.
-      color_local_queue<B>(st, f, wlocal, v, g.net_degree(v) - 1, c,
-                           local.color_probes, local.colored);
+      color_local_queue<B>(st, f, wlocal, v, g.net_degree(v) - 1, c, local);
     }
     slots.publish(tid, local);
   }
@@ -120,7 +132,12 @@ void color_net_v1_impl(const BipartiteGraph& g, color_t* c,
       f.clear();
       const color_t deg = g.net_degree(v);
       color_t col = reverse ? deg - 1 : 0;  // net-level running cursor
-      for (const vid_t u : g.vtxs(v)) {
+      const auto vs = g.vtxs(v);
+      const std::size_t dsz = vs.size();
+      for (std::size_t j = 0; j < dsz; ++j) {
+        if (j + kColorPrefetchDist < dsz)
+          prefetch_color(c, vs[j + kColorPrefetchDist]);
+        const vid_t u = vs[j];
         GCOL_COUNT(++local.edges_visited);
         color_t cu = load_color(c, u);
         if (cu == kNoColor || f.contains(cu)) {
@@ -132,6 +149,7 @@ void color_net_v1_impl(const BipartiteGraph& g, color_t* c,
           }
           cu = col;
           store_color(c, u, cu);
+          local.max_color = std::max(local.max_color, cu);
           GCOL_COUNT(++local.colored);
         }
         f.insert(cu);
@@ -162,8 +180,8 @@ void conflict_vertex_impl(const BipartiteGraph& g, const std::vector<vid_t>& w,
   {
     const int tid = current_thread();
     GCOL_MC_REGION();
-    [[maybe_unused]] MarkerSet& visited =
-        ws[static_cast<std::size_t>(tid)].visited;
+    [[maybe_unused]] BitMarkerSet& visited =
+        FS::visited(ws[static_cast<std::size_t>(tid)]);
     KernelCounters local;
 #pragma omp for schedule(dynamic, chunk) nowait
     for (std::int64_t i = 0; i < n; ++i) {
@@ -176,7 +194,12 @@ void conflict_vertex_impl(const BipartiteGraph& g, const std::vector<vid_t>& w,
       }
       bool conflicted = false;
       for (const vid_t v : g.nets(wv)) {
-        for (const vid_t u : g.vtxs(v)) {
+        const auto vs = g.vtxs(v);
+        const std::size_t deg = vs.size();
+        for (std::size_t j = 0; j < deg; ++j) {
+          if (j + kColorPrefetchDist < deg)
+            prefetch_color(c, vs[j + kColorPrefetchDist]);
+          const vid_t u = vs[j];
           GCOL_COUNT(++local.edges_visited);
           if constexpr (FS::kDedupNeighbors) {
             if (visited.test_and_set(u)) continue;
@@ -229,7 +252,12 @@ void conflict_net_impl(const BipartiteGraph& g, color_t* c,
     for (std::int64_t vi = 0; vi < nn; ++vi) {
       const vid_t v = static_cast<vid_t>(vi);
       f.clear();
-      for (const vid_t u : g.vtxs(v)) {
+      const auto vs = g.vtxs(v);
+      const std::size_t deg = vs.size();
+      for (std::size_t j = 0; j < deg; ++j) {
+        if (j + kColorPrefetchDist < deg)
+          prefetch_color(c, vs[j + kColorPrefetchDist]);
+        const vid_t u = vs[j];
         GCOL_COUNT(++local.edges_visited);
         const color_t cu = load_color(c, u);
         if (cu == kNoColor) continue;

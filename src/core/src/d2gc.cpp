@@ -9,6 +9,7 @@
 #include "d2gc_kernels.hpp"
 #include "greedcolor/analyze/audit.hpp"
 #include "greedcolor/check/mc.hpp"
+#include "greedcolor/core/adaptive.hpp"
 #include "greedcolor/order/locality.hpp"
 #include "greedcolor/robust/fault.hpp"
 #include "greedcolor/util/timer.hpp"
@@ -84,12 +85,18 @@ ColoringResult color_d2gc(const Graph& g, const ColoringOptions& options,
   // Speculative-race auditor; see bgpc.cpp.
   audit::AuditScope audit_scope(options.auditor, threads);
   const auto marker_cap = static_cast<std::size_t>(d2gc_color_bound(g)) + 2;
-  const bool bitmap = options.forbidden_set == ForbiddenSetKind::kBitmap;
+  // See bgpc.cpp: every non-stamped mode pre-sizes the dedup universe.
+  const bool dedup = options.forbidden_set != ForbiddenSetKind::kStamped;
   std::vector<ThreadWorkspace> workspaces(
       static_cast<std::size_t>(threads));
   for (auto& ws : workspaces)
     ws.prepare(marker_cap, static_cast<std::size_t>(g.max_degree()) + 1,
-               bitmap ? static_cast<std::size_t>(n) : 0);
+               dedup ? static_cast<std::size_t>(n) : 0);
+
+  // Per-phase representation choice; seeded with the net kernel's
+  // reverse-first-fit origin bound (|nbor(v)| + the middle vertex).
+  AdaptiveFsEngine fs_engine(options.forbidden_set,
+                             static_cast<color_t>(g.max_degree()) + 1);
 
   ColoringResult result;
   // First-touch init; see bgpc.cpp.
@@ -143,26 +150,32 @@ ColoringResult color_d2gc(const Graph& g, const ColoringOptions& options,
     stats.queue_size = w.size();
     stats.net_based_coloring = net_color;
     stats.net_based_conflict = net_conflict;
+    const ForbiddenSetKind color_fs =
+        fs_engine.color_kind(net_color, w.size(), nsz);
+    const ForbiddenSetKind conflict_fs = fs_engine.conflict_kind(net_conflict);
+    stats.color_forbidden_set = color_fs;
+    stats.conflict_forbidden_set = conflict_fs;
 
     WallTimer phase;
     if (net_color)
       detail::d2gc_color_net(g, c, workspaces, options.balance,
-                             options.forbidden_set, options.chunk_size,
+                             color_fs, options.chunk_size,
                              threads, stats.color_counters);
     else
       detail::d2gc_color_vertex(g, w, c, workspaces, options.balance,
-                                options.forbidden_set, options.chunk_size,
+                                color_fs, options.chunk_size,
                                 threads, stats.color_counters);
     stats.color_seconds = phase.seconds();
+    fs_engine.observe_round(stats.color_counters.max_color);
 
     phase.reset();
     if (net_conflict)
-      detail::d2gc_conflict_net(g, c, workspaces, options.forbidden_set,
+      detail::d2gc_conflict_net(g, c, workspaces, conflict_fs,
                                 options.chunk_size, threads, wnext,
                                 stats.conflict_counters);
     else
       detail::d2gc_conflict_vertex(g, w, c, workspaces, options.queue,
-                                   options.forbidden_set, options.chunk_size,
+                                   conflict_fs, options.chunk_size,
                                    threads, wnext, stats.conflict_counters);
     stats.conflict_seconds = phase.seconds();
     stats.conflicts = wnext.size();
@@ -218,7 +231,10 @@ ColoringResult color_d2gc_sequential(const Graph& g,
 
   ColoringResult result;
   result.colors.assign(static_cast<std::size_t>(n), kNoColor);
-  MarkerSet forbidden(static_cast<std::size_t>(d2gc_color_bound(g)) + 2);
+  // Scratch through a ThreadWorkspace (lint R007); see bgpc.cpp.
+  ThreadWorkspace scratch;
+  scratch.prepare(static_cast<std::size_t>(d2gc_color_bound(g)) + 2, 0);
+  MarkerSet& forbidden = scratch.forbidden;
 
   WallTimer total;
   IterationStats stats;

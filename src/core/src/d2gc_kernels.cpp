@@ -28,7 +28,7 @@ void color_vertex_impl(const Graph& g, const std::vector<vid_t>& w,
     GCOL_MC_REGION();
     ThreadWorkspace& tws = ws[static_cast<std::size_t>(tid)];
     typename FS::Set& f = FS::forbidden(tws);
-    [[maybe_unused]] MarkerSet& visited = tws.visited;
+    [[maybe_unused]] BitMarkerSet& visited = FS::visited(tws);
     PolicyState st;
     KernelCounters local;
 #pragma omp for schedule(dynamic, chunk) nowait
@@ -47,7 +47,13 @@ void color_vertex_impl(const Graph& g, const std::vector<vid_t>& w,
           const color_t cu = load_color(c, u);
           if (cu != kNoColor) f.insert(cu);  // distance-1 neighbor
         }
-        for (const vid_t x : g.neighbors(u)) {
+        const auto xs = g.neighbors(u);
+        const std::size_t deg = xs.size();
+        for (std::size_t j = 0; j < deg; ++j) {
+          // Distance-2 gather: random color loads; hint a few ahead.
+          if (j + kColorPrefetchDist < deg)
+            prefetch_color(c, xs[j + kColorPrefetchDist]);
+          const vid_t x = xs[j];
           GCOL_COUNT(++local.edges_visited);
           if constexpr (FS::kDedupNeighbors) {
             if (visited.test_and_set(x)) continue;  // also skips x == wv
@@ -60,6 +66,7 @@ void color_vertex_impl(const Graph& g, const std::vector<vid_t>& w,
       }
       const color_t col = pick_vertex_color<B>(st, f, wv, local.color_probes);
       store_color(c, wv, col);
+      local.max_color = std::max(local.max_color, col);
       GCOL_COUNT(++local.colored);
     }
     slots.publish(tid, local);
@@ -94,7 +101,12 @@ void color_net_impl(const Graph& g, color_t* c,
       else
         wlocal.push_back(v);
       // Lines 8-12: distance-1 neighbors.
-      for (const vid_t u : g.neighbors(v)) {
+      const auto us = g.neighbors(v);
+      const std::size_t deg = us.size();
+      for (std::size_t j = 0; j < deg; ++j) {
+        if (j + kColorPrefetchDist < deg)
+          prefetch_color(c, us[j + kColorPrefetchDist]);
+        const vid_t u = us[j];
         GCOL_COUNT(++local.edges_visited);
         const color_t cu = load_color(c, u);
         if (cu == kNoColor || f.test_and_set(cu)) wlocal.push_back(u);
@@ -102,8 +114,7 @@ void color_net_impl(const Graph& g, color_t* c,
       if (wlocal.empty()) continue;
       // Lines 13-18: reverse first-fit from |nbor(v)| (one more than
       // BGPC's start: the middle vertex occupies a slot too).
-      color_local_queue<B>(st, f, wlocal, v, g.degree(v), c,
-                           local.color_probes, local.colored);
+      color_local_queue<B>(st, f, wlocal, v, g.degree(v), c, local);
     }
     slots.publish(tid, local);
   }
@@ -130,8 +141,8 @@ void conflict_vertex_impl(const Graph& g, const std::vector<vid_t>& w,
   {
     const int tid = current_thread();
     GCOL_MC_REGION();
-    [[maybe_unused]] MarkerSet& visited =
-        ws[static_cast<std::size_t>(tid)].visited;
+    [[maybe_unused]] BitMarkerSet& visited =
+        FS::visited(ws[static_cast<std::size_t>(tid)]);
     KernelCounters local;
 #pragma omp for schedule(dynamic, chunk) nowait
     for (std::int64_t i = 0; i < n; ++i) {
@@ -151,7 +162,12 @@ void conflict_vertex_impl(const Graph& g, const std::vector<vid_t>& w,
           conflicted = true;
           break;
         }
-        for (const vid_t x : g.neighbors(u)) {
+        const auto xs = g.neighbors(u);
+        const std::size_t deg = xs.size();
+        for (std::size_t j = 0; j < deg; ++j) {
+          if (j + kColorPrefetchDist < deg)
+            prefetch_color(c, xs[j + kColorPrefetchDist]);
+          const vid_t x = xs[j];
           GCOL_COUNT(++local.edges_visited);
           if constexpr (FS::kDedupNeighbors) {
             if (visited.test_and_set(x)) continue;  // also skips x == wv

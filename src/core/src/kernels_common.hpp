@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "greedcolor/analyze/contract.hpp"
+#include "greedcolor/core/adaptive.hpp"
 #include "greedcolor/core/options.hpp"
 #include "greedcolor/util/counters.hpp"
 #include "greedcolor/util/marker_set.hpp"
@@ -99,6 +100,27 @@ inline color_t exchange_uncolor(color_t* c, vid_t v) {
       .exchange(kNoColor, std::memory_order_relaxed);
 }
 
+/// Lookahead distance (adjacency entries) for prefetching neighbor
+/// color words in the gather loops. Deep enough to cover an L2 miss at
+/// one entry per iteration, shallow enough not to thrash on short
+/// adjacency lists (which skip the prefetch entirely).
+inline constexpr std::size_t kColorPrefetchDist = 8;
+
+/// Hint the cache that c[v] is about to be read. Kept here — the one
+/// seam allowed to touch the raw color array — so the kernels' gather
+/// loops stay free of direct c[] arithmetic (lint R002). Compiles to
+/// nothing on toolchains without the builtin; never faults (prefetch
+/// of any address is architecturally a no-op).
+inline void prefetch_color(const color_t* c, vid_t v) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(c + static_cast<std::size_t>(v), /*rw=*/0,
+                     /*locality=*/1);
+#else
+  (void)c;
+  (void)v;
+#endif
+}
+
 /// Smallest color >= start not in F (plain first-fit).
 inline color_t pick_up(const MarkerSet& f, color_t start,
                        std::uint64_t& probes) {
@@ -124,8 +146,9 @@ inline color_t pick_down(const MarkerSet& f, color_t start,
   return col;
 }
 
-// Word-parallel variants: the scan happens inside BitMarkerSet, one
-// probe counted per 64-color word instead of per color.
+// Word-parallel variants: the scan happens inside BitMarkerSet /
+// TwoLevelBitMarkerSet, one probe counted per 64-color word (or
+// skipped-run summary read) instead of per color.
 inline color_t pick_up(const BitMarkerSet& f, color_t start,
                        std::uint64_t& probes) {
   return f.first_free_at_or_above(start, probes);
@@ -136,15 +159,29 @@ inline color_t pick_down(const BitMarkerSet& f, color_t start,
   return f.first_free_at_or_below(start, probes);
 }
 
+inline color_t pick_up(const TwoLevelBitMarkerSet& f, color_t start,
+                       std::uint64_t& probes) {
+  return f.first_free_at_or_above(start, probes);
+}
+
+inline color_t pick_down(const TwoLevelBitMarkerSet& f, color_t start,
+                         std::uint64_t& probes) {
+  return f.first_free_at_or_below(start, probes);
+}
+
 /// Forbidden-set policies: which per-thread set the kernels mark into
 /// and whether they deduplicate distance-2 neighbors through the
 /// workspace's visited set. The stamped policy is byte-for-byte the
 /// paper's behavior (no dedup — the Θ(Σ|vtxs(v)|²) walk is part of what
-/// the reproduction measures); the bitmap policy is the fast default.
+/// the reproduction measures); the word-parallel policies dedup through
+/// the workspace's bit-packed visited set. kAdaptive is resolved to one
+/// of these per phase by the drivers (AdaptiveFsEngine) and never
+/// reaches the kernel templates.
 struct StampedPolicy {
   using Set = MarkerSet;
   static constexpr bool kDedupNeighbors = false;
   static MarkerSet& forbidden(ThreadWorkspace& t) { return t.forbidden; }
+  static BitMarkerSet& visited(ThreadWorkspace& t) { return t.visited_bits; }
 };
 
 struct BitmapPolicy {
@@ -153,13 +190,36 @@ struct BitmapPolicy {
   static BitMarkerSet& forbidden(ThreadWorkspace& t) {
     return t.forbidden_bits;
   }
+  static BitMarkerSet& visited(ThreadWorkspace& t) { return t.visited_bits; }
 };
 
-/// Run `fn` with the ForbiddenSet policy selected by `fset`.
+struct TwoLevelPolicy {
+  using Set = TwoLevelBitMarkerSet;
+  static constexpr bool kDedupNeighbors = true;
+  static TwoLevelBitMarkerSet& forbidden(ThreadWorkspace& t) {
+    return t.forbidden_two;
+  }
+  static BitMarkerSet& visited(ThreadWorkspace& t) { return t.visited_bits; }
+};
+
+/// Run `fn` with the ForbiddenSet policy selected by `fset`. kAdaptive
+/// must be resolved by the caller (the drivers ask AdaptiveFsEngine for
+/// a concrete kind per phase); it is a contract violation here.
 template <class Fn>
 decltype(auto) with_forbidden_set(ForbiddenSetKind fset, Fn&& fn) {
-  if (fset == ForbiddenSetKind::kBitmap) return fn(BitmapPolicy{});
-  return fn(StampedPolicy{});
+  GCOL_CONTRACT(fset != ForbiddenSetKind::kAdaptive,
+                "kAdaptive must be resolved to a concrete representation "
+                "before kernel dispatch");
+  switch (fset) {
+    case ForbiddenSetKind::kBitmap:
+      return fn(BitmapPolicy{});
+    case ForbiddenSetKind::kTwoLevel:
+      return fn(TwoLevelPolicy{});
+    case ForbiddenSetKind::kStamped:
+    case ForbiddenSetKind::kAdaptive:  // contract-checked above
+    default:
+      return fn(StampedPolicy{});
+  }
 }
 
 /// Run `fn` with the balance policy lifted to a compile-time constant.
@@ -251,13 +311,15 @@ inline color_t pick_vertex_color(PolicyState& st, const Set& f,
 /// and its B1/B2 "net-based variants"). `start` is |vtxs(v)|-1 for BGPC
 /// and |nbor(v)| for D2GC (Lemma 1's reverse-first-fit origin). After
 /// every assignment the color is added to F so two local-queue vertices
-/// never clash within this net.
+/// never clash within this net. `local.max_color` is maintained
+/// unconditionally — the adaptive engine reads it as the running color
+/// bound — while the other counters stay GCOL_COUNT-gated.
 template <BalancePolicy B, class Set>
 inline void color_local_queue(PolicyState& st, Set& f,
                               const std::vector<vid_t>& wlocal,
                               vid_t net_id, color_t start, color_t* c,
-                              std::uint64_t& probes,
-                              std::uint64_t& colored) {
+                              KernelCounters& local) {
+  std::uint64_t& probes = local.color_probes;
   if constexpr (B == BalancePolicy::kNone) {
     (void)st;
     (void)net_id;
@@ -271,13 +333,15 @@ inline void color_local_queue(PolicyState& st, Set& f,
         col = pick_up(f, start + 1, probes);
         store_color(c, u, col);
         f.insert(col);
-        GCOL_COUNT(++colored);
+        local.max_color = std::max(local.max_color, col);
+        GCOL_COUNT(++local.colored);
         col = start;
         continue;
       }
       store_color(c, u, col);
       f.insert(col);  // shields the recovery path from reusing col
-      GCOL_COUNT(++colored);
+      local.max_color = std::max(local.max_color, col);
+      GCOL_COUNT(++local.colored);
       --col;
     }
   } else if constexpr (B == BalancePolicy::kB1) {
@@ -289,7 +353,8 @@ inline void color_local_queue(PolicyState& st, Set& f,
         store_color(c, u, col);
         f.insert(col);
         st.col_max = std::max(st.col_max, col);
-        GCOL_COUNT(++colored);
+        local.max_color = std::max(local.max_color, col);
+        GCOL_COUNT(++local.colored);
       }
     } else {
       for (const vid_t u : wlocal) {
@@ -297,7 +362,8 @@ inline void color_local_queue(PolicyState& st, Set& f,
         store_color(c, u, col);
         f.insert(col);
         st.col_max = std::max(st.col_max, col);
-        GCOL_COUNT(++colored);
+        local.max_color = std::max(local.max_color, col);
+        GCOL_COUNT(++local.colored);
       }
     }
   } else {  // kB2
@@ -309,7 +375,8 @@ inline void color_local_queue(PolicyState& st, Set& f,
       f.insert(col);
       st.col_max = std::max(st.col_max, col);
       st.col_next = std::min<color_t>(col + 1, st.col_max / 3 + 1);
-      GCOL_COUNT(++colored);
+      local.max_color = std::max(local.max_color, col);
+      GCOL_COUNT(++local.colored);
     }
   }
 }

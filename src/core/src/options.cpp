@@ -21,7 +21,17 @@ std::string to_string(BalancePolicy b) {
 }
 
 std::string to_string(ForbiddenSetKind f) {
-  return f == ForbiddenSetKind::kStamped ? "stamped" : "bitmap";
+  switch (f) {
+    case ForbiddenSetKind::kStamped:
+      return "stamped";
+    case ForbiddenSetKind::kBitmap:
+      return "bitmap";
+    case ForbiddenSetKind::kTwoLevel:
+      return "twolevel";
+    case ForbiddenSetKind::kAdaptive:
+      return "adaptive";
+  }
+  return "?";
 }
 
 std::string to_string(LocalityMode m) {
@@ -39,8 +49,11 @@ std::string to_string(LocalityMode m) {
 ForbiddenSetKind forbidden_set_from_string(const std::string& name) {
   if (name == "stamped") return ForbiddenSetKind::kStamped;
   if (name == "bitmap") return ForbiddenSetKind::kBitmap;
-  throw std::invalid_argument("unknown forbidden-set kind: " + name +
-                              " (expected stamped or bitmap)");
+  if (name == "twolevel") return ForbiddenSetKind::kTwoLevel;
+  if (name == "adaptive") return ForbiddenSetKind::kAdaptive;
+  throw std::invalid_argument(
+      "unknown forbidden-set kind: " + name +
+      " (expected stamped, bitmap, twolevel, or adaptive)");
 }
 
 LocalityMode locality_from_string(const std::string& name) {

@@ -8,7 +8,10 @@
 // results. Compiled out when GCOL_COUNTERS is not defined.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+
+#include "greedcolor/util/types.hpp"
 
 namespace gcol {
 
@@ -21,12 +24,18 @@ struct KernelCounters {
   std::uint64_t conflicts = 0;
   /// Vertices (re)assigned a color by a coloring kernel.
   std::uint64_t colored = 0;
+  /// Largest color assigned by a coloring kernel, kNoColor when none.
+  /// Unlike the fields above this is *always* maintained (not gated on
+  /// GCOL_COUNTERS): the adaptive forbidden-set engine reads it as the
+  /// running color bound between rounds, so it is load-bearing.
+  color_t max_color = kNoColor;
 
   KernelCounters& operator+=(const KernelCounters& o) {
     edges_visited += o.edges_visited;
     color_probes += o.color_probes;
     conflicts += o.conflicts;
     colored += o.colored;
+    max_color = std::max(max_color, o.max_color);
     return *this;
   }
 

@@ -222,8 +222,9 @@ TEST(ThreadWorkspaceTest, PreparesVisitedOnDemand) {
   w.prepare(128, 16);  // 2-arg form: no visited universe requested
   EXPECT_GE(w.forbidden.capacity(), 128u);
   EXPECT_GE(w.forbidden_bits.capacity(), 128u);
+  EXPECT_GE(w.forbidden_two.capacity(), 128u);
   w.prepare(128, 16, 1000);
-  EXPECT_GE(w.visited.capacity(), 1000u);
+  EXPECT_GE(w.visited_bits.capacity(), 1000u);
 }
 
 }  // namespace

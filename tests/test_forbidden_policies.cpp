@@ -1,10 +1,11 @@
 // End-to-end coverage for the forbidden-set policies and the locality
-// pass: every preset must produce a valid coloring under both the
-// stamped and the bitmap kernels, sequential thread-1 runs must be
-// bit-identical across modes (the policies only change how a color is
-// found, not which color first-fit picks), and locality reordering must
-// be a pure renumbering (identical colors at one thread, valid in
-// parallel).
+// pass: every preset must produce a valid coloring under the stamped,
+// bitmap, twolevel, and adaptive kernels, single-thread runs must be
+// bit-identical across all four modes (the policies only change how a
+// color is found, not which color first-fit picks — and the adaptive
+// engine only switches representation, never the pick), and locality
+// reordering must be a pure renumbering (identical colors at one
+// thread, valid in parallel).
 #include <gtest/gtest.h>
 
 #include <vector>
@@ -34,10 +35,14 @@ const Graph& test_ugraph() {
 constexpr ForbiddenSetKind kBothKinds[] = {ForbiddenSetKind::kStamped,
                                            ForbiddenSetKind::kBitmap};
 
-TEST(ForbiddenPolicies, BgpcAllPresetsValidBothModes) {
+constexpr ForbiddenSetKind kAllKinds[] = {
+    ForbiddenSetKind::kStamped, ForbiddenSetKind::kBitmap,
+    ForbiddenSetKind::kTwoLevel, ForbiddenSetKind::kAdaptive};
+
+TEST(ForbiddenPolicies, BgpcAllPresetsValidAllModes) {
   const auto& g = test_bgraph();
   for (const auto& name : bgpc_preset_names()) {
-    for (const ForbiddenSetKind fset : kBothKinds) {
+    for (const ForbiddenSetKind fset : kAllKinds) {
       ColoringOptions opt = bgpc_preset(name);
       opt.num_threads = 4;
       opt.forbidden_set = fset;
@@ -49,9 +54,9 @@ TEST(ForbiddenPolicies, BgpcAllPresetsValidBothModes) {
   }
 }
 
-TEST(ForbiddenPolicies, BgpcAdaptivePresetValidBothModes) {
+TEST(ForbiddenPolicies, BgpcAdaptivePresetValidAllModes) {
   const auto& g = test_bgraph();
-  for (const ForbiddenSetKind fset : kBothKinds) {
+  for (const ForbiddenSetKind fset : kAllKinds) {
     ColoringOptions opt = bgpc_preset("ADAPTIVE");
     opt.num_threads = 4;
     opt.forbidden_set = fset;
@@ -60,10 +65,10 @@ TEST(ForbiddenPolicies, BgpcAdaptivePresetValidBothModes) {
   }
 }
 
-TEST(ForbiddenPolicies, BgpcBalancedValidBothModes) {
+TEST(ForbiddenPolicies, BgpcBalancedValidAllModes) {
   const auto& g = test_bgraph();
   for (const BalancePolicy b : {BalancePolicy::kB1, BalancePolicy::kB2}) {
-    for (const ForbiddenSetKind fset : kBothKinds) {
+    for (const ForbiddenSetKind fset : kAllKinds) {
       ColoringOptions opt = bgpc_preset("V-N2");
       opt.num_threads = 4;
       opt.balance = b;
@@ -82,10 +87,16 @@ TEST(ForbiddenPolicies, BgpcSingleThreadModesAgree) {
     opt.num_threads = 1;
     opt.forbidden_set = ForbiddenSetKind::kStamped;
     const auto stamped = color_bgpc(g, opt);
-    opt.forbidden_set = ForbiddenSetKind::kBitmap;
-    const auto bitmap = color_bgpc(g, opt);
-    EXPECT_EQ(stamped.colors, bitmap.colors) << name;
-    EXPECT_EQ(stamped.num_colors, bitmap.num_colors) << name;
+    for (const ForbiddenSetKind fset :
+         {ForbiddenSetKind::kBitmap, ForbiddenSetKind::kTwoLevel,
+          ForbiddenSetKind::kAdaptive}) {
+      opt.forbidden_set = fset;
+      const auto other = color_bgpc(g, opt);
+      EXPECT_EQ(stamped.colors, other.colors)
+          << name << " fset=" << to_string(fset);
+      EXPECT_EQ(stamped.num_colors, other.num_colors)
+          << name << " fset=" << to_string(fset);
+    }
   }
 }
 
@@ -114,10 +125,10 @@ TEST(ForbiddenPolicies, BgpcEdgesVisitedInvariantAcrossModes) {
   }
 }
 
-TEST(ForbiddenPolicies, D2gcAllPresetsValidBothModes) {
+TEST(ForbiddenPolicies, D2gcAllPresetsValidAllModes) {
   const auto& g = test_ugraph();
   for (const auto& name : d2gc_preset_names()) {
-    for (const ForbiddenSetKind fset : kBothKinds) {
+    for (const ForbiddenSetKind fset : kAllKinds) {
       ColoringOptions opt = d2gc_preset(name);
       opt.num_threads = 4;
       opt.forbidden_set = fset;
@@ -135,9 +146,14 @@ TEST(ForbiddenPolicies, D2gcSingleThreadModesAgree) {
     opt.num_threads = 1;
     opt.forbidden_set = ForbiddenSetKind::kStamped;
     const auto stamped = color_d2gc(g, opt);
-    opt.forbidden_set = ForbiddenSetKind::kBitmap;
-    const auto bitmap = color_d2gc(g, opt);
-    EXPECT_EQ(stamped.colors, bitmap.colors) << name;
+    for (const ForbiddenSetKind fset :
+         {ForbiddenSetKind::kBitmap, ForbiddenSetKind::kTwoLevel,
+          ForbiddenSetKind::kAdaptive}) {
+      opt.forbidden_set = fset;
+      const auto other = color_d2gc(g, opt);
+      EXPECT_EQ(stamped.colors, other.colors)
+          << name << " fset=" << to_string(fset);
+    }
   }
 }
 

@@ -1,0 +1,213 @@
+// TwoLevelBitMarkerSet unit and randomized-equivalence tests. The
+// two-level set adds a summary word per 64-word block (summary bit set
+// => that word is all-ones in the current epoch), so beyond the
+// BitMarkerSet contract it must keep the summary truthful across
+// insert/test_and_set transitions, lazy clears, and stamp wraparound —
+// a stale or wrong summary silently corrupts first-fit scans.
+#include "greedcolor/util/marker_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "greedcolor/util/prng.hpp"
+
+namespace gcol {
+namespace {
+
+// Reference first-fit: smallest key >= start the set does not contain.
+color_t ref_first_free_above(const TwoLevelBitMarkerSet& s, color_t start) {
+  color_t c = start;
+  while (s.contains(c)) ++c;
+  return c;
+}
+
+// Reference reverse first-fit: largest key <= start not in the set.
+color_t ref_first_free_below(const TwoLevelBitMarkerSet& s, color_t start) {
+  for (color_t c = start; c >= 0; --c)
+    if (!s.contains(c)) return c;
+  return kNoColor;
+}
+
+TEST(TwoLevelBitMarkerSet, StartsEmpty) {
+  TwoLevelBitMarkerSet s(130);
+  for (int k = 0; k < 130; ++k) EXPECT_FALSE(s.contains(k));
+}
+
+TEST(TwoLevelBitMarkerSet, InsertThenContains) {
+  TwoLevelBitMarkerSet s(8192);
+  for (const int k : {0, 63, 64, 4095, 4096, 8191}) s.insert(k);
+  for (const int k : {0, 63, 64, 4095, 4096, 8191}) EXPECT_TRUE(s.contains(k));
+  for (const int k : {1, 62, 65, 4094, 4097, 8190})
+    EXPECT_FALSE(s.contains(k));
+}
+
+TEST(TwoLevelBitMarkerSet, ContainsFalseBeyondCapacity) {
+  TwoLevelBitMarkerSet s(64);
+  EXPECT_FALSE(s.contains(100000));
+}
+
+TEST(TwoLevelBitMarkerSet, ClearEmptiesLazily) {
+  TwoLevelBitMarkerSet s(8192);
+  for (int k = 0; k < 8192; k += 3) s.insert(k);
+  s.clear();
+  for (int k = 0; k < 8192; k += 7) EXPECT_FALSE(s.contains(k));
+  s.insert(5);
+  EXPECT_TRUE(s.contains(5));
+  EXPECT_FALSE(s.contains(4));
+}
+
+TEST(TwoLevelBitMarkerSet, TestAndSetMatchesContainsInsert) {
+  TwoLevelBitMarkerSet s(128);
+  EXPECT_FALSE(s.test_and_set(70));
+  EXPECT_TRUE(s.test_and_set(70));
+  EXPECT_TRUE(s.contains(70));
+  s.clear();
+  EXPECT_FALSE(s.test_and_set(70));
+}
+
+TEST(TwoLevelBitMarkerSet, AutoGrowsOnInsert) {
+  TwoLevelBitMarkerSet s;
+  s.insert(10000);
+  EXPECT_TRUE(s.contains(10000));
+  EXPECT_GE(s.capacity(), 10001u);
+  EXPECT_FALSE(s.contains(9999));
+}
+
+TEST(TwoLevelBitMarkerSet, FirstFreeSkipsFullBlocks) {
+  if (!kCountersEnabled) GTEST_SKIP() << "counters compiled out";
+  TwoLevelBitMarkerSet s(3 * 4096);
+  // Fill the first full summary block plus one extra word.
+  for (int k = 0; k < 4096 + 64; ++k) s.insert(k);
+  std::uint64_t probes = 0;
+  EXPECT_EQ(s.first_free_at_or_above(0, probes), 4096 + 64);
+  // One probe for the skipped 64-word block, then the per-word tail:
+  // far below the 65 word-probes a flat scan would pay.
+  EXPECT_LE(probes, 4u);
+}
+
+TEST(TwoLevelBitMarkerSet, FirstFreeAcrossBlockBoundaries) {
+  TwoLevelBitMarkerSet s(2 * 4096);
+  std::uint64_t probes = 0;
+  for (int k = 0; k < 4096; ++k) s.insert(k);
+  EXPECT_EQ(s.first_free_at_or_above(0, probes), 4096);
+  EXPECT_EQ(s.first_free_at_or_above(4095, probes), 4096);
+  EXPECT_EQ(s.first_free_at_or_above(4096, probes), 4096);
+  s.insert(4096);
+  EXPECT_EQ(s.first_free_at_or_above(0, probes), 4097);
+  // Reverse scans across the same boundary.
+  EXPECT_EQ(s.first_free_at_or_below(4097, probes), 4097);
+  EXPECT_EQ(s.first_free_at_or_below(4096, probes), kNoColor);
+  EXPECT_EQ(s.first_free_at_or_below(4095, probes), kNoColor);
+  s.clear();
+  s.insert(4097);
+  EXPECT_EQ(s.first_free_at_or_below(4097, probes), 4096);
+}
+
+TEST(TwoLevelBitMarkerSet, FirstFreeBeyondCapacityIsFree) {
+  TwoLevelBitMarkerSet s(64);
+  std::uint64_t probes = 0;
+  for (int k = 0; k < 64; ++k) s.insert(k);
+  EXPECT_EQ(s.first_free_at_or_above(0, probes), 64);
+  EXPECT_EQ(s.first_free_at_or_below(100000, probes), 100000);
+}
+
+TEST(TwoLevelBitMarkerSet, FirstFreeBelowNegativeStart) {
+  TwoLevelBitMarkerSet s(64);
+  std::uint64_t probes = 0;
+  EXPECT_EQ(s.first_free_at_or_below(-1, probes), kNoColor);
+}
+
+TEST(TwoLevelBitMarkerSet, StampWraparoundResetsEverything) {
+  TwoLevelBitMarkerSet s(8192);
+  for (int k = 0; k < 4096; ++k) s.insert(k);  // first block summary full
+  s.debug_set_stamp(0xFFFFFFFFu);
+  s.insert(20);  // written under the pre-wrap stamp
+  s.clear();     // wraps: stamp_ -> 1, words and summaries zeroed
+  for (int k = 0; k < 8192; k += 5)
+    EXPECT_FALSE(s.contains(k)) << "stale key " << k << " survived wrap";
+  std::uint64_t probes = 0;
+  // A stale summary would skip the whole first block here.
+  EXPECT_EQ(s.first_free_at_or_above(0, probes), 0);
+  s.insert(30);
+  EXPECT_TRUE(s.contains(30));
+  EXPECT_FALSE(s.contains(20));
+}
+
+TEST(TwoLevelBitMarkerSet, StampWraparoundMatchesMarkerSet) {
+  MarkerSet a(128);
+  TwoLevelBitMarkerSet b(128);
+  a.debug_set_stamp(0xFFFFFFFEu);
+  b.debug_set_stamp(0xFFFFFFFEu);
+  Xoshiro256 rng(99);
+  for (int round = 0; round < 5; ++round) {  // crosses the wrap point
+    a.clear();
+    b.clear();
+    for (int i = 0; i < 40; ++i) {
+      const auto k = static_cast<std::int64_t>(rng() % 128);
+      a.insert(k);
+      b.insert(k);
+    }
+    for (int k = 0; k < 128; ++k)
+      EXPECT_EQ(a.contains(k), b.contains(k))
+          << "round " << round << " key " << k;
+  }
+}
+
+TEST(TwoLevelBitMarkerSet, RandomizedEquivalenceWithBitMarkerSet) {
+  BitMarkerSet a;
+  TwoLevelBitMarkerSet b;
+  Xoshiro256 rng(0xC02255);
+  for (int round = 0; round < 100; ++round) {
+    a.clear();
+    b.clear();
+    // Universe spans up to ~2 summary blocks so block boundaries and
+    // partially-stamped blocks both occur.
+    const int universe = 1 + static_cast<int>(rng() % 9000);
+    const int inserts = static_cast<int>(rng() % 400);
+    for (int i = 0; i < inserts; ++i) {
+      const auto k = static_cast<std::int64_t>(rng() % universe);
+      if (rng() & 1) {
+        a.insert(k);
+        b.insert(k);
+      } else {
+        EXPECT_EQ(a.test_and_set(k), b.test_and_set(k)) << "key " << k;
+      }
+    }
+    for (int trial = 0; trial < 64; ++trial) {
+      const int k = static_cast<int>(rng() % (universe + 10));
+      EXPECT_EQ(a.contains(k), b.contains(k)) << "key " << k;
+    }
+  }
+}
+
+TEST(TwoLevelBitMarkerSet, RandomizedFirstFreeMatchesLinearScan) {
+  TwoLevelBitMarkerSet s;
+  Xoshiro256 rng(0xF2F2);
+  for (int round = 0; round < 60; ++round) {
+    s.clear();
+    const int universe = 1 + static_cast<int>(rng() % 10000);
+    // Alternate sparse rounds with dense prefixes (the shape that
+    // actually produces full blocks for the summary to skip).
+    if (round & 1) {
+      const int prefix = static_cast<int>(rng() % universe);
+      for (int k = 0; k < prefix; ++k) s.insert(k);
+    }
+    const int inserts = static_cast<int>(rng() % 500);
+    for (int i = 0; i < inserts; ++i)
+      s.insert(static_cast<std::int64_t>(rng() % universe));
+    std::uint64_t probes = 0;
+    for (int trial = 0; trial < 8; ++trial) {
+      const auto start = static_cast<color_t>(rng() % (universe + 70));
+      EXPECT_EQ(s.first_free_at_or_above(start, probes),
+                ref_first_free_above(s, start))
+          << "round " << round << " up from " << start;
+      EXPECT_EQ(s.first_free_at_or_below(start, probes),
+                ref_first_free_below(s, start))
+          << "round " << round << " down from " << start;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gcol

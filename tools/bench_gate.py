@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""bench_gate: the kernel-benchmark regression gate.
+
+Reads a BENCH_kernels.json produced by micro_forbidden_set --json
+(schema gcol-bench-kernels-v2) and enforces, in order:
+
+  G1 valid-rows       every kernel row carries valid=true — an invalid
+                      coloring makes its wall-time meaningless.
+  G2 probe-geomean    summary.probe_reduction_geomean >= --min-geomean
+                      (default 10): the word-parallel forbidden sets
+                      must keep their probe-count advantage over the
+                      stamped baseline.
+  G3 adaptive-wins    per (kind, dataset, algo, threads) group, the
+                      adaptive row's wall_ms <= min(stamped, bitmap)
+                      * (1 + tolerance): the whole point of the engine
+                      is never losing to either fixed policy by more
+                      than the noise band.
+  G4 no-regression    with --baseline OLD.json: every kernel row's
+                      wall_ms <= the matching baseline row (same kind/
+                      dataset/algo/fset/threads) * (1 + tolerance).
+                      Rows present in the baseline but missing from the
+                      candidate fail too (coverage loss); new candidate
+                      rows are fine.
+
+The tolerance (--regression-pct, default 10) is a noise band, not a
+target: both files should come from the same machine and --smoke level.
+
+Exit codes: 0 all gates pass, 1 a gate failed, 2 unreadable or
+unparsable input / usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+SCHEMA = "gcol-bench-kernels-v2"
+
+# A kernel row's identity inside one file (G3 groups drop "fset").
+ROW_KEY = ("kind", "dataset", "algo", "fset", "threads")
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"bench_gate: cannot read {path}: {exc}", file=sys.stderr)
+        sys.exit(2)
+    if data.get("schema") != SCHEMA:
+        print(f"bench_gate: {path}: schema {data.get('schema')!r} != "
+              f"{SCHEMA!r}", file=sys.stderr)
+        sys.exit(2)
+    if not isinstance(data.get("kernels"), list) or not data["kernels"]:
+        print(f"bench_gate: {path}: no kernel rows", file=sys.stderr)
+        sys.exit(2)
+    return data
+
+
+def row_key(row: dict) -> tuple:
+    return tuple(row.get(k) for k in ROW_KEY)
+
+
+def row_name(row: dict) -> str:
+    return (f"{row.get('kind')}/{row.get('dataset')}/{row.get('algo')}"
+            f"/{row.get('fset')}@t{row.get('threads')}")
+
+
+def check_valid(rows: list[dict], failures: list[str]) -> None:
+    for row in rows:
+        if not row.get("valid"):
+            failures.append(f"G1 valid-rows: {row_name(row)} has valid="
+                            f"{row.get('valid')!r}")
+
+
+def check_geomean(data: dict, min_geomean: float,
+                  failures: list[str]) -> None:
+    got = data.get("summary", {}).get("probe_reduction_geomean")
+    if not isinstance(got, (int, float)):
+        failures.append("G2 probe-geomean: summary.probe_reduction_geomean "
+                        "missing")
+    elif got < min_geomean:
+        failures.append(f"G2 probe-geomean: {got:.2f}x < required "
+                        f"{min_geomean:.2f}x")
+    else:
+        print(f"  G2 probe-geomean      {got:.2f}x >= {min_geomean:.2f}x")
+
+
+def check_adaptive(rows: list[dict], tol: float,
+                   failures: list[str]) -> None:
+    groups: dict[tuple, dict[str, dict]] = {}
+    for row in rows:
+        key = (row.get("kind"), row.get("dataset"), row.get("algo"),
+               row.get("threads"))
+        groups.setdefault(key, {})[row.get("fset")] = row
+    checked = 0
+    for key, by_fset in sorted(groups.items()):
+        adaptive = by_fset.get("adaptive")
+        fixed = [by_fset[f] for f in ("stamped", "bitmap") if f in by_fset]
+        if adaptive is None or not fixed:
+            continue  # group not instrumented for the comparison
+        best = min(f["wall_ms"] for f in fixed)
+        limit = best * (1.0 + tol)
+        checked += 1
+        if adaptive["wall_ms"] > limit:
+            failures.append(
+                f"G3 adaptive-wins: {row_name(adaptive)} wall "
+                f"{adaptive['wall_ms']:.2f}ms > min(fixed) "
+                f"{best:.2f}ms * {1.0 + tol:.2f}")
+    print(f"  G3 adaptive-wins      {checked} group(s) compared")
+    if checked == 0:
+        failures.append("G3 adaptive-wins: no group has both an adaptive "
+                        "row and a fixed-policy row")
+
+
+def check_baseline(rows: list[dict], baseline_rows: list[dict], tol: float,
+                   failures: list[str]) -> None:
+    current = {row_key(r): r for r in rows}
+    compared = 0
+    for base in baseline_rows:
+        cand = current.get(row_key(base))
+        if cand is None:
+            failures.append(f"G4 no-regression: {row_name(base)} present in "
+                            "baseline but missing from candidate")
+            continue
+        limit = base["wall_ms"] * (1.0 + tol)
+        compared += 1
+        if cand["wall_ms"] > limit:
+            failures.append(
+                f"G4 no-regression: {row_name(cand)} wall "
+                f"{cand['wall_ms']:.2f}ms > baseline "
+                f"{base['wall_ms']:.2f}ms * {1.0 + tol:.2f}")
+    print(f"  G4 no-regression      {compared} row(s) compared")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(prog="bench_gate.py",
+                                     description=__doc__.splitlines()[0])
+    parser.add_argument("candidate", help="BENCH_kernels.json to gate")
+    parser.add_argument("--baseline", metavar="JSON",
+                        help="prior BENCH_kernels.json to diff against (G4)")
+    parser.add_argument("--regression-pct", type=float, default=10.0,
+                        help="noise band for G3/G4, percent (default 10)")
+    parser.add_argument("--min-geomean", type=float, default=10.0,
+                        help="required probe-reduction geomean (default 10)")
+    args = parser.parse_args()
+    if args.regression_pct < 0 or args.min_geomean < 0:
+        parser.error("tolerances must be non-negative")
+    tol = args.regression_pct / 100.0
+
+    data = load(args.candidate)
+    rows = data["kernels"]
+    print(f"bench_gate: {args.candidate}: {len(rows)} kernel row(s)")
+
+    failures: list[str] = []
+    check_valid(rows, failures)
+    check_geomean(data, args.min_geomean, failures)
+    check_adaptive(rows, tol, failures)
+    if args.baseline:
+        check_baseline(rows, load(args.baseline)["kernels"], tol, failures)
+
+    if failures:
+        for f in failures:
+            print(f"bench_gate: FAIL {f}")
+        print(f"bench_gate: {len(failures)} gate failure(s)", file=sys.stderr)
+        return 1
+    print("bench_gate: all gates pass")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except KeyboardInterrupt:
+        sys.exit(130)
+    except Exception as exc:  # noqa: BLE001 — the process boundary
+        print(f"bench_gate: internal error: {exc}", file=sys.stderr)
+        sys.exit(2)

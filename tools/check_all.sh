@@ -29,6 +29,11 @@ step "lint gate"
 python3 tools/gcol_lint.py --self-test
 python3 tools/gcol_lint.py --compile-commands build/compile_commands.json
 
+# The default suite's perf label just regenerated BENCH_kernels.json;
+# gate it at the strict band the CI perf job uses.
+step "bench gate"
+python3 tools/bench_gate.py BENCH_kernels.json
+
 step "analysis: GCOL_AUDIT + -Werror, full suite"
 cmake --preset analysis
 cmake --build --preset analysis -j"$JOBS"

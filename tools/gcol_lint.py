@@ -45,12 +45,25 @@ Enforces project rules that generic tooling cannot express, as errors:
                           Transport use elsewhere bypasses the fault
                           plumbing, retry accounting, and versioned
                           delivery the runtime guarantees.
+  R007 marker-set-direct  The BGPC/D2GC kernel drivers may not
+                          instantiate MarkerSet / BitMarkerSet /
+                          TwoLevelBitMarkerSet by value: the forbidden
+                          structure is chosen per phase by the
+                          ForbiddenSet policy seam in kernels_common.hpp
+                          (and, under --forbidden-set=adaptive, per
+                          round by the AdaptiveFsEngine). A direct
+                          instantiation pins one representation and
+                          bypasses the ThreadWorkspace scratch reuse;
+                          binding a reference (`MarkerSet&`) to policy-
+                          provided scratch is the sanctioned form.
 
 R001 applies to every file; R002-R005 apply to files under src/core (the
-kernel layer), R006 to files under src/ outside src/dist, and all of
-them to any file passed explicitly on the command line (which is how
+kernel layer), R006 to files under src/ outside src/dist, R007 to the
+src/core kernel drivers (basename contains "bgpc" or "d2gc"), and all
+of them to any file passed explicitly on the command line (which is how
 the negative-test fixtures are exercised).
-kernels_common.hpp itself is exempt from R005 — it is the accessor seam.
+kernels_common.hpp itself is exempt from R005 and R007 — it is the
+accessor and policy seam.
 
 The file set comes from a CMake compilation database
 (--compile-commands) plus the headers under src/, so the gate sees
@@ -77,11 +90,17 @@ RULES = {
     "R004": "schedule-missing",
     "R005": "raw-atomic-ref",
     "R006": "transport-outside-dist",
+    "R007": "marker-set-direct",
 }
 
 # The one file allowed to spell std::atomic_ref: the accessor seam.
 ATOMIC_REF_SEAM = "core/src/kernels_common.hpp"
 ATOMIC_REF_RE = re.compile(r"\batomic_ref\b")
+
+# R007: a marker-set type name NOT immediately followed by `&` is a
+# by-value use (declaration, member, or temporary); reference bindings
+# to policy-provided ThreadWorkspace scratch are the sanctioned form.
+MARKER_SET_RE = re.compile(r"\b(?:TwoLevelBit|Bit)?MarkerSet\b(?!\s*&)")
 
 # Matches the Transport interface and its implementations but not the
 # public TransportKind switch (no word boundary inside "TransportKind").
@@ -225,10 +244,11 @@ class FileLinter:
     loop bodies included)."""
 
     def __init__(self, path: str, text: str, core_rules: bool,
-                 dist_guard: bool = False):
+                 dist_guard: bool = False, marker_guard: bool = False):
         self.path = path
         self.core_rules = core_rules
         self.dist_guard = dist_guard
+        self.marker_guard = marker_guard
         self.raw = text
         self.stripped = strip_comments_and_strings(text)
         self.violations: list[Violation] = []
@@ -243,7 +263,23 @@ class FileLinter:
             self._check_atomic_ref()
         if self.dist_guard:
             self._check_transport()
+        if self.marker_guard:
+            self._check_marker_sets()
         return self.violations
+
+    # ---- R007: marker sets come from the policy seam, by reference ----
+
+    def _check_marker_sets(self) -> None:
+        if self.path.replace(os.sep, "/").endswith(ATOMIC_REF_SEAM):
+            return  # kernels_common.hpp IS the policy seam
+        for lineno, line in enumerate(self.stripped.split("\n"), start=1):
+            if MARKER_SET_RE.search(line):
+                self.add(lineno, "R007",
+                         "MarkerSet family instantiated directly in a "
+                         "kernel driver; bind a reference to the "
+                         "ThreadWorkspace scratch through the ForbiddenSet "
+                         "policy seam (kernels_common.hpp) so the per-phase "
+                         "representation choice stays with the engine")
 
     # ---- R006: the Transport layer stays private to src/dist ----
 
@@ -437,6 +473,13 @@ def is_dist_guarded(root: str, path: str) -> bool:
     return rel.startswith("src/") and not rel.startswith("src/dist/")
 
 
+def is_marker_guarded(root: str, path: str) -> bool:
+    rel = os.path.relpath(path, root).replace(os.sep, "/")
+    base = os.path.basename(rel)
+    return (rel.startswith("src/core/") and
+            ("bgpc" in base or "d2gc" in base))
+
+
 def lint_paths(root: str, paths: list[str],
                explicit: bool) -> list[Violation]:
     violations: list[Violation] = []
@@ -449,7 +492,9 @@ def lint_paths(root: str, paths: list[str],
             sys.exit(2)
         core = explicit or is_core(root, path)
         dist_guard = explicit or is_dist_guarded(root, path)
-        violations.extend(FileLinter(path, text, core, dist_guard).lint())
+        marker_guard = explicit or is_marker_guarded(root, path)
+        violations.extend(
+            FileLinter(path, text, core, dist_guard, marker_guard).lint())
     return violations
 
 

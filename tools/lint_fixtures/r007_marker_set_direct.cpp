@@ -1,0 +1,10 @@
+// Lint fixture: R007 — a kernel driver constructing its own forbidden
+// set instead of binding a reference to the ThreadWorkspace scratch
+// through the ForbiddenSet policy seam (kernels_common.hpp). The code
+// works, which is why the rule exists: it silently pins one
+// representation, so the adaptive engine's per-phase choice (and the
+// scratch reuse across rounds) never applies to this loop.
+void fixture_r007(int n) {
+  gcol::MarkerSet forbidden(static_cast<unsigned long>(n));
+  forbidden.insert(3);
+}
