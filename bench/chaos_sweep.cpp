@@ -8,12 +8,14 @@
 // rises. The robust analogue of bench/fig2_bgpc_sweep: the claim under
 // test is not speed but that validity never degrades, only cost.
 //
-// With --json PATH writes a gcol-bench-chaos-v1 document (the committed
-// BENCH_chaos.json). Exit status is nonzero if any run produced an
+// With --json PATH writes a gcol-report-v1 document (the committed
+// BENCH_chaos.json; degradation curves live under the "bench" section,
+// aggregate run counters under "metrics"). With --trace-out PATH the
+// whole sweep is traced through gcol-trace and written as Chrome
+// trace-event JSON. Exit status is nonzero if any run produced an
 // invalid coloring or a sharded drop-curve lost monotonicity (the
 // Bernoulli streams are threshold-coupled per seed, so the dropped
 // volume must be nondecreasing in the rate).
-#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -23,6 +25,10 @@
 #include "greedcolor/core/verify.hpp"
 #include "greedcolor/dist/dist_bgpc.hpp"
 #include "greedcolor/graph/datasets.hpp"
+#include "greedcolor/obs/json.hpp"
+#include "greedcolor/obs/metrics.hpp"
+#include "greedcolor/obs/report.hpp"
+#include "greedcolor/obs/trace.hpp"
 #include "greedcolor/robust/fault.hpp"
 #include "greedcolor/robust/verified.hpp"
 #include "greedcolor/util/argparse.hpp"
@@ -69,41 +75,49 @@ std::string plan_spec(const std::string& kind, double rate) {
   return os.str();
 }
 
-void write_json(const std::string& path, bool smoke, int ranks,
-                const std::vector<std::pair<std::string,
-                                            std::vector<Curve>>>& sets) {
-  std::ostringstream os;
-  os << "{\n  \"schema\": \"gcol-bench-chaos-v1\",\n"
-     << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
-     << "  \"ranks\": " << ranks << ",\n  \"datasets\": [\n";
-  for (std::size_t d = 0; d < sets.size(); ++d) {
-    os << "    {\"name\": \"" << sets[d].first << "\", \"curves\": [\n";
-    const auto& curves = sets[d].second;
-    for (std::size_t c = 0; c < curves.size(); ++c) {
-      const Curve& cv = curves[c];
-      os << "      {\"mode\": \"" << cv.mode << "\", \"kind\": \""
-         << cv.kind << "\", \"dropped_monotone\": "
-         << (cv.dropped_monotone() ? "true" : "false")
-         << ", \"points\": [\n";
-      for (std::size_t i = 0; i < cv.points.size(); ++i) {
-        const Point& p = cv.points[i];
-        os << "        {\"rate\": " << p.rate << ", \"colors\": "
-           << p.colors << ", \"wall_ms\": " << p.wall_ms
-           << ", \"supersteps\": " << p.supersteps << ", \"retries\": "
-           << p.retries << ", \"dirty_boundary\": " << p.dirty_boundary
-           << ", \"repaired\": " << p.repaired << ", \"dropped\": "
-           << p.dropped << ", \"degraded\": "
-           << (p.degraded ? "true" : "false") << ", \"valid\": "
-           << (p.valid ? "true" : "false") << "}"
-           << (i + 1 < cv.points.size() ? "," : "") << "\n";
+/// The degradation curves as the "bench" section of a gcol-report-v1
+/// document: {kind: "chaos", datasets: [{name, curves: [{mode, kind,
+/// dropped_monotone, points: [...]}]}]}.
+obs::Json bench_section(
+    bool smoke, int ranks,
+    const std::vector<std::pair<std::string, std::vector<Curve>>>& sets) {
+  obs::Json bench = obs::Json::object();
+  bench.set("kind", "chaos");
+  bench.set("smoke", smoke);
+  bench.set("ranks", ranks);
+  obs::Json datasets = obs::Json::array();
+  for (const auto& [name, curves] : sets) {
+    obs::Json dset = obs::Json::object();
+    dset.set("name", name);
+    obs::Json jcurves = obs::Json::array();
+    for (const Curve& cv : curves) {
+      obs::Json jcurve = obs::Json::object();
+      jcurve.set("mode", cv.mode);
+      jcurve.set("kind", cv.kind);
+      jcurve.set("dropped_monotone", cv.dropped_monotone());
+      obs::Json points = obs::Json::array();
+      for (const Point& p : cv.points) {
+        obs::Json jp = obs::Json::object();
+        jp.set("rate", p.rate);
+        jp.set("colors", static_cast<std::uint64_t>(p.colors));
+        jp.set("wall_ms", p.wall_ms);
+        jp.set("supersteps", static_cast<std::int64_t>(p.supersteps));
+        jp.set("retries", p.retries);
+        jp.set("dirty_boundary", static_cast<std::uint64_t>(p.dirty_boundary));
+        jp.set("repaired", static_cast<std::uint64_t>(p.repaired));
+        jp.set("dropped", p.dropped);
+        jp.set("degraded", p.degraded);
+        jp.set("valid", p.valid);
+        points.push_back(std::move(jp));
       }
-      os << "      ]}" << (c + 1 < curves.size() ? "," : "") << "\n";
+      jcurve.set("points", std::move(points));
+      jcurves.push_back(std::move(jcurve));
     }
-    os << "    ]}" << (d + 1 < sets.size() ? "," : "") << "\n";
+    dset.set("curves", std::move(jcurves));
+    datasets.push_back(std::move(dset));
   }
-  os << "  ]\n}\n";
-  std::ofstream out(path);
-  out << os.str();
+  bench.set("datasets", std::move(datasets));
+  return bench;
 }
 
 }  // namespace
@@ -113,6 +127,13 @@ int main(int argc, char** argv) {
   const bool smoke = args.has("smoke");
   const int ranks = static_cast<int>(args.get_int("ranks", 8));
   const std::string json_path = args.get_string("json", "");
+  const std::string trace_path = args.get_string("trace-out", "");
+  const bool want_trace = !trace_path.empty();
+  gcol::obs::Tracer tracer;
+  // Aggregated across every run of the sweep — the report's "metrics"
+  // section records total work, not per-point curves (those live under
+  // "bench").
+  gcol::obs::MetricsRegistry metrics;
   const auto datasets =
       args.has("datasets")
           ? std::vector<std::string>{args.get_string("datasets", "")}
@@ -147,7 +168,9 @@ int main(int argc, char** argv) {
                                        : ""));
       ColoringOptions opt = bgpc_preset("N1-N2");
       if (rate > 0.0) opt.fault_plan = &plan;
+      if (want_trace) opt.tracer = &tracer;
       const auto r = color_bgpc_verified(g, opt);
+      metrics.record_result(r);
       Point p;
       p.rate = rate;
       p.colors = r.num_colors;
@@ -168,7 +191,9 @@ int main(int argc, char** argv) {
         DistOptions opt;
         opt.num_ranks = ranks;
         if (rate > 0.0) opt.fault_plan = &plan;
+        if (want_trace) opt.tracer = &tracer;
         const auto r = color_bgpc_distributed(g, opt);
+        metrics.record_dist(r);
         Point p;
         p.rate = rate;
         p.colors = r.num_colors;
@@ -206,9 +231,23 @@ int main(int argc, char** argv) {
     sets.emplace_back(name, std::move(curves));
   }
 
-  if (!json_path.empty()) {
-    write_json(json_path, smoke, ranks, sets);
-    std::cout << "json written to " << json_path << "\n";
+  if (!json_path.empty() || want_trace) {
+    obs::RunReport rep("chaos_sweep");
+    rep.set_option("smoke", smoke);
+    rep.set_option("ranks", ranks);
+    rep.section("bench") = bench_section(smoke, ranks, sets);
+    metrics.record_tracer(tracer);
+    rep.set_metrics(metrics);
+    rep.set_tracer(tracer, trace_path);
+    if (want_trace) {
+      tracer.write_chrome_trace_file(trace_path);
+      std::cout << "trace written to " << trace_path << " ("
+                << tracer.recorded() << " events)\n";
+    }
+    if (!json_path.empty()) {
+      rep.write_file(json_path);
+      std::cout << "json written to " << json_path << "\n";
+    }
   }
   if (!all_valid) {
     std::cout << "FAIL: an injected-fault run produced an invalid "

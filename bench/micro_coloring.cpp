@@ -5,7 +5,17 @@
 // Every kernel benchmark runs a 100 ms warmup and reports the
 // median/mean/stddev of 3 repetitions — single-shot numbers on a
 // shared box are dominated by scheduler noise.
+//
+// With --report=FILE the collected rows are also written as a
+// gcol-report-v1 document (timings under the "bench" section), the same
+// envelope color_tool --report and chaos_sweep --json emit, so
+// tools/bench_gate.py and tools/check_trace.py parse one format.
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
 
 #include "greedcolor/core/bgpc.hpp"
 #include "greedcolor/core/d2gc.hpp"
@@ -13,6 +23,8 @@
 #include "greedcolor/core/verify.hpp"
 #include "greedcolor/graph/builder.hpp"
 #include "greedcolor/graph/generators.hpp"
+#include "greedcolor/obs/json.hpp"
+#include "greedcolor/obs/report.hpp"
 
 namespace {
 
@@ -145,4 +157,81 @@ void BM_Recolor_Bgpc(benchmark::State& state) {
 }
 BENCHMARK(BM_Recolor_Bgpc);
 
+/// Console output as usual, plus every reported row collected for the
+/// gcol-report-v1 document (--report=FILE).
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Row {
+    std::string name;
+    std::string aggregate;  ///< "" for plain rows, else mean/median/...
+    std::int64_t iterations = 0;
+    double real_time = 0.0;
+    double cpu_time = 0.0;
+    std::string unit;
+    bool error = false;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      Row row;
+      row.name = run.benchmark_name();
+      row.aggregate = run.aggregate_name;
+      row.iterations = static_cast<std::int64_t>(run.iterations);
+      row.real_time = run.GetAdjustedRealTime();
+      row.cpu_time = run.GetAdjustedCPUTime();
+      row.unit = benchmark::GetTimeUnitString(run.time_unit);
+      row.error = run.error_occurred;
+      rows.push_back(std::move(row));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::vector<Row> rows;
+};
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  // Strip --report=FILE before benchmark::Initialize sees (and rejects)
+  // it; everything else is standard Google Benchmark flag handling.
+  std::string report_path;
+  std::vector<char*> argv_rest;
+  for (int i = 0; i < argc; ++i) {
+    constexpr const char* kFlag = "--report=";
+    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0)
+      report_path = argv[i] + std::strlen(kFlag);
+    else
+      argv_rest.push_back(argv[i]);
+  }
+  int argc_rest = static_cast<int>(argv_rest.size());
+  argv_rest.push_back(nullptr);
+  benchmark::Initialize(&argc_rest, argv_rest.data());
+  if (benchmark::ReportUnrecognizedArguments(argc_rest, argv_rest.data()))
+    return 1;
+
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (!report_path.empty()) {
+    gcol::obs::RunReport rep("micro_coloring");
+    gcol::obs::Json& bench = rep.section("bench");
+    bench.set("kind", "micro_coloring");
+    gcol::obs::Json rows = gcol::obs::Json::array();
+    for (const auto& row : reporter.rows) {
+      gcol::obs::Json jr = gcol::obs::Json::object();
+      jr.set("name", row.name);
+      if (!row.aggregate.empty()) jr.set("aggregate", row.aggregate);
+      jr.set("iterations", row.iterations);
+      jr.set("real_time", row.real_time);
+      jr.set("cpu_time", row.cpu_time);
+      jr.set("unit", row.unit);
+      if (row.error) jr.set("error", true);
+      rows.push_back(std::move(jr));
+    }
+    bench.set("rows", std::move(rows));
+    rep.write_file(report_path);
+    std::cout << "report written to " << report_path << "\n";
+  }
+  return 0;
+}

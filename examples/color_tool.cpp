@@ -8,6 +8,7 @@
 //   color_tool --mtx my.mtx --algo N1-N2 --order smallest-last --balance B2
 //   color_tool --dataset bone_s --problem d2gc --algo V-N1
 //   color_tool --list
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
 
@@ -23,6 +24,9 @@
 #include "greedcolor/core/recolor.hpp"
 #include "greedcolor/core/verify.hpp"
 #include "greedcolor/dist/dist_bgpc.hpp"
+#include "greedcolor/obs/metrics.hpp"
+#include "greedcolor/obs/report.hpp"
+#include "greedcolor/obs/trace.hpp"
 #include "greedcolor/robust/error.hpp"
 #include "greedcolor/robust/fault.hpp"
 #include "greedcolor/robust/verified.hpp"
@@ -122,6 +126,11 @@ static int run(int argc, char** argv) {
            "  --max-rounds N       speculative round / superstep budget\n"
            "  --fault-plan SPEC    inject faults, e.g. "
            "'seed=7,stale=0.1,drop=0.2'\n"
+           "  --trace-out FILE     write a Chrome trace-event JSON of the "
+           "run\n"
+           "                       (open in Perfetto / about://tracing; "
+           "bgpc, d2gc, dist)\n"
+           "  --report FILE        write a gcol-report-v1 JSON run report\n"
            "  --analyze            structural input analysis; exit 2 if "
            "the graph is broken\n"
            "  --audit              attach the speculative-race auditor "
@@ -193,6 +202,46 @@ static int run(int argc, char** argv) {
   // after every conflict-removal pass; report printed after the run.
   audit::AuditContext audit_ctx;
   const bool want_audit = args.has("audit");
+  // gcol-trace / run report (--trace-out / --report): one tracer for the
+  // whole invocation, attached through the same options seam as the
+  // auditor; artifacts written after the run.
+  const std::string trace_out = args.get_string("trace-out", "");
+  const std::string report_out = args.get_string("report", "");
+  const bool want_obs = !trace_out.empty() || !report_out.empty();
+  obs::Tracer tracer;
+  // Everything the text report prints also lands in the registry — the
+  // report path and the print path share one flattening.
+  obs::MetricsRegistry metrics;
+  const auto write_obs_artifacts = [&](obs::RunReport& rep) {
+    if (want_audit) metrics.record_audit(audit_ctx.report());
+    metrics.record_contracts();
+    metrics.record_tracer(tracer);
+    rep.set_metrics(metrics);
+    rep.set_tracer(tracer, trace_out);
+    if (!trace_out.empty()) {
+      tracer.write_chrome_trace_file(trace_out);
+      std::cout << "trace            " << trace_out << " ("
+                << tracer.recorded() << " events, " << tracer.dropped()
+                << " dropped)\n";
+    }
+    if (!report_out.empty()) {
+      rep.write_file(report_out);
+      std::cout << "report           " << report_out << "\n";
+    }
+  };
+  const auto base_report = [&](const std::string& problem_name,
+                               const std::string& algo_name) {
+    obs::RunReport rep("color_tool");
+    rep.set_option("problem", problem_name);
+    rep.set_option("algo", algo_name);
+    rep.set_option("order", args.get_string("order", "natural"));
+    rep.set_option("balance", balance);
+    rep.set_option("forbidden_set", to_string(forbidden_set));
+    rep.set_option("locality", to_string(locality));
+    rep.set_option("threads", threads);
+    if (have_fault_plan) rep.set_option("fault_plan", fault_plan.to_spec());
+    return rep;
+  };
   // Structural input analysis (--analyze): report + typed rejection of
   // broken graphs before any kernel runs on them.
   const auto analyze_input = [&](const auto& graph) {
@@ -256,6 +305,7 @@ static int run(int argc, char** argv) {
     if (max_rounds > 0) options.max_rounds = max_rounds;
     if (have_fault_plan) options.fault_plan = &fault_plan;
     if (want_audit) options.auditor = &audit_ctx;
+    if (want_obs) options.tracer = &tracer;
     options.forbidden_set = forbidden_set;
     options.locality = locality;
     std::cout << "kernel mode      " << to_string(options.forbidden_set)
@@ -279,6 +329,7 @@ static int run(int argc, char** argv) {
       if (args.get_string("transport", "mailbox") == "socket")
         dopt.transport = DistOptions::TransportKind::kSocket;
       dopt.max_retries = static_cast<int>(args.get_int("retries", 8));
+      if (want_obs) dopt.tracer = &tracer;
       const auto r = color_bgpc_distributed_verified(graph, dopt);
       std::cout << "instance         " << signature(graph) << "\n"
                 << "ranks            " << dopt.num_ranks << " ("
@@ -299,14 +350,39 @@ static int run(int argc, char** argv) {
                 << "conflicts        " << r.stats.conflicts << "\n"
                 << "retries          " << r.stats.retries
                 << " (simulated backoff " << r.stats.backoff_us_total
-                << " us)\n"
-                << "robust           degraded=" << (r.degraded ? "yes" : "no")
+                << " us)\n";
+      // Backoff can be accounted with zero surviving retries (the last
+      // attempt of a batch succeeds); surface the trace whenever either
+      // signal fired so the text report never hides accounted work.
+      if (!r.retry_trace.empty() || r.stats.backoff_us_total > 0) {
+        std::cout << "retry trace      " << r.retry_trace.size()
+                  << " event(s)";
+        const std::size_t shown = std::min<std::size_t>(4, r.retry_trace.size());
+        for (std::size_t i = 0; i < shown; ++i) {
+          const auto& e = r.retry_trace[i];
+          std::cout << (i == 0 ? ": " : ", ") << "s" << e.superstep << " "
+                    << e.src << "->" << e.dst << " attempt " << e.attempt
+                    << " (+" << e.backoff_us << "us)";
+        }
+        if (r.retry_trace.size() > shown) std::cout << ", ...";
+        std::cout << "\n";
+      }
+      std::cout << "robust           degraded=" << (r.degraded ? "yes" : "no")
                 << " fallback=" << (r.stats.fallback ? "yes" : "no")
                 << " deadline_hit=" << (r.stats.deadline_hit ? "yes" : "no")
                 << " dirty=" << r.stats.dirty_boundary
                 << " repair_recolored=" << r.stats.repair_recolored
                 << " repaired=" << r.repaired_vertices << "\n"
                 << "wall time        " << r.total_seconds * 1e3 << " ms\n";
+      if (want_obs) {
+        obs::RunReport rep = base_report("dist", "dist-bgpc");
+        rep.set_option("ranks", dopt.num_ranks);
+        rep.set_option("max_retries", dopt.max_retries);
+        rep.set_graph(graph);
+        rep.set_dist(dopt, r);
+        metrics.record_dist(r);
+        write_obs_artifacts(rep);
+      }
       return EXIT_SUCCESS;
     }
     std::cout << "instance         " << signature(graph) << "\n";
@@ -358,6 +434,13 @@ static int run(int argc, char** argv) {
     }
     print_audit();
     print_report(result, name, graph.max_net_degree());
+    if (want_obs) {
+      obs::RunReport rep = base_report("bgpc", name);
+      rep.set_graph(graph);
+      rep.set_coloring(result);
+      metrics.record_result(result);
+      write_obs_artifacts(rep);
+    }
   } else if (problem == "d2gc") {
     const Graph graph = build_graph(std::move(coo));
     std::cout << "instance         " << signature(graph) << "\n";
@@ -387,6 +470,13 @@ static int run(int argc, char** argv) {
     }
     print_audit();
     print_report(result, algo, graph.max_degree() + 1);
+    if (want_obs) {
+      obs::RunReport rep = base_report("d2gc", algo);
+      rep.set_graph(graph);
+      rep.set_coloring(result);
+      metrics.record_result(result);
+      write_obs_artifacts(rep);
+    }
   } else if (problem == "d1gc") {
     const Graph graph = build_graph(std::move(coo));
     std::cout << "instance         " << signature(graph) << "\n";

@@ -21,6 +21,9 @@ class AuditContext;  // greedcolor/analyze/audit.hpp
 namespace check {
 class McContext;  // greedcolor/check/mc.hpp
 }
+namespace obs {
+class Tracer;  // greedcolor/obs/trace.hpp
+}
 
 /// How the conflict queue for the next round is assembled.
 enum class QueuePolicy {
@@ -132,6 +135,13 @@ struct ColoringOptions {
   /// points under its control. Not owned, may be null; one coloring at
   /// a time per context. See greedcolor/check/mc.hpp.
   check::McContext* checker = nullptr;
+
+  /// gcol-trace tracer: when attached, the drivers record per-round and
+  /// per-phase spans plus degradation events into its per-thread ring
+  /// buffers (the GCOL_TRACE build option compiles the recording sites
+  /// out entirely). Not owned, may be null; one coloring at a time per
+  /// tracer. See greedcolor/obs/trace.hpp.
+  obs::Tracer* tracer = nullptr;
 
   /// Use the most-optimistic net coloring (Alg. 6, "Net-V1") instead of
   /// the two-pass Alg. 8 during net-colored rounds, optionally with its

@@ -10,6 +10,7 @@
 #include "greedcolor/analyze/audit.hpp"
 #include "greedcolor/check/mc.hpp"
 #include "greedcolor/core/adaptive.hpp"
+#include "greedcolor/obs/trace.hpp"
 #include "greedcolor/order/locality.hpp"
 #include "greedcolor/robust/fault.hpp"
 #include "greedcolor/util/marker_set.hpp"
@@ -79,6 +80,11 @@ ColoringResult color_bgpc(const BipartiteGraph& g,
   }
 
   const int threads = detail::resolve_threads(options.num_threads);
+  // gcol-trace: spans/events recorded only through the GCOL_TRACE_*
+  // macros, which compile out with the build option (same seam contract
+  // as the auditor below).
+  obs::Tracer* const tracer = options.tracer;
+  if (tracer != nullptr) tracer->attach(threads);
   // Speculative-race auditor: installed for the whole engine run so the
   // GCOL_AUDIT accessor hooks can reach it; one null check per round on
   // the happy path (same contract as fault_plan).
@@ -134,8 +140,12 @@ ColoringResult color_bgpc(const BipartiteGraph& g,
   std::vector<vid_t> wnext;
   int round = 0;
   int net_color_uses = 0;
+  bool fs_traced = false;
+  ForbiddenSetKind last_color_fs = ForbiddenSetKind::kStamped;
+  ForbiddenSetKind last_conflict_fs = ForbiddenSetKind::kStamped;
   while (!w.empty()) {
     ++round;
+    GCOL_TRACE_BEGIN(tracer, "bgpc.round", static_cast<std::uint64_t>(round));
     if (options.auditor) options.auditor->begin_round(round);
     if (options.checker) options.checker->begin_round(round, c, nsz);
     if (faults) inject_round_delay(*faults, round);  // straggler stall
@@ -168,8 +178,21 @@ ColoringResult color_bgpc(const BipartiteGraph& g,
     const ForbiddenSetKind conflict_fs = fs_engine.conflict_kind(net_conflict);
     stats.color_forbidden_set = color_fs;
     stats.conflict_forbidden_set = conflict_fs;
+    // Forbidden-set switches (incl. the first resolution): arg is the
+    // ForbiddenSetKind the adaptive engine picked for the phase.
+    if (!fs_traced || color_fs != last_color_fs)
+      GCOL_TRACE_EVENT(tracer, "bgpc.fs.color",
+                       static_cast<std::uint64_t>(color_fs));
+    if (!fs_traced || conflict_fs != last_conflict_fs)
+      GCOL_TRACE_EVENT(tracer, "bgpc.fs.conflict",
+                       static_cast<std::uint64_t>(conflict_fs));
+    fs_traced = true;
+    last_color_fs = color_fs;
+    last_conflict_fs = conflict_fs;
 
     WallTimer phase;
+    GCOL_TRACE_BEGIN(tracer, "bgpc.color",
+                     static_cast<std::uint64_t>(w.size()));
     if (net_color) {
       if (options.net_v1)
         detail::bgpc_color_net_v1(g, c, workspaces, options.net_v1_reverse,
@@ -184,10 +207,13 @@ ColoringResult color_bgpc(const BipartiteGraph& g,
                                 color_fs, options.chunk_size,
                                 threads, stats.color_counters);
     }
+    GCOL_TRACE_END(tracer, "bgpc.color");
     stats.color_seconds = phase.seconds();
     fs_engine.observe_round(stats.color_counters.max_color);
 
     phase.reset();
+    GCOL_TRACE_BEGIN(tracer, "bgpc.conflict",
+                     static_cast<std::uint64_t>(w.size()));
     if (net_conflict) {
       detail::bgpc_conflict_net(g, c, workspaces, conflict_fs,
                                 options.chunk_size, threads, wnext,
@@ -197,6 +223,7 @@ ColoringResult color_bgpc(const BipartiteGraph& g,
                                    conflict_fs, options.chunk_size,
                                    threads, wnext, stats.conflict_counters);
     }
+    GCOL_TRACE_END(tracer, "bgpc.conflict");
     stats.conflict_seconds = phase.seconds();
     stats.conflicts = wnext.size();
 
@@ -227,14 +254,25 @@ ColoringResult color_bgpc(const BipartiteGraph& g,
       const bool late = options.deadline_seconds > 0.0 &&
                         total.seconds() >= options.deadline_seconds;
       if (capped || late) {
+        if (capped)
+          GCOL_TRACE_EVENT(tracer, "watchdog.rounds_capped",
+                           static_cast<std::uint64_t>(round));
+        if (late)
+          GCOL_TRACE_EVENT(tracer, "watchdog.deadline",
+                           static_cast<std::uint64_t>(round));
+        GCOL_TRACE_BEGIN(tracer, "bgpc.sequential_cleanup",
+                         static_cast<std::uint64_t>(w.size()));
         sequential_cleanup(g, c, w, workspaces.front().forbidden);
+        GCOL_TRACE_END(tracer, "bgpc.sequential_cleanup");
         result.sequential_fallback = true;
         result.degraded = true;
         result.rounds_capped = capped;
         result.deadline_hit = late;
+        GCOL_TRACE_END(tracer, "bgpc.round");
         break;
       }
     }
+    GCOL_TRACE_END(tracer, "bgpc.round");
   }
 
   result.total_seconds = total.seconds();

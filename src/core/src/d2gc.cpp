@@ -10,6 +10,7 @@
 #include "greedcolor/analyze/audit.hpp"
 #include "greedcolor/check/mc.hpp"
 #include "greedcolor/core/adaptive.hpp"
+#include "greedcolor/obs/trace.hpp"
 #include "greedcolor/order/locality.hpp"
 #include "greedcolor/robust/fault.hpp"
 #include "greedcolor/util/timer.hpp"
@@ -82,6 +83,9 @@ ColoringResult color_d2gc(const Graph& g, const ColoringOptions& options,
   }
 
   const int threads = detail::resolve_threads(options.num_threads);
+  // gcol-trace seam; see bgpc.cpp.
+  obs::Tracer* const tracer = options.tracer;
+  if (tracer != nullptr) tracer->attach(threads);
   // Speculative-race auditor; see bgpc.cpp.
   audit::AuditScope audit_scope(options.auditor, threads);
   const auto marker_cap = static_cast<std::size_t>(d2gc_color_bound(g)) + 2;
@@ -123,8 +127,12 @@ ColoringResult color_d2gc(const Graph& g, const ColoringOptions& options,
   std::vector<vid_t> wnext;
   int round = 0;
   int net_color_uses = 0;
+  bool fs_traced = false;
+  ForbiddenSetKind last_color_fs = ForbiddenSetKind::kStamped;
+  ForbiddenSetKind last_conflict_fs = ForbiddenSetKind::kStamped;
   while (!w.empty()) {
     ++round;
+    GCOL_TRACE_BEGIN(tracer, "d2gc.round", static_cast<std::uint64_t>(round));
     if (options.auditor) options.auditor->begin_round(round);
     if (options.checker) options.checker->begin_round(round, c, nsz);
     if (faults) inject_round_delay(*faults, round);  // straggler stall
@@ -155,8 +163,20 @@ ColoringResult color_d2gc(const Graph& g, const ColoringOptions& options,
     const ForbiddenSetKind conflict_fs = fs_engine.conflict_kind(net_conflict);
     stats.color_forbidden_set = color_fs;
     stats.conflict_forbidden_set = conflict_fs;
+    // Forbidden-set switches; see bgpc.cpp.
+    if (!fs_traced || color_fs != last_color_fs)
+      GCOL_TRACE_EVENT(tracer, "d2gc.fs.color",
+                       static_cast<std::uint64_t>(color_fs));
+    if (!fs_traced || conflict_fs != last_conflict_fs)
+      GCOL_TRACE_EVENT(tracer, "d2gc.fs.conflict",
+                       static_cast<std::uint64_t>(conflict_fs));
+    fs_traced = true;
+    last_color_fs = color_fs;
+    last_conflict_fs = conflict_fs;
 
     WallTimer phase;
+    GCOL_TRACE_BEGIN(tracer, "d2gc.color",
+                     static_cast<std::uint64_t>(w.size()));
     if (net_color)
       detail::d2gc_color_net(g, c, workspaces, options.balance,
                              color_fs, options.chunk_size,
@@ -165,10 +185,13 @@ ColoringResult color_d2gc(const Graph& g, const ColoringOptions& options,
       detail::d2gc_color_vertex(g, w, c, workspaces, options.balance,
                                 color_fs, options.chunk_size,
                                 threads, stats.color_counters);
+    GCOL_TRACE_END(tracer, "d2gc.color");
     stats.color_seconds = phase.seconds();
     fs_engine.observe_round(stats.color_counters.max_color);
 
     phase.reset();
+    GCOL_TRACE_BEGIN(tracer, "d2gc.conflict",
+                     static_cast<std::uint64_t>(w.size()));
     if (net_conflict)
       detail::d2gc_conflict_net(g, c, workspaces, conflict_fs,
                                 options.chunk_size, threads, wnext,
@@ -177,6 +200,7 @@ ColoringResult color_d2gc(const Graph& g, const ColoringOptions& options,
       detail::d2gc_conflict_vertex(g, w, c, workspaces, options.queue,
                                    conflict_fs, options.chunk_size,
                                    threads, wnext, stats.conflict_counters);
+    GCOL_TRACE_END(tracer, "d2gc.conflict");
     stats.conflict_seconds = phase.seconds();
     stats.conflicts = wnext.size();
 
@@ -201,14 +225,25 @@ ColoringResult color_d2gc(const Graph& g, const ColoringOptions& options,
       const bool late = options.deadline_seconds > 0.0 &&
                         total.seconds() >= options.deadline_seconds;
       if (capped || late) {
+        if (capped)
+          GCOL_TRACE_EVENT(tracer, "watchdog.rounds_capped",
+                           static_cast<std::uint64_t>(round));
+        if (late)
+          GCOL_TRACE_EVENT(tracer, "watchdog.deadline",
+                           static_cast<std::uint64_t>(round));
+        GCOL_TRACE_BEGIN(tracer, "d2gc.sequential_cleanup",
+                         static_cast<std::uint64_t>(w.size()));
         sequential_cleanup(g, c, w, workspaces.front().forbidden);
+        GCOL_TRACE_END(tracer, "d2gc.sequential_cleanup");
         result.sequential_fallback = true;
         result.degraded = true;
         result.rounds_capped = capped;
         result.deadline_hit = late;
+        GCOL_TRACE_END(tracer, "d2gc.round");
         break;
       }
     }
+    GCOL_TRACE_END(tracer, "d2gc.round");
   }
 
   result.total_seconds = total.seconds();

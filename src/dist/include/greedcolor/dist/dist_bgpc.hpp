@@ -27,6 +27,9 @@
 namespace gcol {
 
 struct FaultPlan;  // greedcolor/robust/fault.hpp
+namespace obs {
+class Tracer;  // greedcolor/obs/trace.hpp
+}
 
 struct DistOptions {
   int num_ranks = 4;
@@ -55,6 +58,12 @@ struct DistOptions {
   /// tests fast.
   std::uint64_t backoff_base_us = 100;
   std::uint64_t backoff_cap_us = 100000;
+
+  /// gcol-trace tracer: superstep/exchange spans on the engine tracks,
+  /// speculate/conflict spans on one track per shard, send/deliver/
+  /// retry/drop instants, and the give-up → repair ladder. Not owned,
+  /// may be null. See greedcolor/obs/trace.hpp.
+  obs::Tracer* tracer = nullptr;
 };
 
 struct DistStats {

@@ -9,9 +9,11 @@
 #include "greedcolor/core/bgpc.hpp"
 #include "greedcolor/dist/shard.hpp"
 #include "greedcolor/dist/transport.hpp"
+#include "greedcolor/obs/trace.hpp"
 #include "greedcolor/robust/fault.hpp"
 #include "greedcolor/robust/repair.hpp"
 #include "greedcolor/util/marker_set.hpp"
+#include "greedcolor/util/parallel.hpp"
 #include "greedcolor/util/prng.hpp"
 #include "greedcolor/util/timer.hpp"
 
@@ -96,6 +98,10 @@ DistResult color_bgpc_distributed(const BipartiteGraph& g,
                                   const DistOptions& options) {
   const vid_t n = g.num_vertices();
   const std::vector<int> owner = make_partition(n, options);
+  // gcol-trace seam (see bgpc.cpp): driver phases land on the engine
+  // tracks, per-shard compute on one track per shard.
+  obs::Tracer* const tracer = options.tracer;
+  if (tracer != nullptr) tracer->attach(max_threads());
   WallTimer total;
 
   DistResult result;
@@ -127,16 +133,22 @@ DistResult color_bgpc_distributed(const BipartiteGraph& g,
   // messages. A single-shard run has no boundary at all and first-fits
   // in ascending global order — exactly the sequential schedule.
   const int num_states = static_cast<int>(states.size());
+  GCOL_TRACE_BEGIN(tracer, "dist.interior",
+                   static_cast<std::uint64_t>(result.stats.interior_vertices));
 #pragma omp parallel for schedule(static)
   for (int s = 0; s < num_states; ++s) {
     const Shard& shard = shards[static_cast<std::size_t>(s)];
     ShardState& st = states[static_cast<std::size_t>(s)];
+    GCOL_TRACE_BEGIN(tracer, "dist.interior",
+                     static_cast<std::uint64_t>(shard.num_owned()), s);
     for (vid_t lu = 0; lu < shard.num_owned(); ++lu) {
       if (shard.owned_boundary[static_cast<std::size_t>(lu)]) continue;
       st.colors[static_cast<std::size_t>(lu)] =
           first_fit_local(shard.local, lu, st.colors, st.forbidden);
     }
+    GCOL_TRACE_END(tracer, "dist.interior", s);
   }
+  GCOL_TRACE_END(tracer, "dist.interior");
 
   // Transport stack: the real transport, optionally wrapped by the
   // deterministic chaos decorator.
@@ -169,36 +181,50 @@ DistResult color_bgpc_distributed(const BipartiteGraph& g,
     awaiting[s].assign(shards[s].neighbors.size(), 0);
 
   int superstep = 0;
+  std::uint64_t traced_drops = 0;  // LossyTransport drop counter watermark
   while (remaining > 0 && superstep < options.max_supersteps &&
          !past_deadline()) {
     ++superstep;
+    GCOL_TRACE_BEGIN(tracer, "dist.superstep",
+                     static_cast<std::uint64_t>(superstep));
 
     // P1 — speculate: each shard first-fits its pending vertices in
     // ascending order against live local colors and (one superstep
     // stale) ghost colors. The staleness is what creates distributed
     // conflicts, exactly as in refs [27], [28].
+    GCOL_TRACE_BEGIN(tracer, "dist.speculate",
+                     static_cast<std::uint64_t>(remaining));
 #pragma omp parallel for schedule(static)
     for (int s = 0; s < num_states; ++s) {
       const Shard& shard = shards[static_cast<std::size_t>(s)];
       ShardState& st = states[static_cast<std::size_t>(s)];
+      GCOL_TRACE_BEGIN(tracer, "dist.speculate",
+                       static_cast<std::uint64_t>(st.pending.size()), s);
       for (const vid_t lu : st.pending) {
         st.colors[static_cast<std::size_t>(lu)] =
             first_fit_local(shard.local, lu, st.colors, st.forbidden);
         st.version[static_cast<std::size_t>(lu)] =
             2u * static_cast<std::uint32_t>(superstep);
       }
+      GCOL_TRACE_END(tracer, "dist.speculate", s);
     }
+    GCOL_TRACE_END(tracer, "dist.speculate");
 
     // X — exchange, driver thread only. One cumulative batch per
     // neighbor pair; missing batches are retried with (simulated)
     // exponential backoff, and after max_retries the receiver gives up
     // and finalizes the affected border as dirty.
     net.advance_to(superstep);
+    GCOL_TRACE_BEGIN(tracer, "dist.exchange",
+                     static_cast<std::uint64_t>(superstep));
     for (std::size_t s = 0; s < shards.size(); ++s) {
       const Shard& shard = shards[s];
       for (std::size_t ni = 0; ni < shard.neighbors.size(); ++ni) {
         BoundaryBatch b = build_batch(shard, states[s], ni, superstep, 0);
         result.stats.messages_sent += b.updates.size();
+        GCOL_TRACE_EVENT(tracer, "dist.send",
+                         static_cast<std::uint64_t>(b.updates.size()),
+                         static_cast<int>(s));
         net.send(b);
       }
       std::fill(awaiting[s].begin(), awaiting[s].end(), 1);
@@ -207,11 +233,21 @@ DistResult color_bgpc_distributed(const BipartiteGraph& g,
     int attempt = 0;
     while (true) {
       net.pump();
+      // Drops happen inside the transport; surface them as instants by
+      // watching the lossy counter move across pumps.
+      if (lossy && lossy->counters().dropped > traced_drops) {
+        GCOL_TRACE_EVENT(tracer, "dist.drop",
+                         lossy->counters().dropped - traced_drops);
+        traced_drops = lossy->counters().dropped;
+      }
       for (std::size_t d = 0; d < shards.size(); ++d) {
         const Shard& shard = shards[d];
         ShardState& st = states[d];
         for (const BoundaryBatch& b : net.receive(static_cast<int>(d))) {
           result.stats.messages_delivered += b.updates.size();
+          GCOL_TRACE_EVENT(tracer, "dist.deliver",
+                           static_cast<std::uint64_t>(b.updates.size()),
+                           static_cast<int>(d));
           if (b.superstep == superstep) {
             const int ni = shard.neighbor_index(b.src);
             if (ni >= 0) awaiting[d][static_cast<std::size_t>(ni)] = 0;
@@ -240,6 +276,8 @@ DistResult color_bgpc_distributed(const BipartiteGraph& g,
       if (missing.empty()) break;
       std::sort(missing.begin(), missing.end());
       if (attempt >= options.max_retries) {
+        GCOL_TRACE_EVENT(tracer, "dist.giveup",
+                         static_cast<std::uint64_t>(missing.size()));
         // Give up: the receiver finalizes every border vertex whose
         // conflict detection depends on the silent sender. They keep
         // their speculative colors; repair_bgpc settles any clash.
@@ -263,6 +301,9 @@ DistResult color_bgpc_distributed(const BipartiteGraph& g,
           static_cast<unsigned>(std::min(attempt - 1, 20));
       const std::uint64_t backoff = std::min(
           options.backoff_cap_us, options.backoff_base_us << shift);
+      GCOL_TRACE_EVENT(tracer, "dist.retry",
+                       static_cast<std::uint64_t>(attempt));
+      GCOL_TRACE_EVENT(tracer, "dist.backoff_us", backoff);
       for (const auto& [src, dst] : missing) {
         const Shard& shard = shards[static_cast<std::size_t>(src)];
         const auto ni =
@@ -271,6 +312,8 @@ DistResult color_bgpc_distributed(const BipartiteGraph& g,
             build_batch(shard, states[static_cast<std::size_t>(src)], ni,
                         superstep, attempt);
         result.stats.messages_sent += b.updates.size();
+        GCOL_TRACE_EVENT(tracer, "dist.send",
+                         static_cast<std::uint64_t>(b.updates.size()), src);
         ++result.stats.retries;
         result.stats.backoff_us_total += backoff;
         result.retry_trace.push_back(
@@ -279,15 +322,21 @@ DistResult color_bgpc_distributed(const BipartiteGraph& g,
       }
     }
 
+    GCOL_TRACE_END(tracer, "dist.exchange");
+
     // P2 — conflict detection: an owned vertex loses iff a ghost on a
     // shared net holds the same color with a smaller global id (the
     // static tie-break of refs [27], [28]); at most one side of any
     // clash uncolors. Dirty vertices are final and skipped.
+    GCOL_TRACE_BEGIN(tracer, "dist.conflict",
+                     static_cast<std::uint64_t>(superstep));
 #pragma omp parallel for schedule(static)
     for (int s = 0; s < num_states; ++s) {
       const Shard& shard = shards[static_cast<std::size_t>(s)];
       ShardState& st = states[static_cast<std::size_t>(s)];
       const vid_t n_owned = shard.num_owned();
+      GCOL_TRACE_BEGIN(tracer, "dist.conflict",
+                       static_cast<std::uint64_t>(n_owned), s);
       for (vid_t lu = 0; lu < n_owned; ++lu) {
         if (!shard.owned_boundary[static_cast<std::size_t>(lu)] ||
             st.dirty[static_cast<std::size_t>(lu)])
@@ -332,10 +381,13 @@ DistResult color_bgpc_distributed(const BipartiteGraph& g,
             !st.dirty[static_cast<std::size_t>(lu)] &&
             st.colors[static_cast<std::size_t>(lu)] == kNoColor)
           st.pending.push_back(lu);
+      GCOL_TRACE_END(tracer, "dist.conflict", s);
     }
+    GCOL_TRACE_END(tracer, "dist.conflict");
 
     remaining = 0;
     for (const auto& st : states) remaining += st.pending.size();
+    GCOL_TRACE_END(tracer, "dist.superstep");
   }
 
   for (const auto& st : states) result.stats.conflicts += st.conflicts;
@@ -360,6 +412,10 @@ DistResult color_bgpc_distributed(const BipartiteGraph& g,
     result.stats.fallback = true;
     result.stats.deadline_hit = past_deadline();
     result.degraded = true;
+    GCOL_TRACE_EVENT(tracer, "dist.fallback",
+                     static_cast<std::uint64_t>(remaining));
+    GCOL_TRACE_BEGIN(tracer, "dist.sequential_cleanup",
+                     static_cast<std::uint64_t>(remaining));
     MarkerSet forbidden(marker_cap);
     for (vid_t u = 0; u < n; ++u) {
       if (result.colors[static_cast<std::size_t>(u)] != kNoColor) continue;
@@ -375,12 +431,18 @@ DistResult color_bgpc_distributed(const BipartiteGraph& g,
       while (forbidden.contains(col)) ++col;
       result.colors[static_cast<std::size_t>(u)] = col;
     }
+    GCOL_TRACE_END(tracer, "dist.sequential_cleanup");
   }
 
   if (result.stats.dirty_boundary > 0) {
     // Middle rung: give-ups finalized vertices without full conflict
     // information; one repair pass settles whatever actually clashed.
+    GCOL_TRACE_BEGIN(tracer, "dist.repair",
+                     static_cast<std::uint64_t>(result.stats.dirty_boundary));
     const RepairStats rs = repair_bgpc(g, result.colors);
+    GCOL_TRACE_END(tracer, "dist.repair");
+    GCOL_TRACE_EVENT(tracer, "dist.repaired",
+                     static_cast<std::uint64_t>(rs.repaired));
     result.stats.repair_recolored = rs.repaired;
     result.degraded = true;
   }

@@ -1,0 +1,84 @@
+// Minimal ordered JSON value for the obs exporters (RunReport,
+// MetricsRegistry). Write-only by design: the repo emits machine-read
+// artifacts (gcol-report-v1, Chrome traces) but never parses JSON in
+// C++ — the readers are tools/*.py. Object keys keep insertion order
+// so emitted documents are stable and diffable across runs.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gcol::obs {
+
+class Json {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kInt,
+    kUint,
+    kDouble,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Json() = default;
+  Json(bool v) : kind_(Kind::kBool), bool_(v) {}             // NOLINT
+  Json(int v) : kind_(Kind::kInt), int_(v) {}                // NOLINT
+  Json(long v) : kind_(Kind::kInt), int_(v) {}               // NOLINT
+  Json(long long v) : kind_(Kind::kInt), int_(v) {}          // NOLINT
+  Json(unsigned v) : kind_(Kind::kUint), uint_(v) {}         // NOLINT
+  Json(unsigned long v) : kind_(Kind::kUint), uint_(v) {}    // NOLINT
+  Json(unsigned long long v) : kind_(Kind::kUint), uint_(v) {}  // NOLINT
+  Json(double v) : kind_(Kind::kDouble), double_(v) {}       // NOLINT
+  Json(std::string v) : kind_(Kind::kString), string_(std::move(v)) {}  // NOLINT
+  Json(const char* v) : kind_(Kind::kString), string_(v) {}  // NOLINT
+
+  static Json array() {
+    Json j;
+    j.kind_ = Kind::kArray;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.kind_ = Kind::kObject;
+    return j;
+  }
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+
+  /// Array append. The value must already be an array.
+  Json& push_back(Json v);
+
+  /// Object insert-or-replace, preserving first-insertion order.
+  /// The value must already be an object. Returns the stored value.
+  Json& set(const std::string& key, Json v);
+
+  /// Object lookup; nullptr when absent (or not an object).
+  [[nodiscard]] const Json* find(const std::string& key) const;
+
+  [[nodiscard]] std::size_t size() const;
+
+  /// Pretty-printed UTF-8 JSON. `indent` spaces per level; NaN and
+  /// infinities (invalid JSON) are emitted as null.
+  void dump(std::ostream& os, int indent = 2, int depth = 0) const;
+  [[nodiscard]] std::string dump(int indent = 2) const;
+
+  static void write_escaped(std::ostream& os, const std::string& s);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+}  // namespace gcol::obs

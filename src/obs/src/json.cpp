@@ -1,0 +1,157 @@
+#include "greedcolor/obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace gcol::obs {
+
+Json& Json::push_back(Json v) {
+  if (kind_ != Kind::kArray) {
+    throw std::logic_error("obs::Json::push_back on a non-array value");
+  }
+  array_.push_back(std::move(v));
+  return array_.back();
+}
+
+Json& Json::set(const std::string& key, Json v) {
+  if (kind_ != Kind::kObject) {
+    throw std::logic_error("obs::Json::set on a non-object value");
+  }
+  for (auto& [k, existing] : object_) {
+    if (k == key) {
+      existing = std::move(v);
+      return existing;
+    }
+  }
+  object_.emplace_back(key, std::move(v));
+  return object_.back().second;
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::size_t Json::size() const {
+  switch (kind_) {
+    case Kind::kArray:
+      return array_.size();
+    case Kind::kObject:
+      return object_.size();
+    default:
+      return 0;
+  }
+}
+
+void Json::write_escaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char raw : s) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          os << "\\u00" << kHex[(c >> 4) & 0xf] << kHex[c & 0xf];
+        } else {
+          os << raw;
+        }
+    }
+  }
+  os << '"';
+}
+
+void Json::dump(std::ostream& os, int indent, int depth) const {
+  const std::string pad(static_cast<std::size_t>(indent) *
+                            static_cast<std::size_t>(depth + 1),
+                        ' ');
+  const std::string close_pad(
+      static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth), ' ');
+  switch (kind_) {
+    case Kind::kNull:
+      os << "null";
+      break;
+    case Kind::kBool:
+      os << (bool_ ? "true" : "false");
+      break;
+    case Kind::kInt:
+      os << int_;
+      break;
+    case Kind::kUint:
+      os << uint_;
+      break;
+    case Kind::kDouble: {
+      if (!std::isfinite(double_)) {
+        os << "null";  // NaN/inf are not JSON
+        break;
+      }
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", double_);
+      os << buf;
+      break;
+    }
+    case Kind::kString:
+      write_escaped(os, string_);
+      break;
+    case Kind::kArray: {
+      if (array_.empty()) {
+        os << "[]";
+        break;
+      }
+      os << "[\n";
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        os << pad;
+        array_[i].dump(os, indent, depth + 1);
+        if (i + 1 < array_.size()) os << ',';
+        os << '\n';
+      }
+      os << close_pad << ']';
+      break;
+    }
+    case Kind::kObject: {
+      if (object_.empty()) {
+        os << "{}";
+        break;
+      }
+      os << "{\n";
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        os << pad;
+        write_escaped(os, object_[i].first);
+        os << ": ";
+        object_[i].second.dump(os, indent, depth + 1);
+        if (i + 1 < object_.size()) os << ',';
+        os << '\n';
+      }
+      os << close_pad << '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::ostringstream os;
+  dump(os, indent, 0);
+  return os.str();
+}
+
+}  // namespace gcol::obs

@@ -5,6 +5,7 @@
 #include "greedcolor/core/bgpc.hpp"
 #include "greedcolor/core/d2gc.hpp"
 #include "greedcolor/core/verify.hpp"
+#include "greedcolor/obs/trace.hpp"
 #include "greedcolor/robust/error.hpp"
 #include "greedcolor/robust/repair.hpp"
 
@@ -26,9 +27,14 @@ auto translate_invalid_argument(Fn&& fn) {
 template <typename Graph, typename Checker, typename Repairer>
 void verify_or_repair(const Graph& g, std::vector<color_t>& colors,
                       Checker check, Repairer repair, bool& degraded,
-                      vid_t& repaired) {
+                      vid_t& repaired, obs::Tracer* tracer) {
   if (!check(g, colors).has_value()) return;
+  GCOL_TRACE_BEGIN(tracer, "robust.repair",
+                   static_cast<std::uint64_t>(colors.size()));
   const RepairStats stats = repair(g, colors);
+  GCOL_TRACE_END(tracer, "robust.repair");
+  GCOL_TRACE_EVENT(tracer, "robust.repaired",
+                   static_cast<std::uint64_t>(stats.repaired));
   degraded = true;
   repaired = stats.repaired;
   if (const auto violation = check(g, colors))
@@ -44,7 +50,8 @@ ColoringResult color_bgpc_verified(const BipartiteGraph& g,
   ColoringResult result = translate_invalid_argument(
       [&] { return color_bgpc(g, options, order); });
   verify_or_repair(g, result.colors, check_bgpc, repair_bgpc,
-                   result.degraded, result.repaired_vertices);
+                   result.degraded, result.repaired_vertices,
+                   options.tracer);
   if (result.repaired_vertices > 0)
     result.num_colors = count_colors(result.colors);
   return result;
@@ -56,7 +63,8 @@ ColoringResult color_d2gc_verified(const Graph& g,
   ColoringResult result = translate_invalid_argument(
       [&] { return color_d2gc(g, options, order); });
   verify_or_repair(g, result.colors, check_d2gc, repair_d2gc,
-                   result.degraded, result.repaired_vertices);
+                   result.degraded, result.repaired_vertices,
+                   options.tracer);
   if (result.repaired_vertices > 0)
     result.num_colors = count_colors(result.colors);
   return result;
@@ -67,7 +75,8 @@ DistResult color_bgpc_distributed_verified(const BipartiteGraph& g,
   DistResult result = translate_invalid_argument(
       [&] { return color_bgpc_distributed(g, options); });
   verify_or_repair(g, result.colors, check_bgpc, repair_bgpc,
-                   result.degraded, result.repaired_vertices);
+                   result.degraded, result.repaired_vertices,
+                   options.tracer);
   if (result.repaired_vertices > 0)
     result.num_colors = count_colors(result.colors);
   return result;

@@ -1,0 +1,308 @@
+// gcol-trace / metrics / run-report tests: ring semantics (overflow
+// drops oldest, counted), span nesting under a forced 1-thread run,
+// Chrome-trace balance under multi-thread and adversarial input, shard
+// tracks from the dist runtime, the MetricsRegistry adapters (every
+// DistStats field surfaced — nothing print-path-only), and the
+// gcol-report-v1 envelope. The GCOL_TRACE=OFF macro contract lives in
+// test_obs_off.cpp.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "greedcolor/core/bgpc.hpp"
+#include "greedcolor/dist/dist_bgpc.hpp"
+#include "greedcolor/graph/builder.hpp"
+#include "greedcolor/graph/generators.hpp"
+#include "greedcolor/obs/json.hpp"
+#include "greedcolor/obs/metrics.hpp"
+#include "greedcolor/obs/report.hpp"
+#include "greedcolor/obs/trace.hpp"
+#include "greedcolor/robust/verified.hpp"
+
+namespace gcol::obs {
+namespace {
+
+BipartiteGraph small_graph() {
+  return build_bipartite(gen_clique_union(600, 250, 2, 40, 1.8, 17));
+}
+
+std::size_t count_occurrences(const std::string& hay,
+                              const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = hay.find(needle); pos != std::string::npos;
+       pos = hay.find(needle, pos + needle.size()))
+    ++n;
+  return n;
+}
+
+TEST(TraceBuffer, OverflowDropsOldestAndCounts) {
+  TraceBuffer ring;
+  ring.reset(8);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    TraceEvent ev;
+    ev.name = "x";
+    ev.arg = i;
+    ring.push(ev);
+  }
+  EXPECT_EQ(ring.pushed(), 20u);
+  EXPECT_EQ(ring.dropped(), 12u);
+  const auto survivors = ring.snapshot();
+  ASSERT_EQ(survivors.size(), 8u);
+  // Ring semantics: the tail survives, oldest first.
+  for (std::size_t i = 0; i < survivors.size(); ++i)
+    EXPECT_EQ(survivors[i].arg, 12 + i);
+}
+
+TEST(Tracer, RecordsClearsAndCountsDrops) {
+  TracerOptions opts;
+  opts.ring_capacity = 4;
+  Tracer t(opts);
+  for (int i = 0; i < 10; ++i) t.instant("tick", i);
+  EXPECT_EQ(t.recorded(), 4u);  // survivors
+  EXPECT_EQ(t.dropped(), 6u);
+  MetricsRegistry m;
+  m.record_tracer(t);
+  EXPECT_EQ(m.value("trace.events"), 4u);
+  EXPECT_EQ(m.value("trace.dropped"), 6u);
+  EXPECT_GE(m.value("trace.threads"), 1u);
+  t.clear();
+  EXPECT_EQ(t.recorded(), 0u);
+  EXPECT_EQ(t.dropped(), 0u);
+}
+
+// Spans from a forced single-thread run obey stack discipline and the
+// taxonomy: every bgpc.color / bgpc.conflict span sits inside a
+// bgpc.round span, and everything that begins ends.
+TEST(Tracer, SpansNestUnderSingleThreadRun) {
+  const BipartiteGraph g = small_graph();
+  Tracer tracer;
+  ColoringOptions opt = bgpc_preset("N1-N2");
+  opt.num_threads = 1;
+  opt.tracer = &tracer;
+  const auto r = color_bgpc(g, opt);
+  EXPECT_GT(r.num_colors, 0);
+
+  int depth = 0;
+  int rounds_open = 0;
+  int color_spans = 0;
+  int conflict_spans = 0;
+  for (const TraceEvent& ev : tracer.events()) {
+    const std::string name = ev.name;
+    if (ev.phase == TraceEvent::Phase::kBegin) {
+      if (name == "bgpc.round") ++rounds_open;
+      if (name == "bgpc.color") {
+        ++color_spans;
+        EXPECT_EQ(rounds_open, 1) << "color span outside a round";
+      }
+      if (name == "bgpc.conflict") {
+        ++conflict_spans;
+        EXPECT_EQ(rounds_open, 1) << "conflict span outside a round";
+      }
+      ++depth;
+    } else if (ev.phase == TraceEvent::Phase::kEnd) {
+      --depth;
+      EXPECT_GE(depth, 0) << "end without begin at " << name;
+      if (name == "bgpc.round") --rounds_open;
+    }
+  }
+  EXPECT_EQ(depth, 0) << "unbalanced spans";
+  EXPECT_GE(color_spans, r.rounds);
+  EXPECT_GE(conflict_spans, r.rounds);
+}
+
+TEST(Tracer, ChromeTraceBalancedUnderMultiThreadRun) {
+  const BipartiteGraph g = small_graph();
+  Tracer tracer;
+  ColoringOptions opt = bgpc_preset("N1-N2");
+  opt.num_threads = 4;
+  opt.tracer = &tracer;
+  (void)color_bgpc(g, opt);
+
+  std::ostringstream os;
+  tracer.write_chrome_trace(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("gcol-trace-chrome-v1"), std::string::npos);
+  // The exporter's contract: balanced by construction.
+  EXPECT_EQ(count_occurrences(json, "\"ph\": \"B\""),
+            count_occurrences(json, "\"ph\": \"E\""));
+  // Every engine event rides the engine pid.
+  EXPECT_GT(count_occurrences(json, "\"pid\": 1"), 0u);
+}
+
+// Adversarial input: a begin that never ends and an end that never
+// began must still export balanced (close-at-max-ts / skip-orphan).
+TEST(Tracer, ChromeTraceBalancesAdversarialInput) {
+  Tracer tracer;
+  tracer.begin("open.forever", 1);
+  tracer.instant("tick", 2);
+  tracer.end("never.opened");
+  tracer.end("never.opened");
+  std::ostringstream os;
+  tracer.write_chrome_trace(os);
+  const std::string json = os.str();
+  EXPECT_EQ(count_occurrences(json, "\"ph\": \"B\""),
+            count_occurrences(json, "\"ph\": \"E\""));
+  EXPECT_EQ(count_occurrences(json, "\"ph\": \"B\""), 1u);
+}
+
+TEST(Tracer, DistRunProducesShardTracks) {
+  const BipartiteGraph g = small_graph();
+  Tracer tracer;
+  DistOptions opt;
+  opt.num_ranks = 4;
+  opt.tracer = &tracer;
+  const auto r = color_bgpc_distributed(g, opt);
+  EXPECT_GT(r.num_colors, 0);
+
+  bool saw_shard = false;
+  bool saw_superstep = false;
+  for (const TraceEvent& ev : tracer.events()) {
+    if (ev.shard >= 0) saw_shard = true;
+    if (std::string(ev.name) == "dist.superstep") saw_superstep = true;
+  }
+  EXPECT_TRUE(saw_shard);
+  EXPECT_TRUE(saw_superstep);
+
+  std::ostringstream os;
+  tracer.write_chrome_trace(os);
+  const std::string json = os.str();
+  EXPECT_GT(count_occurrences(json, "\"pid\": 2"), 0u);  // shard tracks
+  EXPECT_EQ(count_occurrences(json, "\"ph\": \"B\""),
+            count_occurrences(json, "\"ph\": \"E\""));
+}
+
+TEST(MetricsRegistry, BasicCountersAndFlags) {
+  MetricsRegistry m;
+  EXPECT_TRUE(m.empty());
+  m.add("a.count", 3);
+  m.add("a.count", 2);
+  m.set("b.level", 7);
+  m.set_flag("c.flag", true);
+  EXPECT_EQ(m.value("a.count"), 5u);
+  EXPECT_EQ(m.value("b.level"), 7u);
+  EXPECT_EQ(m.value("c.flag"), 1u);
+  EXPECT_EQ(m.value("missing"), 0u);
+  EXPECT_FALSE(m.has("missing"));
+  EXPECT_EQ(m.size(), 3u);
+}
+
+TEST(MetricsRegistry, RecordResultMatchesRun) {
+  const BipartiteGraph g = small_graph();
+  const auto r = color_bgpc_verified(g, bgpc_preset("N1-N2"));
+  MetricsRegistry m;
+  m.record_result(r);
+  EXPECT_EQ(m.value("core.colors"), static_cast<std::uint64_t>(r.num_colors));
+  EXPECT_EQ(m.value("core.rounds"), static_cast<std::uint64_t>(r.rounds));
+  EXPECT_EQ(m.value("core.color.colored"),
+            r.total_color_counters().colored);
+  EXPECT_EQ(m.value("core.conflict.conflicts"),
+            r.total_conflict_counters().conflicts);
+}
+
+// Satellite guard: every DistStats field reaches the registry — the
+// text printer can never again be the only place a field shows up.
+TEST(MetricsRegistry, SurfacesEveryDistStatsField) {
+  DistResult r;
+  r.num_colors = 5;
+  r.stats.interior_vertices = 1;
+  r.stats.boundary_vertices = 2;
+  r.stats.supersteps = 3;
+  r.stats.messages_sent = 4;
+  r.stats.messages_delivered = 5;
+  r.stats.messages_dropped = 6;
+  r.stats.messages_stale_ignored = 7;
+  r.stats.messages_duplicated = 8;
+  r.stats.conflicts = 9;
+  r.stats.retries = 10;
+  r.stats.backoff_us_total = 11;  // accounted even when retries prints 0
+  r.stats.dirty_boundary = 12;
+  r.stats.repair_recolored = 13;
+  r.stats.fallback = true;
+  r.stats.deadline_hit = true;
+  r.degraded = true;
+  r.repaired_vertices = 14;
+  r.retry_trace.push_back({1, 0, 1, 1, 100});
+
+  MetricsRegistry m;
+  m.record_dist(r);
+  EXPECT_EQ(m.value("dist.interior_vertices"), 1u);
+  EXPECT_EQ(m.value("dist.boundary_vertices"), 2u);
+  EXPECT_EQ(m.value("dist.supersteps"), 3u);
+  EXPECT_EQ(m.value("dist.messages.sent"), 4u);
+  EXPECT_EQ(m.value("dist.messages.delivered"), 5u);
+  EXPECT_EQ(m.value("dist.messages.dropped"), 6u);
+  EXPECT_EQ(m.value("dist.messages.stale_ignored"), 7u);
+  EXPECT_EQ(m.value("dist.messages.duplicated"), 8u);
+  EXPECT_EQ(m.value("dist.conflicts"), 9u);
+  EXPECT_EQ(m.value("dist.retries"), 10u);
+  EXPECT_EQ(m.value("dist.backoff_us_total"), 11u);
+  EXPECT_EQ(m.value("dist.dirty_boundary"), 12u);
+  EXPECT_EQ(m.value("dist.repair_recolored"), 13u);
+  EXPECT_EQ(m.value("dist.fallback"), 1u);
+  EXPECT_EQ(m.value("dist.deadline_hit"), 1u);
+  EXPECT_EQ(m.value("dist.degraded"), 1u);
+  EXPECT_EQ(m.value("dist.repaired_vertices"), 14u);
+  EXPECT_EQ(m.value("dist.retry_trace.events"), 1u);
+  EXPECT_EQ(m.value("dist.colors"), 5u);
+}
+
+TEST(Json, OrderedWriterEscapesAndNests) {
+  Json root = Json::object();
+  root.set("b", 1);
+  root.set("a", "quote\"back\\slash\nnewline");
+  Json arr = Json::array();
+  arr.push_back(true);
+  arr.push_back(Json());
+  arr.push_back(2.5);
+  root.set("arr", std::move(arr));
+  root.set("b", 9);  // replace keeps first-insertion order
+  const std::string s = root.dump();
+  EXPECT_LT(s.find("\"b\""), s.find("\"a\""));
+  EXPECT_NE(s.find("quote\\\"back\\\\slash\\nnewline"), std::string::npos);
+  EXPECT_NE(s.find("[\n    true,\n    null,\n    2.5\n  ]"),
+            std::string::npos);
+  EXPECT_NE(s.find("\"b\": 9"), std::string::npos);
+}
+
+TEST(RunReport, FingerprintIsStableAndContentSensitive) {
+  const BipartiteGraph a = small_graph();
+  const BipartiteGraph b = small_graph();
+  const BipartiteGraph c =
+      build_bipartite(gen_clique_union(600, 250, 2, 40, 1.8, 18));
+  EXPECT_EQ(fingerprint(a), fingerprint(b));
+  EXPECT_NE(fingerprint(a), fingerprint(c));
+  EXPECT_EQ(fingerprint_string(a).rfind("fnv1a64:", 0), 0u);
+}
+
+TEST(RunReport, EnvelopeCarriesSections) {
+  const BipartiteGraph g = small_graph();
+  Tracer tracer;
+  ColoringOptions opt = bgpc_preset("N1-N2");
+  opt.tracer = &tracer;
+  const auto r = color_bgpc_verified(g, opt);
+
+  RunReport rep("test_obs");
+  rep.set_option("algo", "N1-N2");
+  rep.set_graph(g);
+  rep.set_coloring(r);
+  MetricsRegistry m;
+  m.record_result(r);
+  m.record_tracer(tracer);
+  rep.set_metrics(m);
+  rep.set_tracer(tracer);
+
+  const std::string json = rep.to_json();
+  EXPECT_NE(json.find("\"schema\": \"gcol-report-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"tool\": \"test_obs\""), std::string::npos);
+  for (const char* section :
+       {"\"options\"", "\"graph\"", "\"totals\"", "\"rounds\"",
+        "\"degradation\"", "\"metrics\"", "\"trace\""})
+    EXPECT_NE(json.find(section), std::string::npos) << section;
+  EXPECT_NE(json.find("\"fingerprint\": \"fnv1a64:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gcol::obs

@@ -2,7 +2,8 @@
 """bench_gate: the kernel-benchmark regression gate.
 
 Reads a BENCH_kernels.json produced by micro_forbidden_set --json
-(schema gcol-bench-kernels-v2) and enforces, in order:
+(schema gcol-bench-kernels-v2, either bare or wrapped as the "bench"
+section of a gcol-report-v1 run report) and enforces, in order:
 
   G1 valid-rows       every kernel row carries valid=true — an invalid
                       coloring makes its wall-time meaningless.
@@ -36,6 +37,7 @@ import json
 import sys
 
 SCHEMA = "gcol-bench-kernels-v2"
+REPORT_SCHEMA = "gcol-report-v1"
 
 # A kernel row's identity inside one file (G3 groups drop "fset").
 ROW_KEY = ("kind", "dataset", "algo", "fset", "threads")
@@ -48,6 +50,17 @@ def load(path: str) -> dict:
     except (OSError, ValueError) as exc:
         print(f"bench_gate: cannot read {path}: {exc}", file=sys.stderr)
         sys.exit(2)
+    if data.get("schema") == REPORT_SCHEMA:
+        # gcol-report-v1 wrapper: the kernels payload (rows + summary)
+        # lives under the report's "bench" section.
+        bench = data.get("bench")
+        if not isinstance(bench, dict) or \
+                not isinstance(bench.get("kernels"), list):
+            print(f"bench_gate: {path}: {REPORT_SCHEMA} document has no "
+                  "bench.kernels payload", file=sys.stderr)
+            sys.exit(2)
+        data = {"schema": SCHEMA, "kernels": bench["kernels"],
+                "summary": bench.get("summary", {})}
     if data.get("schema") != SCHEMA:
         print(f"bench_gate: {path}: schema {data.get('schema')!r} != "
               f"{SCHEMA!r}", file=sys.stderr)

@@ -4,11 +4,13 @@
 #
 #   1. default preset: build everything, run the whole test suite
 #   2. lint gate: gcol_lint self-test + repo scan over compile_commands
-#   3. analysis preset: GCOL_AUDIT + -Werror (+ clang-tidy if present),
+#   3. bench + obs gates: kernel trajectory through bench_gate.py, a
+#      traced chaos sweep validated by check_trace.py
+#   4. analysis preset: GCOL_AUDIT + -Werror (+ clang-tidy if present),
 #      full suite with contracts and audit ledgers live
-#   4. modelcheck preset: GCOL_MC build, gcol-mc schedule exploration
+#   5. modelcheck preset: GCOL_MC build, gcol-mc schedule exploration
 #      (exhaustive/DPOR tiny-graph corpus + fixed-seed fuzz budget)
-#   5. sanitizer presets: asan / ubsan (full suite), tsan (robust label)
+#   6. sanitizer presets: asan / ubsan (full suite), tsan (robust label)
 #
 # Usage: tools/check_all.sh [--quick]   (--quick = steps 1-4 only)
 set -euo pipefail
@@ -33,6 +35,14 @@ python3 tools/gcol_lint.py --compile-commands build/compile_commands.json
 # gate it at the strict band the CI perf job uses.
 step "bench gate"
 python3 tools/bench_gate.py BENCH_kernels.json
+
+# The default suite's obs label already ran the traced color_tool runs;
+# add the traced chaos sweep + artifact validation the obs CI job does.
+step "obs gate: traced chaos sweep + artifact validation"
+./build/bench/chaos_sweep --smoke --ranks 4 --datasets afshell_s \
+  --json build/obs_chaos_report.json --trace-out build/obs_chaos_trace.json
+python3 tools/check_trace.py build/obs_chaos_trace.json \
+  --expect-shards --report build/obs_chaos_report.json
 
 step "analysis: GCOL_AUDIT + -Werror, full suite"
 cmake --preset analysis

@@ -56,10 +56,19 @@ Enforces project rules that generic tooling cannot express, as errors:
                           bypasses the ThreadWorkspace scratch reuse;
                           binding a reference (`MarkerSet&`) to policy-
                           provided scratch is the sanctioned form.
+  R008 raw-timing         No raw `std::chrono` or `omp_get_wtime` timing
+                          in the engine layers (src/core, src/dist).
+                          Wall-clock measurement goes through the
+                          WallTimer utility (result timings) or the
+                          gcol-trace spans (src/obs): an ad-hoc clock
+                          is invisible to the trace timeline and the
+                          RunReport, and scatters timing policy the
+                          observability subsystem owns.
 
 R001 applies to every file; R002-R005 apply to files under src/core (the
 kernel layer), R006 to files under src/ outside src/dist, R007 to the
-src/core kernel drivers (basename contains "bgpc" or "d2gc"), and all
+src/core kernel drivers (basename contains "bgpc" or "d2gc"), R008 to
+files under src/core and src/dist, and all
 of them to any file passed explicitly on the command line (which is how
 the negative-test fixtures are exercised).
 kernels_common.hpp itself is exempt from R005 and R007 — it is the
@@ -91,7 +100,12 @@ RULES = {
     "R005": "raw-atomic-ref",
     "R006": "transport-outside-dist",
     "R007": "marker-set-direct",
+    "R008": "raw-timing",
 }
+
+# R008: raw clocks in the engine layers. Word-bounded so "synchronous"
+# (and other chrono-substring identifiers) never match.
+RAW_TIMING_RE = re.compile(r"\bstd\s*::\s*chrono\b|\bomp_get_wtime\b")
 
 # The one file allowed to spell std::atomic_ref: the accessor seam.
 ATOMIC_REF_SEAM = "core/src/kernels_common.hpp"
@@ -244,11 +258,13 @@ class FileLinter:
     loop bodies included)."""
 
     def __init__(self, path: str, text: str, core_rules: bool,
-                 dist_guard: bool = False, marker_guard: bool = False):
+                 dist_guard: bool = False, marker_guard: bool = False,
+                 timing_guard: bool = False):
         self.path = path
         self.core_rules = core_rules
         self.dist_guard = dist_guard
         self.marker_guard = marker_guard
+        self.timing_guard = timing_guard
         self.raw = text
         self.stripped = strip_comments_and_strings(text)
         self.violations: list[Violation] = []
@@ -265,7 +281,20 @@ class FileLinter:
             self._check_transport()
         if self.marker_guard:
             self._check_marker_sets()
+        if self.timing_guard:
+            self._check_raw_timing()
         return self.violations
+
+    # ---- R008: engine timing goes through WallTimer / gcol-trace ----
+
+    def _check_raw_timing(self) -> None:
+        for lineno, line in enumerate(self.stripped.split("\n"), start=1):
+            if RAW_TIMING_RE.search(line):
+                self.add(lineno, "R008",
+                         "raw std::chrono / omp_get_wtime in an engine "
+                         "layer; time through WallTimer (result totals) or "
+                         "gcol-trace spans (src/obs) so the measurement "
+                         "reaches the trace timeline and the run report")
 
     # ---- R007: marker sets come from the policy seam, by reference ----
 
@@ -480,6 +509,11 @@ def is_marker_guarded(root: str, path: str) -> bool:
             ("bgpc" in base or "d2gc" in base))
 
 
+def is_timing_guarded(root: str, path: str) -> bool:
+    rel = os.path.relpath(path, root).replace(os.sep, "/")
+    return rel.startswith("src/core/") or rel.startswith("src/dist/")
+
+
 def lint_paths(root: str, paths: list[str],
                explicit: bool) -> list[Violation]:
     violations: list[Violation] = []
@@ -493,8 +527,10 @@ def lint_paths(root: str, paths: list[str],
         core = explicit or is_core(root, path)
         dist_guard = explicit or is_dist_guarded(root, path)
         marker_guard = explicit or is_marker_guarded(root, path)
+        timing_guard = explicit or is_timing_guarded(root, path)
         violations.extend(
-            FileLinter(path, text, core, dist_guard, marker_guard).lint())
+            FileLinter(path, text, core, dist_guard, marker_guard,
+                       timing_guard).lint())
     return violations
 
 

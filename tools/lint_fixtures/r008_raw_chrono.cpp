@@ -1,0 +1,12 @@
+// R008 fixture: raw std::chrono timing in an engine layer. The
+// sanctioned forms — WallTimer for result totals, GCOL_TRACE_SPAN for
+// phase timing — keep the measurement visible to the trace timeline;
+// an ad-hoc steady_clock read here is invisible to both. The word
+// "synchronous" in this comment must NOT match (word-bounded regex),
+// and neither must the chrono mention in this sentence.
+#include <chrono>
+
+double elapsed_seconds_raw() {
+  const auto t0 = std::chrono::steady_clock::now();  // the one violation
+  return static_cast<double>(t0.time_since_epoch().count());
+}
