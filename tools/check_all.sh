@@ -3,7 +3,8 @@
 # .github/workflows/ci.yml:
 #
 #   1. default preset: build everything, run the whole test suite
-#   2. lint gate: gcol_lint self-test + repo scan over compile_commands
+#   2. lint gate: gcol-sa self-test (engine + fixtures + exit codes) +
+#      repo scan over compile_commands inside the wall-time budget
 #   3. bench + obs gates: kernel trajectory through bench_gate.py, a
 #      traced chaos sweep validated by check_trace.py
 #   4. analysis preset: GCOL_AUDIT + -Werror (+ clang-tidy if present),
@@ -28,8 +29,11 @@ cmake --build --preset default -j"$JOBS"
 ctest --preset default -j"$JOBS"
 
 step "lint gate"
-python3 tools/gcol_lint.py --self-test
-python3 tools/gcol_lint.py --compile-commands build/compile_commands.json
+python3 tools/gcol_sa --self-test
+# Budgeted: the repo gate exits 2 if it stops being fast enough to run
+# on every build (cold < 30s; warm cache runs are sub-second).
+python3 tools/gcol_sa --compile-commands build/compile_commands.json \
+  --sarif build/gcol_sa.sarif --budget-seconds 30 --stats
 
 # The default suite's perf label just regenerated BENCH_kernels.json;
 # gate it at the strict band the CI perf job uses.

@@ -1,667 +1,26 @@
 #!/usr/bin/env python3
-"""gcol_lint: the greedcolor repo-specific lint gate.
+"""Compatibility shim: gcol_lint is now gcol-sa (tools/gcol_sa/).
 
-Enforces project rules that generic tooling cannot express, as errors:
+The regex-based scanner this file used to contain has been superseded
+by the token-accurate, interprocedural gcol-sa engine. This shim keeps
+every existing entry point working unchanged:
 
-  R001 omp-critical       `#pragma omp critical` is banned everywhere
-                          except util/counters.hpp. Counter merges go
-                          through CounterSlots (publish/merge_into);
-                          a critical section in a kernel serializes the
-                          very phase the paper parallelizes.
-  R002 raw-color-access   Inside an OpenMP parallel region, the shared
-                          color array may only be touched through the
-                          relaxed atomic_ref accessors (load_color /
-                          store_color / exchange_uncolor). A raw `c[...]`
-                          or `colors[...]` read or write is an
-                          unsynchronized access the speculative-race
-                          model does not sanction.
-  R003 kernel-alloc       No allocation, reallocation, or bounds-checked
-                          `.at()` inside a hot kernel loop (the body of
-                          an `omp for`). Workspaces are pre-sized by the
-                          drivers; an allocation here serializes threads
-                          on the heap lock and `.at()` adds a branch per
-                          adjacency entry.
-  R004 schedule-missing   Every `omp for` / `omp parallel for` in the
-                          core kernels must carry an explicit
-                          `schedule(...)` clause: the chunk size is part
-                          of the algorithm (the paper's "-64" variants),
-                          not an implementation default to inherit.
-  R005 raw-atomic-ref     `std::atomic_ref` on the color array is the
-                          accessor seam's private implementation detail:
-                          outside src/core/src/kernels_common.hpp it is
-                          banned in the kernel layer. Every tool that
-                          instruments the seam (the audit ledgers, the
-                          gcol-mc schedule points) hooks load_color /
-                          store_color / exchange_uncolor; a raw
-                          atomic_ref bypasses all of them silently.
-  R006 transport-outside-dist
-                          The boundary-exchange Transport layer
-                          (greedcolor/dist/transport.hpp and the
-                          Transport / MailboxTransport /
-                          LoopbackTransport / LossyTransport types) is
-                          private to src/dist. Everything else talks to
-                          the sharded runtime through DistOptions
-                          (TransportKind is the public switch); a direct
-                          Transport use elsewhere bypasses the fault
-                          plumbing, retry accounting, and versioned
-                          delivery the runtime guarantees.
-  R007 marker-set-direct  The BGPC/D2GC kernel drivers may not
-                          instantiate MarkerSet / BitMarkerSet /
-                          TwoLevelBitMarkerSet by value: the forbidden
-                          structure is chosen per phase by the
-                          ForbiddenSet policy seam in kernels_common.hpp
-                          (and, under --forbidden-set=adaptive, per
-                          round by the AdaptiveFsEngine). A direct
-                          instantiation pins one representation and
-                          bypasses the ThreadWorkspace scratch reuse;
-                          binding a reference (`MarkerSet&`) to policy-
-                          provided scratch is the sanctioned form.
-  R008 raw-timing         No raw `std::chrono` or `omp_get_wtime` timing
-                          in the engine layers (src/core, src/dist).
-                          Wall-clock measurement goes through the
-                          WallTimer utility (result timings) or the
-                          gcol-trace spans (src/obs): an ad-hoc clock
-                          is invisible to the trace timeline and the
-                          RunReport, and scatters timing policy the
-                          observability subsystem owns.
+    python3 tools/gcol_lint.py [paths...]
+    python3 tools/gcol_lint.py --compile-commands build/compile_commands.json
+    python3 tools/gcol_lint.py --self-test
+    python3 tools/gcol_lint.py --list-rules
 
-R001 applies to every file; R002-R005 apply to files under src/core (the
-kernel layer), R006 to files under src/ outside src/dist, R007 to the
-src/core kernel drivers (basename contains "bgpc" or "d2gc"), R008 to
-files under src/core and src/dist, and all
-of them to any file passed explicitly on the command line (which is how
-the negative-test fixtures are exercised).
-kernels_common.hpp itself is exempt from R005 and R007 — it is the
-accessor and policy seam.
-
-The file set comes from a CMake compilation database
-(--compile-commands) plus the headers under src/, so the gate sees
-exactly what the build sees. Exit codes: 0 clean, 1 violations,
-2 usage / unreadable input / internal error.
+Flags are forwarded verbatim (gcol-sa accepts a superset) and the exit
+code contract is identical: 0 clean, 1 findings, 2 broken gate. New
+code should invoke `python3 tools/gcol_sa` directly.
 """
 
-from __future__ import annotations
-
-import argparse
-import glob
-import json
 import os
-import re
 import sys
-from dataclasses import dataclass, field
 
-REPO_MARKERS = ("CMakeLists.txt", "CMakePresets.json")
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-RULES = {
-    "R001": "omp-critical",
-    "R002": "raw-color-access",
-    "R003": "kernel-alloc",
-    "R004": "schedule-missing",
-    "R005": "raw-atomic-ref",
-    "R006": "transport-outside-dist",
-    "R007": "marker-set-direct",
-    "R008": "raw-timing",
-}
-
-# R008: raw clocks in the engine layers. Word-bounded so "synchronous"
-# (and other chrono-substring identifiers) never match.
-RAW_TIMING_RE = re.compile(r"\bstd\s*::\s*chrono\b|\bomp_get_wtime\b")
-
-# The one file allowed to spell std::atomic_ref: the accessor seam.
-ATOMIC_REF_SEAM = "core/src/kernels_common.hpp"
-ATOMIC_REF_RE = re.compile(r"\batomic_ref\b")
-
-# R007: a marker-set type name NOT immediately followed by `&` is a
-# by-value use (declaration, member, or temporary); reference bindings
-# to policy-provided ThreadWorkspace scratch are the sanctioned form.
-MARKER_SET_RE = re.compile(r"\b(?:TwoLevelBit|Bit)?MarkerSet\b(?!\s*&)")
-
-# Matches the Transport interface and its implementations but not the
-# public TransportKind switch (no word boundary inside "TransportKind").
-TRANSPORT_RE = re.compile(r"\b(?:Mailbox|Loopback|Lossy)?Transport\b")
-# Checked against the raw text: the stripper blanks quoted include paths.
-TRANSPORT_INCLUDE_RE = re.compile(
-    r'^\s*#\s*include\s*["<][^">]*greedcolor/dist/transport\.hpp[">]')
-
-RAW_COLOR_RE = re.compile(r"\b(?:c|colors)\s*\[")
-ALLOC_RES = [
-    re.compile(r"\.at\s*\("),
-    re.compile(r"\bnew\b"),
-    re.compile(r"\bmalloc\s*\("),
-    re.compile(r"\.resize\s*\("),
-    re.compile(r"\.reserve\s*\("),
-    re.compile(r"\bstd::(?:vector|string|map|unordered_map|set|unordered_set)\s*<"),
-]
-
-
-@dataclass
-class Violation:
-    path: str
-    line: int
-    rule: str
-    message: str
-
-    def render(self, root: str) -> str:
-        rel = os.path.relpath(self.path, root)
-        return (f"{rel}:{self.line}: error: "
-                f"[{self.rule}/{RULES[self.rule]}] {self.message}")
-
-
-@dataclass
-class Scope:
-    kind: str  # "brace" | "stmt"
-    parallel: bool
-    hot: bool
-
-
-@dataclass
-class Pending:
-    parallel: bool = False
-    hot: bool = False
-
-    def any(self) -> bool:
-        return self.parallel or self.hot
-
-
-def strip_comments_and_strings(text: str) -> str:
-    """Blank out comments and string/char literals, preserving newlines
-    and every other character position (so line numbers and braces in
-    code survive, while braces in comments/strings disappear)."""
-    out = []
-    i, n = 0, len(text)
-    state = "code"
-    while i < n:
-        ch = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if state == "code":
-            if ch == "/" and nxt == "/":
-                state = "line"
-                out.append("  ")
-                i += 2
-                continue
-            if ch == "/" and nxt == "*":
-                state = "block"
-                out.append("  ")
-                i += 2
-                continue
-            if ch == '"':
-                state = "str"
-                out.append('"')
-                i += 1
-                continue
-            if ch == "'":
-                state = "chr"
-                out.append("'")
-                i += 1
-                continue
-            out.append(ch)
-        elif state == "line":
-            if ch == "\n":
-                state = "code"
-                out.append("\n")
-            elif ch == "\\" and nxt == "\n":
-                out.append(" \n")
-                i += 2
-                continue
-            else:
-                out.append(" ")
-        elif state == "block":
-            if ch == "*" and nxt == "/":
-                state = "code"
-                out.append("  ")
-                i += 2
-                continue
-            out.append("\n" if ch == "\n" else " ")
-        elif state in ("str", "chr"):
-            quote = '"' if state == "str" else "'"
-            if ch == "\\":
-                out.append("  ")
-                i += 2
-                continue
-            if ch == quote:
-                state = "code"
-                out.append(quote)
-            elif ch == "\n":  # unterminated; bail back to code
-                state = "code"
-                out.append("\n")
-            else:
-                out.append(" ")
-        i += 1
-    return "".join(out)
-
-
-def logical_lines(stripped: str):
-    """Yield (start_line, text) with backslash continuations joined
-    (pragmas may span physical lines)."""
-    physical = stripped.split("\n")
-    i = 0
-    while i < len(physical):
-        start = i + 1
-        buf = physical[i]
-        while buf.rstrip().endswith("\\") and i + 1 < len(physical):
-            buf = buf.rstrip()[:-1] + " " + physical[i + 1]
-            i += 1
-        yield start, buf
-        i += 1
-
-
-def omp_pragma_tokens(line: str):
-    m = re.match(r"\s*#\s*pragma\s+omp\b(.*)", line)
-    if not m:
-        return None
-    return re.findall(r"[A-Za-z_]\w*", m.group(1))
-
-
-class FileLinter:
-    """Lexical scanner tracking OpenMP parallel regions and omp-for loop
-    bodies through brace/paren structure (single-statement, braceless
-    loop bodies included)."""
-
-    def __init__(self, path: str, text: str, core_rules: bool,
-                 dist_guard: bool = False, marker_guard: bool = False,
-                 timing_guard: bool = False):
-        self.path = path
-        self.core_rules = core_rules
-        self.dist_guard = dist_guard
-        self.marker_guard = marker_guard
-        self.timing_guard = timing_guard
-        self.raw = text
-        self.stripped = strip_comments_and_strings(text)
-        self.violations: list[Violation] = []
-
-    def add(self, line: int, rule: str, message: str) -> None:
-        self.violations.append(Violation(self.path, line, rule, message))
-
-    def lint(self) -> list[Violation]:
-        self._check_pragmas()
-        if self.core_rules:
-            self._scan_scopes()
-            self._check_atomic_ref()
-        if self.dist_guard:
-            self._check_transport()
-        if self.marker_guard:
-            self._check_marker_sets()
-        if self.timing_guard:
-            self._check_raw_timing()
-        return self.violations
-
-    # ---- R008: engine timing goes through WallTimer / gcol-trace ----
-
-    def _check_raw_timing(self) -> None:
-        for lineno, line in enumerate(self.stripped.split("\n"), start=1):
-            if RAW_TIMING_RE.search(line):
-                self.add(lineno, "R008",
-                         "raw std::chrono / omp_get_wtime in an engine "
-                         "layer; time through WallTimer (result totals) or "
-                         "gcol-trace spans (src/obs) so the measurement "
-                         "reaches the trace timeline and the run report")
-
-    # ---- R007: marker sets come from the policy seam, by reference ----
-
-    def _check_marker_sets(self) -> None:
-        if self.path.replace(os.sep, "/").endswith(ATOMIC_REF_SEAM):
-            return  # kernels_common.hpp IS the policy seam
-        for lineno, line in enumerate(self.stripped.split("\n"), start=1):
-            if MARKER_SET_RE.search(line):
-                self.add(lineno, "R007",
-                         "MarkerSet family instantiated directly in a "
-                         "kernel driver; bind a reference to the "
-                         "ThreadWorkspace scratch through the ForbiddenSet "
-                         "policy seam (kernels_common.hpp) so the per-phase "
-                         "representation choice stays with the engine")
-
-    # ---- R006: the Transport layer stays private to src/dist ----
-
-    def _check_transport(self) -> None:
-        for lineno, line in enumerate(self.raw.split("\n"), start=1):
-            if TRANSPORT_INCLUDE_RE.search(line):
-                self.add(lineno, "R006",
-                         "greedcolor/dist/transport.hpp is private to "
-                         "src/dist; drive the runtime through DistOptions "
-                         "(TransportKind) instead")
-        for lineno, line in enumerate(self.stripped.split("\n"), start=1):
-            if TRANSPORT_RE.search(line):
-                self.add(lineno, "R006",
-                         "Transport type used outside src/dist; the "
-                         "boundary-exchange layer is private — select a "
-                         "transport with DistOptions::transport "
-                         "(TransportKind)")
-
-    # ---- R005: atomic_ref confined to the accessor seam ----
-
-    def _check_atomic_ref(self) -> None:
-        if self.path.replace(os.sep, "/").endswith(ATOMIC_REF_SEAM):
-            return
-        for lineno, line in enumerate(self.stripped.split("\n"), start=1):
-            if ATOMIC_REF_RE.search(line):
-                self.add(lineno, "R005",
-                         "raw std::atomic_ref outside the kernels_common.hpp "
-                         "accessor seam; go through load_color/store_color/"
-                         "exchange_uncolor so audit and gcol-mc hooks see "
-                         "the access")
-
-    # ---- pragma-level rules (R001, R004) ----
-
-    def _check_pragmas(self) -> None:
-        allow_critical = self.path.replace(os.sep, "/").endswith(
-            "util/include/greedcolor/util/counters.hpp")
-        for lineno, line in logical_lines(self.stripped):
-            tokens = omp_pragma_tokens(line)
-            if tokens is None:
-                continue
-            if "critical" in tokens and not allow_critical:
-                self.add(lineno, "R001",
-                         "`#pragma omp critical` outside util/counters.hpp; "
-                         "use CounterSlots / per-thread state instead")
-            if self.core_rules and "for" in tokens and "schedule" not in tokens:
-                self.add(lineno, "R004",
-                         "omp for without an explicit schedule(...) clause")
-
-    # ---- scope-aware rules (R002, R003) ----
-
-    def _scan_scopes(self) -> None:
-        scopes: list[Scope] = []
-        pending = Pending()
-        paren_depth = 0
-        # after an omp-for/parallel pragma: "idle" -> (for seen) "header"
-        # -> (parens closed) "body" -> `{` or statement
-        for_state = "idle"
-        line_flags: dict[int, tuple[bool, bool]] = {}
-
-        def effective() -> tuple[bool, bool]:
-            par = any(s.parallel for s in scopes)
-            hot = any(s.hot for s in scopes)
-            return par, hot
-
-        def note_line(lineno: int) -> None:
-            par, hot = effective()
-            old = line_flags.get(lineno, (False, False))
-            line_flags[lineno] = (old[0] or par, old[1] or hot)
-
-        physical = self.stripped.split("\n")
-        for idx, raw_line in enumerate(physical):
-            lineno = idx + 1
-            tokens = omp_pragma_tokens(raw_line)
-            if tokens is not None:
-                if "parallel" in tokens:
-                    pending.parallel = True
-                if "for" in tokens:
-                    pending.hot = True
-                    for_state = "idle"
-                note_line(lineno)
-                continue
-            j = 0
-            while j < len(raw_line):
-                ch = raw_line[j]
-                if pending.any() and for_state == "idle":
-                    m = re.match(r"\bfor\b", raw_line[j:])
-                    if m and re.match(r"(^|\W)$", raw_line[max(0, j - 1):j]):
-                        for_state = "header"
-                if ch == "(":
-                    paren_depth += 1
-                elif ch == ")":
-                    paren_depth = max(0, paren_depth - 1)
-                    if for_state == "header" and paren_depth == 0:
-                        for_state = "body"
-                        j += 1
-                        continue
-                elif ch == "{":
-                    if pending.any():
-                        scopes.append(Scope("brace", pending.parallel,
-                                            pending.hot))
-                        pending = Pending()
-                        for_state = "idle"
-                    else:
-                        par, hot = effective()
-                        scopes.append(Scope("brace", par, hot))
-                elif ch == "}":
-                    while scopes and scopes[-1].kind == "stmt":
-                        scopes.pop()
-                    if scopes:
-                        scopes.pop()
-                elif ch == ";" and paren_depth == 0:
-                    if scopes and scopes[-1].kind == "stmt":
-                        scopes.pop()
-                elif for_state == "body" and not ch.isspace():
-                    # Braceless loop body: one statement, popped at `;`.
-                    scopes.append(Scope("stmt", pending.parallel, pending.hot))
-                    pending = Pending()
-                    for_state = "idle"
-                note_line(lineno)
-                j += 1
-            note_line(lineno)
-
-        for idx, raw_line in enumerate(physical):
-            lineno = idx + 1
-            par, hot = line_flags.get(lineno, (False, False))
-            if par and "atomic_ref" not in raw_line:
-                if RAW_COLOR_RE.search(raw_line):
-                    self.add(lineno, "R002",
-                             "raw color-array access inside a parallel "
-                             "region; use load_color/store_color "
-                             "(relaxed atomic_ref)")
-            if hot:
-                for rx in ALLOC_RES:
-                    if rx.search(raw_line):
-                        self.add(lineno, "R003",
-                                 "allocation / bounds-checked access inside "
-                                 "a hot kernel loop; pre-size workspaces in "
-                                 "the driver")
-                        break
-
-
-def find_root(start: str) -> str:
-    d = os.path.abspath(start)
-    while True:
-        if all(os.path.exists(os.path.join(d, m)) for m in REPO_MARKERS):
-            return d
-        parent = os.path.dirname(d)
-        if parent == d:
-            return os.path.abspath(start)
-        d = parent
-
-
-def collect_files(root: str, compile_commands: str | None) -> list[str]:
-    files: set[str] = set()
-    if compile_commands:
-        try:
-            with open(compile_commands, encoding="utf-8") as fh:
-                for entry in json.load(fh):
-                    path = entry.get("file", "")
-                    if not os.path.isabs(path):
-                        path = os.path.join(entry.get("directory", ""), path)
-                    path = os.path.realpath(path)
-                    if path.startswith(os.path.realpath(root) + os.sep):
-                        files.add(path)
-        except (OSError, ValueError) as exc:
-            print(f"gcol_lint: cannot read {compile_commands}: {exc}",
-                  file=sys.stderr)
-            sys.exit(2)
-    else:
-        for pat in ("src/**/*.cpp", "bench/**/*.cpp", "examples/**/*.cpp",
-                    "tests/**/*.cpp"):
-            files.update(
-                os.path.realpath(p)
-                for p in glob.glob(os.path.join(root, pat), recursive=True))
-    files.update(
-        os.path.realpath(p)
-        for p in glob.glob(os.path.join(root, "src/**/*.hpp"), recursive=True))
-    # Generated / third-party trees never participate.
-    files = {f for f in files
-             if f"{os.sep}build" not in f and f"{os.sep}_deps{os.sep}" not in f}
-    return sorted(files)
-
-
-def is_core(root: str, path: str) -> bool:
-    rel = os.path.relpath(path, root).replace(os.sep, "/")
-    return rel.startswith("src/core/")
-
-
-def is_dist_guarded(root: str, path: str) -> bool:
-    rel = os.path.relpath(path, root).replace(os.sep, "/")
-    return rel.startswith("src/") and not rel.startswith("src/dist/")
-
-
-def is_marker_guarded(root: str, path: str) -> bool:
-    rel = os.path.relpath(path, root).replace(os.sep, "/")
-    base = os.path.basename(rel)
-    return (rel.startswith("src/core/") and
-            ("bgpc" in base or "d2gc" in base))
-
-
-def is_timing_guarded(root: str, path: str) -> bool:
-    rel = os.path.relpath(path, root).replace(os.sep, "/")
-    return rel.startswith("src/core/") or rel.startswith("src/dist/")
-
-
-def lint_paths(root: str, paths: list[str],
-               explicit: bool) -> list[Violation]:
-    violations: list[Violation] = []
-    for path in paths:
-        try:
-            with open(path, encoding="utf-8", errors="replace") as fh:
-                text = fh.read()
-        except OSError as exc:
-            print(f"gcol_lint: cannot read {path}: {exc}", file=sys.stderr)
-            sys.exit(2)
-        core = explicit or is_core(root, path)
-        dist_guard = explicit or is_dist_guarded(root, path)
-        marker_guard = explicit or is_marker_guarded(root, path)
-        timing_guard = explicit or is_timing_guarded(root, path)
-        violations.extend(
-            FileLinter(path, text, core, dist_guard, marker_guard,
-                       timing_guard).lint())
-    return violations
-
-
-def self_test(root: str) -> int:
-    fixtures = sorted(
-        glob.glob(os.path.join(root, "tools", "lint_fixtures", "*.cpp")))
-    if not fixtures:
-        print("gcol_lint --self-test: no fixtures found", file=sys.stderr)
-        return 2
-    failures = 0
-    for path in fixtures:
-        name = os.path.basename(path)
-        got = lint_paths(root, [path], explicit=True)
-        m = re.match(r"(r\d{3})_", name)
-        if m:
-            expected = m.group(1).upper()
-            ok = (len(got) == 1 and got[0].rule == expected)
-            detail = (f"expected exactly one {expected} violation, got "
-                      f"[{', '.join(v.rule for v in got) or 'none'}]")
-        else:  # clean_*.cpp fixtures must pass
-            expected = "clean"
-            ok = not got
-            detail = (f"expected no violations, got "
-                      f"[{', '.join(v.rule for v in got)}]")
-        status = "ok" if ok else "FAIL"
-        print(f"  {name:<34} {expected:<6} {status}")
-        if not ok:
-            failures += 1
-            print(f"    {detail}")
-            for v in got:
-                print(f"    {v.render(root)}")
-    ec_failures = exit_code_self_test(root)
-    total = len(fixtures)
-    print(f"gcol_lint --self-test: {total - failures}/{total} fixtures ok, "
-          f"{3 - ec_failures}/3 exit-code checks ok")
-    return 0 if failures + ec_failures == 0 else 1
-
-
-def exit_code_self_test(root: str) -> int:
-    """Verify the process-level exit-code contract by re-invoking the
-    script as CI would: findings exit 1, unreadable/unparsable inputs
-    and internal errors exit 2 (distinct, so a pipeline can tell "the
-    code is dirty" from "the gate itself broke")."""
-    import subprocess
-    import tempfile
-    script = os.path.abspath(__file__)
-    checks = []
-    dirty = os.path.join(root, "tools", "lint_fixtures",
-                         "r001_omp_critical.cpp")
-    checks.append(("findings exit 1",
-                   [sys.executable, script, dirty], 1))
-    with tempfile.NamedTemporaryFile("w", suffix=".json", delete=False) as fh:
-        fh.write("{ this is not json")
-        bad_json = fh.name
-    try:
-        checks.append(("unparsable compile_commands exit 2",
-                       [sys.executable, script,
-                        "--compile-commands", bad_json], 2))
-        checks.append(("missing file exit 2",
-                       [sys.executable, script,
-                        os.path.join(root, "no", "such", "file.cpp")], 2))
-        failures = 0
-        for name, cmd, want in checks:
-            rc = subprocess.run(cmd, capture_output=True,
-                                check=False).returncode
-            ok = rc == want
-            print(f"  {name:<34} exit-{want} {'ok' if ok else 'FAIL'}")
-            if not ok:
-                failures += 1
-                print(f"    expected exit {want}, got {rc}")
-        return failures
-    finally:
-        os.unlink(bad_json)
-
-
-def main() -> int:
-    parser = argparse.ArgumentParser(prog="gcol_lint.py",
-                                     description=__doc__.splitlines()[0])
-    parser.add_argument("paths", nargs="*",
-                        help="lint only these files (all rules apply)")
-    parser.add_argument("--compile-commands", metavar="JSON",
-                        help="compilation database to take the file set from")
-    parser.add_argument("--root", default=None,
-                        help="repository root (auto-detected by default)")
-    parser.add_argument("--list-rules", action="store_true")
-    parser.add_argument("--self-test", action="store_true",
-                        help="run the lint_fixtures negative tests")
-    args = parser.parse_args()
-
-    root = os.path.abspath(args.root) if args.root else find_root(
-        os.path.dirname(os.path.abspath(__file__)))
-
-    if args.list_rules:
-        for rule, name in sorted(RULES.items()):
-            print(f"{rule}  {name}")
-        return 0
-    if args.self_test:
-        return self_test(root)
-
-    if args.paths:
-        paths = [os.path.realpath(p) for p in args.paths]
-        violations = lint_paths(root, paths, explicit=True)
-        checked = len(paths)
-    else:
-        paths = collect_files(root, args.compile_commands)
-        if not paths:
-            print("gcol_lint: no files to lint (missing compile_commands?)",
-                  file=sys.stderr)
-            return 2
-        violations = lint_paths(root, paths, explicit=False)
-        checked = len(paths)
-
-    for v in sorted(violations, key=lambda v: (v.path, v.line)):
-        print(v.render(root))
-    if violations:
-        print(f"gcol_lint: {len(violations)} violation(s) in "
-              f"{checked} file(s)", file=sys.stderr)
-        return 1
-    print(f"gcol_lint: {checked} file(s) clean")
-    return 0
-
+from gcol_sa.cli import entry  # noqa: E402
 
 if __name__ == "__main__":
-    # Exit-code contract: 0 clean, 1 violations, 2 for anything that
-    # means the gate itself could not do its job (usage errors already
-    # exit 2 via argparse; an unexpected crash must not exit 1 and be
-    # mistaken for "findings").
-    try:
-        sys.exit(main())
-    except KeyboardInterrupt:
-        sys.exit(130)
-    except Exception as exc:  # noqa: BLE001 — the process boundary
-        print(f"gcol_lint: internal error: {exc}", file=sys.stderr)
-        sys.exit(2)
+    entry()

@@ -1,0 +1,14 @@
+"""Bootstrap so both `python3 -m gcol_sa` (from tools/) and
+`python3 tools/gcol_sa` (directory execution) work."""
+
+import os
+import sys
+
+if __package__ in (None, ""):
+    sys.path.insert(0, os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    from gcol_sa.cli import entry
+else:
+    from .cli import entry
+
+entry()

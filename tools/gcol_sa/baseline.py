@@ -1,0 +1,100 @@
+"""Checked-in baseline / suppression file.
+
+Each entry pins one *known and justified* finding:
+
+    R009  src/util/include/greedcolor/util/marker_set.hpp  a1b2c3d4e5f6  # why
+
+The fingerprint hashes (rule | relpath | stripped source line), so an
+entry survives unrelated line drift but dies the moment the flagged
+line itself changes — exactly when a human should re-judge it. Stale
+entries are warnings, not findings: the gate never turns red because
+code *improved*.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass
+
+BASELINE_NAME = "gcol_sa_baseline.txt"
+
+
+def fingerprint(rule: str, rel: str, context: str) -> str:
+    h = hashlib.sha256()
+    h.update(f"{rule}|{rel.replace(os.sep, '/')}|{context.strip()}"
+             .encode("utf-8", "replace"))
+    return h.hexdigest()[:12]
+
+
+@dataclass
+class Entry:
+    rule: str
+    rel: str
+    fp: str
+    justification: str
+    lineno: int
+    used: bool = False
+
+
+def load(path: str) -> list[Entry]:
+    entries: list[Entry] = []
+    if not os.path.exists(path):
+        return entries
+    with open(path, encoding="utf-8") as fh:
+        for lineno, raw in enumerate(fh, 1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            body, _, just = line.partition("#")
+            parts = body.split()
+            if len(parts) != 3:
+                raise ValueError(
+                    f"{path}:{lineno}: malformed baseline entry "
+                    f"(want: RULE relpath fingerprint  # justification)")
+            just = just.strip()
+            if not just:
+                raise ValueError(
+                    f"{path}:{lineno}: baseline entry has no justification "
+                    f"comment — every suppression must say why")
+            entries.append(Entry(parts[0], parts[1], parts[2], just, lineno))
+    return entries
+
+
+def apply(findings, entries: list[Entry], root: str):
+    """Split findings into (kept, suppressed); marks used entries."""
+    by_fp = {}
+    for e in entries:
+        by_fp.setdefault((e.rule, e.rel, e.fp), []).append(e)
+    kept, suppressed = [], []
+    for f in findings:
+        rel = os.path.relpath(f.path, root).replace(os.sep, "/")
+        key = (f.rule, rel, fingerprint(f.rule, rel, f.context))
+        hits = by_fp.get(key)
+        if hits:
+            hits[0].used = True
+            suppressed.append(f)
+        else:
+            kept.append(f)
+    return kept, suppressed
+
+
+def render_entries(findings, root: str,
+                   justification: str = "TODO: justify or fix") -> str:
+    lines = [
+        "# gcol-sa baseline: known, individually justified findings.",
+        "# Format: RULE  relpath  fingerprint  # justification",
+        "# The fingerprint covers the flagged source line; editing that",
+        "# line invalidates the entry so the finding resurfaces.",
+        "",
+    ]
+    seen = set()
+    for f in sorted(findings, key=lambda f: (f.path, f.line, f.rule)):
+        rel = os.path.relpath(f.path, root).replace(os.sep, "/")
+        fp = fingerprint(f.rule, rel, f.context)
+        if (f.rule, rel, fp) in seen:
+            continue
+        seen.add((f.rule, rel, fp))
+        lines.append(f"{f.rule}  {rel}  {fp}  # {justification}")
+    lines.append("")
+    return "\n".join(lines)

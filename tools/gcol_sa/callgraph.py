@@ -1,0 +1,142 @@
+"""Whole-program facts: the call graph and interprocedural reachability.
+
+Call resolution is name-based and deliberately over-approximate: a call
+site `fs.insert(col)` resolves to *every* repo-defined function named
+`insert`. For a gate that is the right bias — a missed edge silently
+un-checks an invariant, a spurious edge costs one baseline entry with a
+written justification. Only functions defined under src/ (plus files
+passed explicitly, which is how fixtures run) participate; test and
+bench helpers never pollute kernel reachability.
+"""
+
+from __future__ import annotations
+
+
+class FuncFact:
+    __slots__ = ("name", "qual", "line", "calls", "allocs", "color_sites")
+
+    def __init__(self, name, qual, line, calls, allocs, color_sites):
+        self.name = name
+        self.qual = qual
+        self.line = line
+        self.calls = calls            # [{name, line, parallel, hot, dotted}]
+        self.allocs = allocs          # [{line, what}]
+        self.color_sites = color_sites  # [line, ...]
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "qual": self.qual, "line": self.line,
+                "calls": self.calls, "allocs": self.allocs,
+                "color_sites": self.color_sites}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FuncFact":
+        return cls(d["name"], d["qual"], d["line"], d["calls"],
+                   d["allocs"], d["color_sites"])
+
+
+class ProgramFacts:
+    """Aggregated per-file facts plus the derived call graph."""
+
+    def __init__(self):
+        self.files: dict[str, list[FuncFact]] = {}   # rel -> functions
+        self.graph_rels: set[str] = set()            # rels in the graph
+        self.entry_r009: set[str] = set()            # omp entries, R009
+        self.entry_r012: set[str] = set()            # omp entries, R012
+        self.error_facts: list[dict] = []
+        self.abs_paths: dict[str, str] = {}
+        self.source_lines: dict[str, list[str]] = {}
+        self._defs: dict[str, list] | None = None
+
+    def add_file(self, rel: str, abs_path: str, lines: list[str],
+                 functions: list[FuncFact], errors: dict,
+                 in_graph: bool, r009_entry: bool, r012_entry: bool) -> None:
+        self.files[rel] = functions
+        self.abs_paths[rel] = abs_path
+        self.source_lines[rel] = lines
+        self.error_facts.append(errors)
+        if in_graph:
+            self.graph_rels.add(rel)
+        if r009_entry:
+            self.entry_r009.add(rel)
+        if r012_entry:
+            self.entry_r012.add(rel)
+        self._defs = None
+
+    def defs_by_name(self) -> dict[str, list]:
+        if self._defs is None:
+            self._defs = {}
+            for rel in sorted(self.graph_rels):
+                for f in self.files.get(rel, ()):
+                    self._defs.setdefault(f.name, []).append((rel, f))
+        return self._defs
+
+    def reachable_from_regions(self, require_parallel: bool) -> dict:
+        """BFS from every call made inside an OpenMP region body in the
+        entry files; returns {(rel, FuncFact): chain} for every function
+        reached at call depth >= 1 (direct in-region code stays the
+        intraprocedural rules' business)."""
+        entries = (self.entry_r012 if require_parallel
+                   else self.entry_r009)
+        defs = self.defs_by_name()
+        reached: dict = {}
+        frontier: list = []
+        for rel in sorted(entries):
+            for f in self.files.get(rel, ()):
+                for call in f.calls:
+                    inside = (call["parallel"] or call["hot"])
+                    if not inside:
+                        continue
+                    for drel, dfunc in defs.get(call["name"], ()):
+                        key = (drel, dfunc)
+                        if key in reached:
+                            continue
+                        chain = (f"via `{call['name']}` called at "
+                                 f"{rel}:{call['line']}")
+                        reached[key] = chain
+                        frontier.append(key)
+        while frontier:
+            drel, dfunc = frontier.pop()
+            chain = reached[(drel, dfunc)]
+            for call in dfunc.calls:
+                for erel, efunc in defs.get(call["name"], ()):
+                    key = (erel, efunc)
+                    if key in reached or efunc is dfunc:
+                        continue
+                    reached[key] = f"{chain} -> `{call['name']}`"
+                    frontier.append(key)
+        return reached
+
+    # -- reverse dependencies for --changed-only ------------------------
+
+    def dependents_closure(self, changed: set[str],
+                           includes: dict[str, list[str]]) -> set[str]:
+        """Changed files plus every file that (transitively) includes
+        one of them or calls a function they define."""
+        import os
+        base_of = {rel: os.path.basename(rel) for rel in self.files}
+        defs = {}
+        for rel, funcs in self.files.items():
+            for f in funcs:
+                defs.setdefault(f.name, set()).add(rel)
+        out = set(changed) & set(self.files)
+        grew = True
+        while grew:
+            grew = False
+            dirty_bases = {base_of[r] for r in out}
+            for rel, funcs in self.files.items():
+                if rel in out:
+                    continue
+                dep = any(os.path.basename(inc) in dirty_bases
+                          for inc in includes.get(rel, ()))
+                if not dep:
+                    for f in funcs:
+                        for call in f.calls:
+                            if defs.get(call["name"], set()) & out:
+                                dep = True
+                                break
+                        if dep:
+                            break
+                if dep:
+                    out.add(rel)
+                    grew = True
+        return out

@@ -1,0 +1,350 @@
+"""Per-file analysis: lex, parse, mark OpenMP regions, run the
+file-scope rules, and extract the whole-program facts (call sites,
+allocation sites, color-array sites, ErrorCode construction/mapping,
+includes) that the program rules consume.
+
+Everything a file contributes is a JSON-serializable payload keyed by
+the file's content hash, which is what makes `--changed-only` and warm
+repo-gate runs sub-second: an unchanged file never gets re-parsed.
+"""
+
+from __future__ import annotations
+
+import glob
+import hashlib
+import json
+import os
+import re
+import sys
+
+from . import ENGINE_VERSION
+from .callgraph import FuncFact, ProgramFacts
+from .lexer import lex
+from .omp import RegionMap, apply_regions
+from .parser import find_functions, parse_function_body
+from .rules import (ALLOC_FREE_FUNCS, Finding, KEYWORDS_NOT_CALLS,
+                    R009_METHODS, check_pragma_rules, check_region_rules,
+                    check_token_rules, check_trace_balance)
+
+REPO_MARKERS = ("CMakeLists.txt", "CMakePresets.json")
+
+ALL_ROLES = frozenset({"core", "dist_guard", "marker_guard",
+                       "timing_guard", "trace_scope"})
+
+# All-caps identifiers are macro invocations by repo convention
+# (GCOL_TRACE_*, GCOL_CONTRACT, TEST, EXPECT_EQ...); they are not call
+# edges.
+_MACRO_ID = re.compile(r"[A-Z][A-Z0-9_]*\Z")
+
+_ERROR_MAPPERS = ("to_string", "is_input_error")
+
+
+class GateError(Exception):
+    """The gate itself cannot do its job (exit 2, never exit 1)."""
+
+
+def find_root(start: str) -> str:
+    d = os.path.abspath(start)
+    while True:
+        if all(os.path.exists(os.path.join(d, m)) for m in REPO_MARKERS):
+            return d
+        parent = os.path.dirname(d)
+        if parent == d:
+            return os.path.abspath(start)
+        d = parent
+
+
+def collect_files(root: str, compile_commands: str | None) -> list[str]:
+    """Same file set as the old gate: compile-database TUs (or the
+    source globs) plus every header under src/, minus build/_deps."""
+    files: set[str] = set()
+    if compile_commands:
+        try:
+            with open(compile_commands, encoding="utf-8") as fh:
+                for entry in json.load(fh):
+                    path = entry.get("file", "")
+                    if not os.path.isabs(path):
+                        path = os.path.join(entry.get("directory", ""), path)
+                    path = os.path.realpath(path)
+                    if path.startswith(os.path.realpath(root) + os.sep):
+                        files.add(path)
+        except (OSError, ValueError) as exc:
+            raise GateError(
+                f"cannot read {compile_commands}: {exc}") from exc
+    else:
+        for pat in ("src/**/*.cpp", "bench/**/*.cpp", "examples/**/*.cpp",
+                    "tests/**/*.cpp"):
+            files.update(
+                os.path.realpath(p)
+                for p in glob.glob(os.path.join(root, pat), recursive=True))
+    files.update(
+        os.path.realpath(p)
+        for p in glob.glob(os.path.join(root, "src/**/*.hpp"),
+                           recursive=True))
+    files = {f for f in files
+             if f"{os.sep}build" not in f
+             and f"{os.sep}_deps{os.sep}" not in f}
+    return sorted(files)
+
+
+def roles_for(rel: str, explicit: bool) -> frozenset:
+    if explicit:
+        return ALL_ROLES
+    rel = rel.replace(os.sep, "/")
+    roles = set()
+    if rel.startswith("src/core/"):
+        roles.add("core")
+    if rel.startswith("src/") and not rel.startswith("src/dist/"):
+        roles.add("dist_guard")
+    base = os.path.basename(rel)
+    if rel.startswith("src/core/") and ("bgpc" in base or "d2gc" in base):
+        roles.add("marker_guard")
+    if rel.startswith("src/core/") or rel.startswith("src/dist/"):
+        roles.add("timing_guard")
+    if rel.startswith("src/"):
+        roles.add("trace_scope")
+    return frozenset(roles)
+
+
+# ---------------------------------------------------------------------------
+
+
+class FileAnalysis:
+    """One file's lexed/parsed view plus the helpers the rules use."""
+
+    def __init__(self, path: str, rel: str, text: str):
+        self.path = path
+        self.rel = rel
+        self.lines = text.split("\n")
+        self.lexed = lex(text)
+        self.funcs = find_functions(self.lexed.tokens)
+        self._trees = None
+        self.atomic_ref_lines = {
+            t.line for t in self.lexed.tokens
+            if t.kind == "id" and t.val == "atomic_ref"}
+        self.regions = RegionMap(len(self.lexed.tokens))
+        for _, tree in self.func_trees():
+            apply_regions(tree, self.regions)
+
+    def func_trees(self):
+        if self._trees is None:
+            self._trees = [
+                (f, parse_function_body(self.lexed.tokens, f,
+                                        self.lexed.directives))
+                for f in self.funcs]
+        return self._trees
+
+    def finding(self, rule: str, line: int, message: str) -> Finding:
+        ctx = ""
+        if 1 <= line <= len(self.lines):
+            ctx = self.lines[line - 1].strip()
+        return Finding(path=self.path, line=line, rule=rule,
+                       message=message, context=ctx)
+
+
+def _function_facts(fa: FileAnalysis) -> list[FuncFact]:
+    toks = fa.lexed.tokens
+    n = len(toks)
+    out = []
+    for func, _tree in fa.func_trees():
+        calls, allocs, colors = [], [], []
+        for i in range(func.lbrace + 1, min(func.rbrace - 1, n)):
+            t = toks[i]
+            if t.kind != "id":
+                continue
+            nxt = toks[i + 1].val if i + 1 < n else ""
+            prev = toks[i - 1].val if i > 0 else ""
+            if nxt == "(" and t.val not in KEYWORDS_NOT_CALLS \
+                    and not _MACRO_ID.fullmatch(t.val):
+                calls.append({"name": t.val, "line": t.line,
+                              "parallel": bool(fa.regions.parallel[i]),
+                              "hot": bool(fa.regions.hot[i]),
+                              "dotted": prev in (".", "->")})
+            what = None
+            if t.val == "new":
+                what = "new"
+            elif t.val in ALLOC_FREE_FUNCS and nxt == "(":
+                what = t.val
+            elif t.val in R009_METHODS and prev in (".", "->") \
+                    and nxt == "(":
+                what = t.val
+            elif t.val == "throw":
+                what = "throw"
+            if what:
+                allocs.append({"line": t.line, "what": what})
+            if t.val in ("c", "colors") and nxt == "[" \
+                    and t.line not in fa.atomic_ref_lines:
+                colors.append(t.line)
+        out.append(FuncFact(func.name, func.qual, func.line,
+                            calls, allocs, colors))
+    return out
+
+
+def _error_facts(fa: FileAnalysis, in_scope: bool) -> dict:
+    toks = fa.lexed.tokens
+    n = len(toks)
+    mapper_ranges = [(f.lbrace, f.rbrace) for f in fa.funcs
+                     if f.name in _ERROR_MAPPERS]
+    constructed, mapped = [], set()
+    for i, t in enumerate(toks):
+        if t.kind != "id" or t.val != "ErrorCode":
+            continue
+        if i + 2 >= n or toks[i + 1].val != "::" or toks[i + 2].kind != "id":
+            continue
+        code = toks[i + 2].val
+        line = toks[i + 2].line
+        prev = toks[i - 1].val if i > 0 else ""
+        nxt = toks[i + 3].val if i + 3 < n else ""
+        if prev == "case" or nxt in ("==", "!=") or prev in ("==", "!=") \
+                or any(lo < i < hi for lo, hi in mapper_ranges):
+            mapped.add(code)
+            continue
+        for j in range(max(0, i - 6), i):
+            if toks[j].kind == "id" and toks[j].val in ("Error", "raise") \
+                    and j + 1 < n and toks[j + 1].val in ("(", "{"):
+                constructed.append([code, line])
+                break
+        # A bare mention (default argument, using-declaration) is
+        # neither constructed nor mapped.
+    return {"rel": fa.rel, "in_scope": in_scope,
+            "constructed": constructed, "mapped": sorted(mapped)}
+
+
+def analyze_text(path: str, rel: str, text: str, explicit: bool) -> dict:
+    """Full per-file analysis -> JSON-serializable payload."""
+    fa = FileAnalysis(path, rel, text)
+    roles = roles_for(rel, explicit)
+    findings: list[Finding] = []
+    findings += check_pragma_rules(fa, roles)
+    findings += check_region_rules(fa, roles)
+    findings += check_token_rules(fa, roles)
+    findings += check_trace_balance(fa, roles)
+    includes = []
+    for d in fa.lexed.directives:
+        p = d.include_path()
+        if p:
+            includes.append(p)
+    return {
+        "findings": [{"line": f.line, "rule": f.rule,
+                      "message": f.message, "context": f.context}
+                     for f in findings],
+        "functions": [f.to_dict() for f in _function_facts(fa)],
+        "errors": _error_facts(fa, explicit
+                               or rel.replace(os.sep, "/")
+                                     .startswith("src/")),
+        "includes": includes,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Content-hash cache
+
+
+def _cache_key(rel: str, text: str, explicit: bool) -> str:
+    h = hashlib.sha256()
+    h.update(ENGINE_VERSION.encode())
+    h.update(b"\x00x" if explicit else b"\x00r")
+    h.update(rel.encode("utf-8", "replace"))
+    h.update(b"\x00")
+    h.update(text.encode("utf-8", "replace"))
+    return h.hexdigest()[:32]
+
+
+class AnalyzedFile:
+    __slots__ = ("path", "rel", "lines", "payload", "cached")
+
+    def __init__(self, path, rel, lines, payload, cached):
+        self.path = path
+        self.rel = rel
+        self.lines = lines
+        self.payload = payload
+        self.cached = cached
+
+
+def run_analysis(root: str, paths: list[str], explicit: bool,
+                 cache_dir: str | None) -> list[AnalyzedFile]:
+    out = []
+    for path in paths:
+        try:
+            with open(path, encoding="utf-8", errors="replace") as fh:
+                text = fh.read()
+        except OSError as exc:
+            raise GateError(f"cannot read {path}: {exc}") from exc
+        rel = os.path.relpath(path, root).replace(os.sep, "/")
+        payload = None
+        cached = False
+        key = _cache_key(rel, text, explicit)
+        cpath = os.path.join(cache_dir, key + ".json") if cache_dir else None
+        if cpath and os.path.exists(cpath):
+            try:
+                with open(cpath, encoding="utf-8") as fh:
+                    payload = json.load(fh)
+                cached = True
+            except (OSError, ValueError):
+                payload = None  # corrupt cache entry: recompute
+        if payload is None:
+            payload = analyze_text(path, rel, text, explicit)
+            if cpath:
+                try:
+                    os.makedirs(cache_dir, exist_ok=True)
+                    tmp = cpath + f".tmp{os.getpid()}"
+                    with open(tmp, "w", encoding="utf-8") as fh:
+                        json.dump(payload, fh)
+                    os.replace(tmp, cpath)
+                except OSError:
+                    pass  # cache is best-effort
+        out.append(AnalyzedFile(path, rel, text.split("\n"),
+                                payload, cached))
+    return out
+
+
+def build_program(analyzed: list[AnalyzedFile],
+                  explicit: bool) -> tuple[ProgramFacts, dict]:
+    facts = ProgramFacts()
+    includes: dict[str, list[str]] = {}
+    for af in analyzed:
+        rel = af.rel
+        funcs = [FuncFact.from_dict(d) for d in af.payload["functions"]]
+        in_graph = explicit or rel.startswith("src/")
+        facts.add_file(rel, af.path, af.lines, funcs,
+                       af.payload["errors"],
+                       in_graph=in_graph,
+                       r009_entry=in_graph,
+                       r012_entry=explicit or rel.startswith("src/core/"))
+        includes[rel] = af.payload["includes"]
+    return facts, includes
+
+
+def file_findings(analyzed: list[AnalyzedFile]) -> list[Finding]:
+    out = []
+    for af in analyzed:
+        for d in af.payload["findings"]:
+            out.append(Finding(path=af.path, line=d["line"],
+                               rule=d["rule"], message=d["message"],
+                               context=d.get("context", "")))
+    return out
+
+
+def changed_rels(root: str, diff_base: str | None) -> set[str]:
+    """Files touched per git (working tree + optional diff base)."""
+    import subprocess
+    cmds = [["git", "-C", root, "diff", "--name-only", "HEAD"],
+            ["git", "-C", root, "ls-files", "--others",
+             "--exclude-standard"]]
+    if diff_base:
+        cmds.append(["git", "-C", root, "diff", "--name-only",
+                     diff_base, "HEAD"])
+    rels: set[str] = set()
+    for cmd in cmds:
+        try:
+            res = subprocess.run(cmd, capture_output=True, text=True,
+                                 check=False)
+        except OSError as exc:
+            raise GateError(f"git unavailable for --changed-only: "
+                            f"{exc}") from exc
+        if res.returncode != 0:
+            raise GateError(f"`{' '.join(cmd)}` failed: "
+                            f"{res.stderr.strip()}")
+        rels.update(line.strip().replace(os.sep, "/")
+                    for line in res.stdout.splitlines() if line.strip())
+    return rels

@@ -1,0 +1,146 @@
+"""A C++ tokenizer that the regex lint never had.
+
+One master regex scans the file into tokens; comments are dropped,
+string/char/raw-string literals become single tokens (so an
+`omp critical` inside an R"(...)" documentation string can never be
+mistaken for a pragma), backslash-newline continuations are joined, and
+preprocessor directives are lifted out of the code stream as logical
+units with continuations already spliced (a multi-line `#pragma omp`
+is one directive).
+
+The output is a `LexedFile`:
+  tokens      code tokens only (id / num / str / chr / rawstr / punct),
+              each carrying its 1-based physical line
+  directives  every preprocessor logical line as a `Directive` with its
+              own token list and the index of the code token that
+              follows it (the attachment point for pragma extents)
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+
+class Token:
+    __slots__ = ("kind", "val", "line")
+
+    def __init__(self, kind: str, val: str, line: int):
+        self.kind = kind
+        self.val = val
+        self.line = line
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind!r}, {self.val!r}, L{self.line})"
+
+
+@dataclass
+class Directive:
+    line: int                       # first physical line of the directive
+    tokens: list = field(default_factory=list)  # code tokens (after '#')
+    attach: int = -1                # index of the next code token after it
+
+    def ids(self) -> list[str]:
+        return [t.val for t in self.tokens if t.kind == "id"]
+
+    def is_omp(self) -> bool:
+        ids = self.ids()
+        return len(ids) >= 2 and ids[0] == "pragma" and ids[1] == "omp"
+
+    def is_include(self) -> bool:
+        ids = self.ids()
+        return bool(ids) and ids[0] == "include"
+
+    def include_path(self) -> str | None:
+        """The path of an #include directive, for both "..." and <...>."""
+        if not self.is_include():
+            return None
+        toks = [t for t in self.tokens if t.kind != "id" or t.val != "include"]
+        for i, t in enumerate(toks):
+            if t.kind == "str":
+                return t.val.strip('"')
+            if t.kind == "punct" and t.val == "<":
+                parts = []
+                for u in toks[i + 1:]:
+                    if u.kind == "punct" and u.val == ">":
+                        return "".join(parts)
+                    parts.append(u.val)
+                return "".join(parts)
+        return None
+
+
+@dataclass
+class LexedFile:
+    tokens: list
+    directives: list
+    nlines: int
+
+
+# Order matters: raw strings before plain strings before char literals
+# before numbers (digit separators like 1'000) before identifiers.
+_MASTER = re.compile(
+    r"""
+      (?P<ws>[\ \t\v\f\r]+)
+    | (?P<cont>\\\r?\n)
+    | (?P<nl>\n)
+    | (?P<block_comment>/\*(?:[^*]|\*(?!/))*(?:\*/|\Z))
+    | (?P<line_comment>//(?:\\\r?\n|[^\n])*)
+    | (?P<rawstr>(?:u8|u|U|L)?R"(?P<delim>[^()\s\\]{0,16})\(
+        (?:(?!\)(?P=delim)").)*?\)(?P=delim)")
+    | (?P<str>(?:u8|u|U|L)?"(?:\\.|[^"\\\n])*")
+    | (?P<chr>(?:u8|u|U|L)?'(?:\\.|[^'\\\n])+')
+    | (?P<num>\.?\d(?:[\w.]|'(?=\w)|[eEpP][+-])*)
+    | (?P<id>[A-Za-z_]\w*)
+    | (?P<punct><<=|>>=|->\*|\.\.\.|::|->|\+\+|--|<<|>>|<=|>=|==|!=
+        |&&|\|\||\+=|-=|\*=|/=|%=|&=|\|=|\^=|\#\#|.)
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+_CODE_KINDS = ("rawstr", "str", "chr", "num", "id", "punct")
+
+
+def lex(text: str) -> LexedFile:
+    """Tokenize `text`; never raises on malformed input (the scanner is
+    a gate, not a compiler — a stray quote degrades to punct tokens)."""
+    tokens: list[Token] = []
+    directives: list[Directive] = []
+    line = 1
+    at_line_start = True      # only ws/comments seen since the last newline
+    directive: Directive | None = None
+
+    for m in _MASTER.finditer(text):
+        kind = m.lastgroup
+        val = m.group()
+        if kind == "delim":  # inner group of rawstr; never the lastgroup
+            continue
+        if kind == "ws":
+            pass
+        elif kind == "cont":
+            # Spliced line: the directive (or token stream) continues.
+            pass
+        elif kind == "nl":
+            if directive is not None:
+                directive.attach = len(tokens)
+                directives.append(directive)
+                directive = None
+            at_line_start = True
+        elif kind in ("block_comment", "line_comment"):
+            pass  # dropped; newlines inside still advance `line` below
+        elif kind == "punct" and val == "#" and at_line_start \
+                and directive is None:
+            directive = Directive(line=line)
+            at_line_start = False
+        else:
+            tok = Token(kind, val, line)
+            if directive is not None:
+                directive.tokens.append(tok)
+            else:
+                tokens.append(tok)
+            at_line_start = False
+        line += val.count("\n")
+
+    if directive is not None:  # directive at EOF without a newline
+        directive.attach = len(tokens)
+        directives.append(directive)
+    return LexedFile(tokens=tokens, directives=directives, nlines=line)

@@ -1,0 +1,77 @@
+"""OpenMP region dataflow over the statement tree.
+
+The regex lint tracked parallel regions with a brace counter and a
+hand-rolled "braceless for body" state machine — which is exactly what
+broke on nested braceless bodies and multi-line pragmas. Here the
+statement tree already carries each pragma attached to the statement it
+governs, so region extents are a tree walk:
+
+  * `#pragma omp parallel` (without `for`) marks its statement subtree
+    as a parallel region;
+  * `#pragma omp for` / `#pragma omp parallel for` marks the *body* of
+    the following loop as the hot omp-for extent (the loop header —
+    init/cond/incr — is driver code, matching the old gate's scoping),
+    plus the parallel flag when the pragma spells `parallel`;
+  * nesting unions flags; a braceless body is just a subtree with one
+    statement, and nested braceless control flow inside it stays
+    covered — no first-semicolon cutoff.
+
+The result is two boolean arrays over the file's code-token indices:
+`parallel[i]` / `hot[i]`.
+"""
+
+from __future__ import annotations
+
+
+def directive_omp_ids(directive) -> set[str] | None:
+    if not directive.is_omp():
+        return None
+    return set(directive.ids()[2:])
+
+
+class RegionMap:
+    def __init__(self, ntokens: int):
+        self.parallel = bytearray(ntokens)
+        self.hot = bytearray(ntokens)
+
+    def mark(self, start: int, end: int, parallel: bool, hot: bool) -> None:
+        for i in range(start, min(end, len(self.parallel))):
+            if parallel:
+                self.parallel[i] = 1
+            if hot:
+                self.hot[i] = 1
+
+
+def apply_regions(stmts, regions: RegionMap,
+                  parallel: bool = False, hot: bool = False) -> None:
+    """Walk a statement list, propagating inherited flags and applying
+    pragma-introduced ones to the governed subtrees."""
+    for st in stmts:
+        p, h = parallel, hot
+        pragma_par = pragma_for = False
+        for d in st.pragmas:
+            ids = directive_omp_ids(d)
+            if ids is None:
+                continue
+            if "parallel" in ids:
+                pragma_par = True
+            if "for" in ids:
+                pragma_for = True
+        if pragma_for and st.kind == "loop":
+            # The loop header stays at the inherited flags; the body is
+            # the omp-for extent.
+            regions.mark(st.start, st.end, p or pragma_par, h)
+            body_p = p or pragma_par
+            for body in st.children:
+                regions.mark(body.start, body.end, body_p, True)
+                apply_regions([body], regions, body_p, True)
+            continue
+        if pragma_par or pragma_for:
+            # `omp parallel` with a structured block — or an omp-for
+            # pragma on something that is not a loop (degenerate input):
+            # conservatively treat the whole statement as the extent.
+            p = True
+            h = h or pragma_for
+        regions.mark(st.start, st.end, p, h)
+        if st.children:
+            apply_regions(st.children, regions, p, h)

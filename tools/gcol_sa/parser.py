@@ -1,0 +1,353 @@
+"""Function-definition indexing and a statement-tree sketch parser.
+
+This is not a C++ parser; it is the smallest amount of structure the
+rules need, recovered reliably from the token stream:
+
+  * `find_functions` locates every function *definition* (free
+    functions, methods, constructors with init lists, gtest TEST
+    bodies) as a [lbrace, rbrace] token range with a best-effort
+    qualified name. Lambdas are deliberately not split out — their
+    bodies belong to the enclosing function for every rule we run.
+  * `parse_stmts` turns a body range into a statement tree (blocks,
+    if/else, loops with braceless bodies, switch, try/catch, simple
+    statements classified as return/break/continue/throw) with
+    preprocessor directives attached to the statement they precede —
+    which is exactly what OpenMP pragma extents need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+OPENERS = {"(": ")", "[": "]", "{": "}"}
+CLOSERS = {")", "]", "}"}
+
+# An identifier directly before '(' that can never be a function name.
+_NOT_A_FUNC = {
+    "if", "for", "while", "switch", "catch", "return", "sizeof",
+    "alignof", "decltype", "new", "delete", "throw", "case", "do",
+    "else", "co_await", "co_return", "co_yield", "static_assert",
+    "alignas", "defined", "requires", "noexcept", "assert",
+}
+
+_QUALIFIERS = {"const", "noexcept", "override", "final", "mutable",
+               "volatile", "&", "&&", "throw", "constexpr"}
+
+
+def skip_balanced(tokens, i: int) -> int:
+    """Token at `i` opens a bracket; return the index *after* its match
+    (or len(tokens) if unbalanced — tolerate truncated input)."""
+    stack = [tokens[i].val]
+    i += 1
+    n = len(tokens)
+    while i < n and stack:
+        v = tokens[i].val
+        if v in OPENERS:
+            stack.append(v)
+        elif v in CLOSERS:
+            # Pop to the innermost matching opener; tolerate mismatches.
+            while stack and OPENERS[stack[-1]] != v:
+                stack.pop()
+            if stack:
+                stack.pop()
+        i += 1
+    return i
+
+
+@dataclass
+class Func:
+    name: str          # unqualified name ("store_color", "insert")
+    qual: str          # best-effort qualified spelling
+    line: int          # line of the body's opening brace
+    lparen: int        # token index of the parameter-list '('
+    lbrace: int        # token index of '{'
+    rbrace: int        # token index one past the matching '}'
+
+
+def _match_name(tokens, i: int) -> tuple[str, str] | None:
+    """Walk back from the token before '(' and recover the function
+    name; returns (name, qualified) or None if this is not a named
+    function (lambda, control statement, cast...)."""
+    if i < 0:
+        return None
+    t = tokens[i]
+    # name<T...>(  — skip the template argument list backwards.
+    if t.kind == "punct" and t.val == ">":
+        depth = 1
+        j = i - 1
+        while j >= 0 and depth and i - j < 64:
+            v = tokens[j].val
+            if v == ">":
+                depth += 1
+            elif v == "<":
+                depth -= 1
+            j -= 1
+        if depth:
+            return None
+        i = j
+        t = tokens[i] if i >= 0 else None
+        if t is None:
+            return None
+    if t.kind != "id" or t.val in _NOT_A_FUNC:
+        return None
+    parts = [t.val]
+    j = i - 1
+    while j >= 1 and tokens[j].val == "::" and tokens[j - 1].kind == "id":
+        parts.append("::")
+        parts.append(tokens[j - 1].val)
+        j -= 2
+    if j >= 0 and tokens[j].val == "~":
+        parts.append("~")
+    return t.val, "".join(reversed(parts))
+
+
+def _skip_to_body(tokens, i: int) -> int:
+    """After the parameter-list ')', skip qualifiers / trailing return /
+    constructor init list. Returns the index of the body '{', or -1 if
+    this is a declaration, deleted definition, or not a function."""
+    n = len(tokens)
+    while i < n:
+        v = tokens[i].val
+        if v == "{":
+            return i
+        if v in (";", ",", ")", "]"):
+            return -1
+        if v in _QUALIFIERS:
+            if v in ("noexcept", "throw") and i + 1 < n \
+                    and tokens[i + 1].val == "(":
+                i = skip_balanced(tokens, i + 1)
+            else:
+                i += 1
+            continue
+        if v == "->":  # trailing return type: skip tokens until body
+            i += 1
+            while i < n:
+                u = tokens[i].val
+                if u == "{":
+                    return i
+                if u in (";", "=", ")"):
+                    return -1
+                if u in OPENERS:
+                    i = skip_balanced(tokens, i)
+                else:
+                    i += 1
+            return -1
+        if v == ":":  # constructor member-init list
+            i += 1
+            while i < n:
+                u = tokens[i].val
+                prev = tokens[i - 1].val if i else ""
+                if u == "{":
+                    # a{...} initializer directly follows a name or
+                    # template close; anything else opens the body.
+                    if prev and (tokens[i - 1].kind == "id" or prev == ">"):
+                        i = skip_balanced(tokens, i)
+                        continue
+                    return i
+                if u in ("(", "["):
+                    i = skip_balanced(tokens, i)
+                    continue
+                if u == ";":
+                    return -1
+                i += 1
+            return -1
+        if v == "=":  # = delete / = default / = 0
+            return -1
+        if v == "[":  # attribute [[...]]
+            i = skip_balanced(tokens, i)
+            continue
+        return -1
+    return -1
+
+
+def find_functions(tokens) -> list[Func]:
+    funcs: list[Func] = []
+    n = len(tokens)
+    i = 0
+    while i < n:
+        t = tokens[i]
+        if t.kind == "punct" and t.val == "(":
+            named = _match_name(tokens, i - 1)
+            if named is None:
+                i += 1
+                continue
+            close = skip_balanced(tokens, i)  # one past ')'
+            body = _skip_to_body(tokens, close)
+            if body < 0:
+                i += 1
+                continue
+            end = skip_balanced(tokens, body)
+            name, qual = named
+            funcs.append(Func(name=name, qual=qual, line=tokens[body].line,
+                              lparen=i, lbrace=body, rbrace=end))
+        i += 1
+    # Keep only outermost ranges (a nested candidate inside a recorded
+    # body — a local struct's method, a detected lambda — stays part of
+    # its encloser for rule purposes).
+    outer: list[Func] = []
+    for f in funcs:
+        if outer and f.lbrace > outer[-1].lbrace and f.rbrace <= outer[-1].rbrace:
+            continue
+        outer.append(f)
+    return outer
+
+
+# ---------------------------------------------------------------------------
+# Statement tree
+
+
+@dataclass
+class Stmt:
+    kind: str          # block | if | loop | switch | try | simple | label
+    start: int         # first token index
+    end: int           # one past the last token index
+    pragmas: list = field(default_factory=list)   # attached Directives
+    children: list = field(default_factory=list)  # sub-statements
+    # kind-specific:
+    #   if:     children = [then, else?]; cond = (lo, hi) token range
+    #   loop:   children = [body]; loop_kind in {for, while, do}
+    #   simple: simple_kind in {plain, return, break, continue, throw, goto}
+    cond: tuple | None = None
+    loop_kind: str = ""
+    simple_kind: str = ""
+
+
+def _attach_map(directives) -> dict[int, list]:
+    amap: dict[int, list] = {}
+    for d in directives:
+        amap.setdefault(d.attach, []).append(d)
+    return amap
+
+
+def parse_stmts(tokens, i: int, end: int, amap: dict[int, list]) -> list[Stmt]:
+    stmts: list[Stmt] = []
+    while i < end:
+        st, i = _parse_stmt(tokens, i, end, amap)
+        if st is None:
+            break
+        stmts.append(st)
+    return stmts
+
+
+def _consume_simple(tokens, i: int, end: int) -> int:
+    """Advance past one `...;` statement, balancing every bracket (a
+    lambda body's semicolons stay inside). Stops at an unmatched '}'."""
+    while i < end:
+        v = tokens[i].val
+        if v == ";":
+            return i + 1
+        if v in OPENERS:
+            i = skip_balanced(tokens, i)
+            continue
+        if v in CLOSERS:
+            return i  # missing ';' before a closing brace — don't eat it
+        i += 1
+    return i
+
+
+def _parse_stmt(tokens, i: int, end: int, amap) -> tuple[Stmt | None, int]:
+    pragmas = list(amap.get(i, ()))
+    if i >= end:
+        # Trailing directive attached past the last token of the range.
+        return None, i
+    t = tokens[i]
+    start = i
+    v = t.val
+
+    if v == "{":
+        close = skip_balanced(tokens, i)
+        inner = parse_stmts(tokens, i + 1, min(close - 1, end), amap)
+        return Stmt("block", start, close, pragmas, inner), close
+
+    if v == "if":
+        j = i + 1
+        if j < end and tokens[j].val == "constexpr":
+            j += 1
+        if j >= end or tokens[j].val != "(":
+            k = _consume_simple(tokens, i, end)
+            return Stmt("simple", start, k, pragmas, simple_kind="plain"), k
+        cond_end = skip_balanced(tokens, j)
+        then, k = _parse_stmt(tokens, cond_end, end, amap)
+        children = [then] if then else []
+        if k < end and tokens[k].val == "else":
+            els, k = _parse_stmt(tokens, k + 1, end, amap)
+            if els:
+                children.append(els)
+        return Stmt("if", start, k, pragmas, children,
+                    cond=(j, cond_end)), k
+
+    if v in ("for", "while"):
+        j = i + 1
+        if j < end and tokens[j].val == "(":
+            hdr_end = skip_balanced(tokens, j)
+        else:
+            hdr_end = j
+        body, k = _parse_stmt(tokens, hdr_end, end, amap)
+        st = Stmt("loop", start, k, pragmas,
+                  [body] if body else [], cond=(j, hdr_end))
+        st.loop_kind = v
+        return st, k
+
+    if v == "do":
+        body, k = _parse_stmt(tokens, i + 1, end, amap)
+        # while (...) ;
+        if k < end and tokens[k].val == "while":
+            j = k + 1
+            if j < end and tokens[j].val == "(":
+                j = skip_balanced(tokens, j)
+            if j < end and tokens[j].val == ";":
+                j += 1
+            k = j
+        st = Stmt("loop", start, k, pragmas, [body] if body else [])
+        st.loop_kind = "do"
+        return st, k
+
+    if v == "switch":
+        j = i + 1
+        if j < end and tokens[j].val == "(":
+            j = skip_balanced(tokens, j)
+        body, k = _parse_stmt(tokens, j, end, amap)
+        return Stmt("switch", start, k, pragmas,
+                    [body] if body else []), k
+
+    if v == "try":
+        body, k = _parse_stmt(tokens, i + 1, end, amap)
+        children = [body] if body else []
+        while k < end and tokens[k].val == "catch":
+            j = k + 1
+            if j < end and tokens[j].val == "(":
+                j = skip_balanced(tokens, j)
+            handler, k = _parse_stmt(tokens, j, end, amap)
+            if handler:
+                children.append(handler)
+        return Stmt("try", start, k, pragmas, children), k
+
+    if v in ("case", "default"):
+        j = i + 1
+        while j < end and tokens[j].val != ":":
+            if tokens[j].val in OPENERS:
+                j = skip_balanced(tokens, j)
+            else:
+                j += 1
+        return Stmt("label", start, min(j + 1, end), pragmas), min(j + 1, end)
+
+    if v in ("return", "break", "continue", "throw", "goto"):
+        j = _consume_simple(tokens, i, end)
+        return Stmt("simple", start, j, pragmas, simple_kind=v), j
+
+    if v == ";":
+        return Stmt("simple", start, i + 1, pragmas, simple_kind="plain"), i + 1
+
+    if v == "}":  # unmatched close: caller's range ended early
+        return None, i
+
+    j = _consume_simple(tokens, i, end)
+    if j == i:  # safety: always make progress
+        j = i + 1
+    return Stmt("simple", start, j, pragmas, simple_kind="plain"), j
+
+
+def parse_function_body(tokens, func: Func, directives) -> list[Stmt]:
+    amap = _attach_map([d for d in directives
+                        if func.lbrace < d.attach <= func.rbrace])
+    return parse_stmts(tokens, func.lbrace + 1, func.rbrace - 1, amap)

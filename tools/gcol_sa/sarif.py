@@ -1,0 +1,90 @@
+"""SARIF 2.1.0 emission for CI code-scanning upload.
+
+One run, one result per finding; rule metadata comes straight from the
+catalog so the SARIF rule help mirrors `--rule-docs`. Paths are emitted
+repo-relative against the SRCROOT uriBaseId, which is what
+github/codeql-action/upload-sarif expects.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from . import __version__
+from .baseline import fingerprint
+from .rules import RULES
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+
+def _rules_meta() -> list[dict]:
+    out = []
+    for r in RULES:
+        out.append({
+            "id": r.id,
+            "name": r.name,
+            "shortDescription": {"text": r.name},
+            "fullDescription": {"text": r.rationale},
+            "helpUri": "https://example.invalid/gcol-sa/" + r.id.lower(),
+            "defaultConfiguration": {"level": "error"},
+            "properties": {"scope": r.scope},
+        })
+    return out
+
+
+def to_sarif(findings, suppressed, root: str) -> dict:
+    results = []
+    for f, is_suppressed in ([(f, False) for f in findings]
+                             + [(f, True) for f in suppressed]):
+        rel = os.path.relpath(f.path, root).replace(os.sep, "/")
+        result = {
+            "ruleId": f.rule,
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": rel,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {"startLine": max(1, f.line)},
+                },
+            }],
+            "partialFingerprints": {
+                "gcolSa/v1": fingerprint(f.rule, rel, f.context),
+            },
+        }
+        if is_suppressed:
+            result["suppressions"] = [{
+                "kind": "external",
+                "justification": "baselined in tools/gcol_sa_baseline.txt",
+            }]
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {"driver": {
+                "name": "gcol-sa",
+                "version": __version__,
+                "informationUri":
+                    "https://example.invalid/gcol-sa",
+                "rules": _rules_meta(),
+            }},
+            "originalUriBaseIds": {
+                "SRCROOT": {"uri": "file://" + root.rstrip("/") + "/"},
+            },
+            "columnKind": "utf16CodeUnits",
+            "results": results,
+        }],
+    }
+
+
+def write_sarif(path: str, findings, suppressed, root: str) -> None:
+    doc = to_sarif(findings, suppressed, root)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=False)
+        fh.write("\n")

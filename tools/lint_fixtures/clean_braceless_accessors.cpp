@@ -1,0 +1,11 @@
+// Lint fixture (regex-lint blind spot, clean side): must pass every
+// rule. Both branches of the braceless omp-for body go through the
+// accessor seam — nested braceless control flow with nothing to flag.
+void store_color(int* c, int v, int x);  // the accessor seam
+
+void fixture_clean_braceless(int* c, int n) {
+#pragma omp parallel for schedule(static)
+  for (int v = 0; v < n; ++v)
+    if (v % 3 == 0) store_color(c, v, 1);
+    else store_color(c, v, 2);
+}

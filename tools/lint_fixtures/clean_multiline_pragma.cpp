@@ -1,0 +1,14 @@
+// Lint fixture (regex-lint blind spot, clean side): must pass every
+// rule. The schedule(...) clause lives on the continuation line of a
+// multi-line pragma; a scanner that tokenizes physical lines would
+// report a false R004 here.
+void store_color(int* c, int v, int x);  // the accessor seam
+
+void fixture_clean_multiline(int* c, int* buf, int n) {
+#pragma omp parallel for \
+    schedule(static, 64)
+  for (int v = 0; v < n; ++v) {
+    buf[v] = v;
+    store_color(c, v, v % 3);
+  }
+}

@@ -1,0 +1,22 @@
+// Lint fixture: the R010-clean counterpart — every constructed
+// ErrorCode enumerator is reachable from the to_string mapping, so the
+// error-propagation rule finds nothing.
+enum class ErrorCode { kBadDegree, kShardSkew };
+
+struct Error {
+  Error(ErrorCode c, const char* what);
+};
+
+const char* to_string(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::kBadDegree:
+      return "bad-degree";
+    case ErrorCode::kShardSkew:
+      return "shard-skew";
+  }
+  return "unknown";
+}
+
+void fixture_clean_r010(int skew) {
+  if (skew > 3) throw Error(ErrorCode::kShardSkew, "shard skew too high");
+}

@@ -1,0 +1,15 @@
+// Lint fixture: the R012-clean counterpart — the helper reached from
+// the parallel region routes every color access through the accessor
+// seam (store_color), so nothing escapes the audit hooks.
+void store_color(int* c, int v, int x);  // the accessor seam
+
+void scatter_via_seam(int* c, int v, int x) {
+  store_color(c, v, x);
+}
+
+void fixture_clean_r012(int* c, int n) {
+#pragma omp parallel for schedule(static, 32)
+  for (int v = 0; v < n; ++v) {
+    scatter_via_seam(c, v, v % 5);
+  }
+}

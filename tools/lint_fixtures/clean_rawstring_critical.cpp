@@ -1,0 +1,14 @@
+// Lint fixture (regex-lint blind spot): must pass every rule. The
+// `#pragma omp critical` below lives inside a raw string literal — it
+// is documentation text, not a directive. The old regex lint's string
+// stripper bailed out at the first newline inside the raw string and
+// then read the pragma as real code, reporting a false R001.
+const char* kKernelDoc = R"(
+Usage note: never add
+#pragma omp critical
+to a kernel; counters merge through CounterSlots instead.
+)";
+
+int fixture_rawstring_doc() {
+  return kKernelDoc[0] == '\n' ? 1 : 0;
+}

@@ -1,0 +1,13 @@
+// Lint fixture: must trigger exactly one R001 (omp-critical) finding.
+// The raw string above the kernel is a decoy the tokenizer must step
+// over cleanly; the real `#pragma omp critical` below it is the one
+// and only violation.
+const char* kNote = R"(histogram merge notes)";
+
+void fixture_r001_decoy(int* hist, int n) {
+#pragma omp parallel for schedule(static)
+  for (int i = 0; i < n; ++i) {
+#pragma omp critical
+    { hist[0] += i; }
+  }
+}

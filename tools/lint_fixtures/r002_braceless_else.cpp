@@ -1,0 +1,12 @@
+// Lint fixture (regex-lint blind spot): must trigger exactly one R002
+// (raw-color-access) finding. The raw color write hides in the `else`
+// branch of a braceless omp-for body; the old regex lint popped its
+// single-statement scope at the first `;` and never saw the else.
+void store_color(int* c, int v, int x);  // the accessor seam
+
+void fixture_r002_braceless(int* c, int n) {
+#pragma omp parallel for schedule(static)
+  for (int v = 0; v < n; ++v)
+    if (v % 3 == 0) store_color(c, v, 1);
+    else c[v] = 2;  // raw access in the region: R002
+}

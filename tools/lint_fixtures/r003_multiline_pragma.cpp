@@ -1,0 +1,17 @@
+// Lint fixture (regex-lint blind spot): must trigger exactly one R003
+// (kernel-alloc) finding. The omp pragma spans two physical lines with
+// a backslash continuation, putting the `for` on the continuation
+// line. The old regex lint tracked regions per physical line, never
+// saw the `for`, and missed the .at() in the hot loop body entirely.
+#include <cstddef>
+#include <vector>
+
+int fixture_r003_multiline(const std::vector<int>& deg, int n) {
+  int sum = 0;
+#pragma omp parallel \
+    for schedule(dynamic, 64) reduction(+ : sum)
+  for (int v = 0; v < n; ++v) {
+    sum += deg.at(static_cast<std::size_t>(v));
+  }
+  return sum;
+}

@@ -1,0 +1,16 @@
+// Lint fixture: must trigger exactly one R009 (interproc-alloc) finding.
+// The omp-for body calls append_result(), whose push_back allocates —
+// one call level deep, which the regex lint fundamentally could not
+// see: it only matched allocation spellings directly inside the loop.
+#include <vector>
+
+void append_result(std::vector<int>& out, int v) {
+  out.push_back(v);  // reachable allocation: R009
+}
+
+void fixture_r009(std::vector<int>& out, int n) {
+#pragma omp parallel for schedule(static, 64)
+  for (int v = 0; v < n; ++v) {
+    if ((v & 1) == 0) append_result(out, v);
+  }
+}

@@ -1,0 +1,21 @@
+// Lint fixture: must trigger exactly one R010 (swallowed-error)
+// finding. ErrorCode::kShardSkew is constructed but no to_string /
+// is_input_error / exit-code mapping anywhere handles it — the error
+// kind would be silently swallowed at the 4xx-vs-5xx boundary.
+enum class ErrorCode { kBadDegree, kShardSkew };
+
+struct Error {
+  Error(ErrorCode c, const char* what);
+};
+
+const char* to_string(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::kBadDegree:
+      return "bad-degree";
+  }
+  return "unknown";  // kShardSkew falls through anonymously
+}
+
+void fixture_r010(int skew) {
+  if (skew > 3) throw Error(ErrorCode::kShardSkew, "shard skew too high");
+}

@@ -1,0 +1,13 @@
+// Lint fixture: must trigger exactly one R011 (trace-unbalanced)
+// finding. The early return leaves the "color.phase" span open on one
+// control-flow path; the exporter's runtime orphan handling is a
+// diagnostic, not a license to leak spans.
+#define GCOL_TRACE_BEGIN(tr, name) (void)0
+#define GCOL_TRACE_END(tr, name) (void)0
+
+int fixture_r011(int x) {
+  GCOL_TRACE_BEGIN(tr, "color.phase");
+  if (x < 0) return -1;  // span "color.phase" still open here: R011
+  GCOL_TRACE_END(tr, "color.phase");
+  return x;
+}

@@ -1,0 +1,15 @@
+// Lint fixture: must trigger exactly one R012 (seam-escape) finding.
+// scatter_color() touches the color array raw, and it is reachable
+// from the parallel region one call level down — outside the
+// kernels_common.hpp accessor seam, so the audit ledgers and gcol-mc
+// schedule points never see the access.
+void scatter_color(int* c, int v, int x) {
+  c[v] = x;  // raw color write escaping the accessor seam: R012
+}
+
+void fixture_r012(int* c, int n) {
+#pragma omp parallel for schedule(static, 32)
+  for (int v = 0; v < n; ++v) {
+    scatter_color(c, v, v % 5);
+  }
+}
