@@ -118,7 +118,8 @@ ColoringResult color_bgpc(const BipartiteGraph& g,
   // store_color (relaxed atomic_ref) here and below: libgomp's barriers
   // are invisible to tsan, so any plain driver access to c[] would be
   // reported as racing the kernels' atomics. Free on x86 either way.
-#pragma omp parallel for schedule(static) num_threads(threads)
+#pragma omp parallel for schedule(static) num_threads(threads) \
+    default(none) shared(c) firstprivate(n)
   for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i)
     detail::store_color(c, static_cast<vid_t>(i), kNoColor);
 

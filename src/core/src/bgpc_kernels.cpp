@@ -23,7 +23,8 @@ void color_vertex_impl(const BipartiteGraph& g, const std::vector<vid_t>& w,
                        int chunk, int threads, KernelCounters& counters) {
   const auto n = static_cast<std::int64_t>(w.size());
   CounterSlots slots(threads);
-#pragma omp parallel num_threads(threads)
+#pragma omp parallel num_threads(threads) default(none) \
+    shared(g, w, c, ws, slots) firstprivate(chunk, n)
   {
     const int tid = current_thread();
     GCOL_MC_REGION();
@@ -77,7 +78,8 @@ void color_net_impl(const BipartiteGraph& g, color_t* c,
                     KernelCounters& counters) {
   const auto nn = static_cast<std::int64_t>(g.num_nets());
   CounterSlots slots(threads);
-#pragma omp parallel num_threads(threads)
+#pragma omp parallel num_threads(threads) default(none) \
+    shared(g, c, ws, slots) firstprivate(chunk, nn)
   {
     const int tid = current_thread();
     GCOL_MC_REGION();
@@ -119,7 +121,8 @@ void color_net_v1_impl(const BipartiteGraph& g, color_t* c,
                        int chunk, int threads, KernelCounters& counters) {
   const auto nn = static_cast<std::int64_t>(g.num_nets());
   CounterSlots slots(threads);
-#pragma omp parallel num_threads(threads)
+#pragma omp parallel num_threads(threads) default(none) \
+    shared(g, c, ws, slots) firstprivate(chunk, nn, reverse)
   {
     const int tid = current_thread();
     GCOL_MC_REGION();
@@ -176,7 +179,9 @@ void conflict_vertex_impl(const BipartiteGraph& g, const std::vector<vid_t>& w,
     lazy.configure(threads), lazy.begin_round();
 
   CounterSlots slots(threads);
-#pragma omp parallel num_threads(threads)
+#pragma omp parallel num_threads(threads) default(none) \
+    shared(g, w, c, ws, slots, shared, lazy) \
+    firstprivate(chunk, n, use_shared)
   {
     const int tid = current_thread();
     GCOL_MC_REGION();
@@ -241,7 +246,8 @@ void conflict_net_impl(const BipartiteGraph& g, color_t* c,
   LocalWorkQueues lazy(threads);
   lazy.begin_round();
   CounterSlots slots(threads);
-#pragma omp parallel num_threads(threads)
+#pragma omp parallel num_threads(threads) default(none) \
+    shared(g, c, ws, slots, lazy) firstprivate(chunk, nn)
   {
     const int tid = current_thread();
     GCOL_MC_REGION();

@@ -26,7 +26,8 @@ void d1_color_round(const Graph& g, const std::vector<vid_t>& w, color_t* c,
                     KernelCounters& counters) {
   const auto n = static_cast<std::int64_t>(w.size());
   detail::CounterSlots slots(threads);
-#pragma omp parallel num_threads(threads)
+#pragma omp parallel num_threads(threads) default(none) \
+    shared(g, w, c, ws, slots) firstprivate(chunk, n)
   {
     const int tid = current_thread();
     ThreadWorkspace& tws = ws[static_cast<std::size_t>(tid)];
@@ -64,7 +65,9 @@ void d1_conflict_round(const Graph& g, const std::vector<vid_t>& w,
   else
     lazy.configure(threads), lazy.begin_round();
   detail::CounterSlots slots(threads);
-#pragma omp parallel num_threads(threads)
+#pragma omp parallel num_threads(threads) default(none) \
+    shared(g, w, c, slots, shared, lazy) \
+    firstprivate(chunk, n, use_shared)
   {
     const int tid = current_thread();
     KernelCounters local;
@@ -255,7 +258,8 @@ ColoringResult color_d1gc_jones_plassmann(const Graph& g, std::uint64_t seed,
 
     WallTimer phase;
     detail::CounterSlots slots(threads);
-#pragma omp parallel num_threads(threads)
+#pragma omp parallel num_threads(threads) default(none) \
+    shared(g, w, c, workspaces, active, lazy, slots, wins) firstprivate(sz)
     {
       const int tid = current_thread();
       ThreadWorkspace& tws = workspaces[static_cast<std::size_t>(tid)];

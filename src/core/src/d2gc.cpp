@@ -108,7 +108,8 @@ ColoringResult color_d2gc(const Graph& g, const ColoringOptions& options,
   const std::unique_ptr<color_t[]> color_buf(new color_t[nsz]);
   color_t* c = color_buf.get();
   // store_color throughout the driver: see bgpc.cpp.
-#pragma omp parallel for schedule(static) num_threads(threads)
+#pragma omp parallel for schedule(static) num_threads(threads) \
+    default(none) shared(c) firstprivate(n)
   for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i)
     detail::store_color(c, static_cast<vid_t>(i), kNoColor);
 

@@ -22,7 +22,8 @@ void color_vertex_impl(const Graph& g, const std::vector<vid_t>& w,
                        int chunk, int threads, KernelCounters& counters) {
   const auto n = static_cast<std::int64_t>(w.size());
   CounterSlots slots(threads);
-#pragma omp parallel num_threads(threads)
+#pragma omp parallel num_threads(threads) default(none) \
+    shared(g, w, c, ws, slots) firstprivate(chunk, n)
   {
     const int tid = current_thread();
     GCOL_MC_REGION();
@@ -80,7 +81,8 @@ void color_net_impl(const Graph& g, color_t* c,
                     KernelCounters& counters) {
   const auto n = static_cast<std::int64_t>(g.num_vertices());
   CounterSlots slots(threads);
-#pragma omp parallel num_threads(threads)
+#pragma omp parallel num_threads(threads) default(none) \
+    shared(g, c, ws, slots) firstprivate(chunk, n)
   {
     const int tid = current_thread();
     GCOL_MC_REGION();
@@ -137,7 +139,9 @@ void conflict_vertex_impl(const Graph& g, const std::vector<vid_t>& w,
     lazy.configure(threads), lazy.begin_round();
 
   CounterSlots slots(threads);
-#pragma omp parallel num_threads(threads)
+#pragma omp parallel num_threads(threads) default(none) \
+    shared(g, w, c, ws, slots, shared, lazy) \
+    firstprivate(chunk, n, use_shared)
   {
     const int tid = current_thread();
     GCOL_MC_REGION();
@@ -208,7 +212,8 @@ void conflict_net_impl(const Graph& g, color_t* c,
   LocalWorkQueues lazy(threads);
   lazy.begin_round();
   CounterSlots slots(threads);
-#pragma omp parallel num_threads(threads)
+#pragma omp parallel num_threads(threads) default(none) \
+    shared(g, c, ws, slots, lazy) firstprivate(chunk, n)
   {
     const int tid = current_thread();
     GCOL_MC_REGION();

@@ -135,7 +135,8 @@ DistResult color_bgpc_distributed(const BipartiteGraph& g,
   const int num_states = static_cast<int>(states.size());
   GCOL_TRACE_BEGIN(tracer, "dist.interior",
                    static_cast<std::uint64_t>(result.stats.interior_vertices));
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) default(none) \
+    shared(shards, states) firstprivate(num_states, tracer)
   for (int s = 0; s < num_states; ++s) {
     const Shard& shard = shards[static_cast<std::size_t>(s)];
     ShardState& st = states[static_cast<std::size_t>(s)];
@@ -194,7 +195,8 @@ DistResult color_bgpc_distributed(const BipartiteGraph& g,
     // conflicts, exactly as in refs [27], [28].
     GCOL_TRACE_BEGIN(tracer, "dist.speculate",
                      static_cast<std::uint64_t>(remaining));
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) default(none) \
+    shared(shards, states) firstprivate(num_states, superstep, tracer)
     for (int s = 0; s < num_states; ++s) {
       const Shard& shard = shards[static_cast<std::size_t>(s)];
       ShardState& st = states[static_cast<std::size_t>(s)];
@@ -330,7 +332,8 @@ DistResult color_bgpc_distributed(const BipartiteGraph& g,
     // clash uncolors. Dirty vertices are final and skipped.
     GCOL_TRACE_BEGIN(tracer, "dist.conflict",
                      static_cast<std::uint64_t>(superstep));
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) default(none) \
+    shared(shards, states) firstprivate(num_states, superstep, tracer)
     for (int s = 0; s < num_states; ++s) {
       const Shard& shard = shards[static_cast<std::size_t>(s)];
       ShardState& st = states[static_cast<std::size_t>(s)];

@@ -7,11 +7,16 @@ Supersedes the regex-based tools/gcol_lint.py with a real engine:
   parser.py     function-definition indexing and a statement-tree
                 sketch parser (blocks, if/else, loops, switch, try)
   omp.py        OpenMP region dataflow: parallel / omp-for extents
-                through braced, braceless, and nested bodies
+                through braced, braceless, and nested bodies, plus the
+                data-sharing clause model (gcol-sa/race)
+  symbols.py    scope/symbol resolver: parameters, local declarations,
+                access classification, write-site detection
+  effects.py    per-function effect summaries at fixpoint over the call
+                graph; R013/R015 program rules; race-surface report
   index.py      per-file analysis over compile_commands.json TUs with
-                a content-hash result cache
+                a content-hash result cache (optionally multiprocess)
   callgraph.py  whole-program call graph + interprocedural reachability
-  rules.py      the rule catalog R001-R012 and the program-level rules
+  rules.py      the rule catalog R001-R016 and the program-level rules
   baseline.py   checked-in suppression file with justifications
   sarif.py      SARIF 2.1.0 export
   selftest.py   engine unit tests + fixture matrix + exit-code contract
@@ -23,6 +28,6 @@ to this package with the same flags and exit codes.
 """
 
 # Bump to invalidate every cached per-file analysis result.
-ENGINE_VERSION = "gcol-sa-1"
+ENGINE_VERSION = "gcol-sa-2"
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"

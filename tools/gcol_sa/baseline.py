@@ -21,10 +21,68 @@ BASELINE_NAME = "gcol_sa_baseline.txt"
 
 
 def fingerprint(rule: str, rel: str, context: str) -> str:
+    """v2: each field is length-prefixed before hashing, so no crafted
+    context/relpath containing the old '|' delimiter can make one
+    rule's entry collide with (and silently suppress) another finding
+    at the same site."""
+    h = hashlib.sha256(b"gcol-sa-fp2")
+    for part in (rule, rel.replace(os.sep, "/"), context.strip()):
+        data = part.encode("utf-8", "replace")
+        h.update(len(data).to_bytes(4, "big"))
+        h.update(data)
+    return h.hexdigest()[:12]
+
+
+def fingerprint_v1(rule: str, rel: str, context: str) -> str:
+    """The PR 9 fingerprint — kept only so --rehash-baseline can match
+    committed entries during the one-shot migration."""
     h = hashlib.sha256()
     h.update(f"{rule}|{rel.replace(os.sep, '/')}|{context.strip()}"
              .encode("utf-8", "replace"))
     return h.hexdigest()[:12]
+
+
+def rehash(path: str, findings, root: str) -> tuple[int, list[str]]:
+    """One-shot in-place migration of a baseline file to the v2
+    fingerprint: each entry's fp field is matched against the current
+    findings under BOTH hash versions and rewritten to v2, preserving
+    comments, order, and justifications byte-for-byte otherwise.
+    Returns (entries_rewritten, unmatched_descriptions)."""
+    if not os.path.exists(path):
+        return 0, [f"no baseline file at {path}"]
+    fps: dict[tuple, str] = {}
+    for f in findings:
+        rel = os.path.relpath(f.path, root).replace(os.sep, "/")
+        new = fingerprint(f.rule, rel, f.context)
+        fps[(f.rule, rel, fingerprint_v1(f.rule, rel, f.context))] = new
+        fps[(f.rule, rel, new)] = new   # already-migrated entries pass
+    out_lines: list[str] = []
+    rewritten, unmatched = 0, []
+    with open(path, encoding="utf-8") as fh:
+        for raw in fh:
+            line = raw.rstrip("\n")
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                out_lines.append(line)
+                continue
+            body, sep, just = line.partition("#")
+            parts = body.split()
+            if len(parts) != 3:
+                out_lines.append(line)
+                continue
+            rule, rel, fp = parts
+            new = fps.get((rule, rel, fp))
+            if new is None:
+                unmatched.append(f"{rule} {rel} {fp} (no current finding "
+                                 f"matches either hash version)")
+                out_lines.append(line)
+                continue
+            if new != fp:
+                rewritten += 1
+            out_lines.append(f"{rule}  {rel}  {new}  {sep}{just}")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("\n".join(out_lines) + "\n")
+    return rewritten, unmatched
 
 
 @dataclass

@@ -13,25 +13,34 @@ from __future__ import annotations
 
 
 class FuncFact:
-    __slots__ = ("name", "qual", "line", "calls", "allocs", "color_sites")
+    __slots__ = ("name", "qual", "line", "calls", "allocs", "color_sites",
+                 "params", "writes", "reads_shared")
 
-    def __init__(self, name, qual, line, calls, allocs, color_sites):
+    def __init__(self, name, qual, line, calls, allocs, color_sites,
+                 params=None, writes=None, reads_shared=False):
         self.name = name
         self.qual = qual
         self.line = line
-        self.calls = calls            # [{name, line, parallel, hot, dotted}]
+        self.calls = calls            # [{name, line, parallel, hot,
+        #                                dotted, decl_like}]
         self.allocs = allocs          # [{line, what}]
         self.color_sites = color_sites  # [line, ...]
+        self.params = params or {}    # name -> bool(pointer/ref/array)
+        self.writes = writes or []    # shared-write sites through aliasing
+        #                               params: [{line, base, idx}]
+        self.reads_shared = reads_shared
 
     def to_dict(self) -> dict:
         return {"name": self.name, "qual": self.qual, "line": self.line,
                 "calls": self.calls, "allocs": self.allocs,
-                "color_sites": self.color_sites}
+                "color_sites": self.color_sites, "params": self.params,
+                "writes": self.writes, "reads_shared": self.reads_shared}
 
     @classmethod
     def from_dict(cls, d: dict) -> "FuncFact":
         return cls(d["name"], d["qual"], d["line"], d["calls"],
-                   d["allocs"], d["color_sites"])
+                   d["allocs"], d["color_sites"], d.get("params"),
+                   d.get("writes"), d.get("reads_shared", False))
 
 
 class ProgramFacts:

@@ -15,7 +15,10 @@ import sys
 import time
 
 from .baseline import BASELINE_NAME, apply as baseline_apply, load as \
-    baseline_load, render_entries
+    baseline_load, rehash as baseline_rehash, render_entries
+from .effects import (build_race_surface, check_hot_call_effects,
+                      check_shared_write_chains, compute_summaries,
+                      verify_race_surface)
 from .index import (GateError, build_program, changed_rels, collect_files,
                     file_findings, find_root, run_analysis)
 from .rules import (RULES, RULE_NAMES, check_error_propagation,
@@ -24,15 +27,28 @@ from .sarif import write_sarif
 
 
 def analyze(root: str, paths: list[str], explicit: bool,
-            cache_dir: str | None):
+            cache_dir: str | None, jobs: int = 1, timings=None):
     """Shared analysis pipeline: per-file rules + program rules.
     Returns (analyzed_files, program_facts, includes_map, findings)."""
-    analyzed = run_analysis(root, paths, explicit, cache_dir)
+    t = timings if timings is not None else {}
+    t0 = time.perf_counter()
+    analyzed = run_analysis(root, paths, explicit, cache_dir, jobs=jobs)
+    t1 = time.perf_counter()
     findings = file_findings(analyzed)
     facts, includes = build_program(analyzed, explicit)
+    t2 = time.perf_counter()
+    summaries = compute_summaries(facts)
+    t3 = time.perf_counter()
     findings += check_interproc_alloc(facts)
     findings += check_seam_escape(facts)
     findings += check_error_propagation(facts)
+    findings += check_shared_write_chains(facts)
+    findings += check_hot_call_effects(facts, summaries)
+    t4 = time.perf_counter()
+    t["files"] = t1 - t0
+    t["callgraph"] = t2 - t1
+    t["effects"] = t3 - t2
+    t["program-rules"] = t4 - t3
     return analyzed, facts, includes, findings
 
 
@@ -85,7 +101,20 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p.add_argument("--budget-seconds", type=float, default=None,
                    help="exit 2 if the run exceeds this wall-time budget")
     p.add_argument("--stats", action="store_true",
-                   help="print cache/timing statistics to stderr")
+                   help="print cache/timing statistics (with a per-phase "
+                        "breakdown) to stderr")
+    p.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                   help="analyze files with N worker processes")
+    p.add_argument("--race-surface", metavar="FILE",
+                   help="write the gcol-sa-race-v1 shared-write surface "
+                        "report to FILE ('-' for stdout)")
+    p.add_argument("--verify-race-surface", action="store_true",
+                   help="cross-check the freshly built race surface "
+                        "against docs/race_surface.json and the seam "
+                        "table in docs/ANALYSIS.md (exit 2 on drift)")
+    p.add_argument("--rehash-baseline", action="store_true",
+                   help="one-shot migration: rewrite the baseline file's "
+                        "fingerprints to the current (v2) hash in place")
     return p
 
 
@@ -125,8 +154,52 @@ def main(argv: list[str] | None = None) -> int:
         if not args.no_cache:
             cache_dir = args.cache_dir or os.path.join(
                 root, "build", "gcol_sa_cache")
+        phase_timings: dict[str, float] = {}
         analyzed, facts, includes, findings = analyze(
-            root, paths, explicit, cache_dir)
+            root, paths, explicit, cache_dir, jobs=max(1, args.jobs),
+            timings=phase_timings)
+
+        if args.rehash_baseline:
+            bpath = args.baseline or os.path.join(root, "tools",
+                                                  BASELINE_NAME)
+            rewritten, unmatched = baseline_rehash(bpath, findings, root)
+            for u in unmatched:
+                print(f"gcol-sa: warning: could not rehash: {u}",
+                      file=sys.stderr)
+            print(f"gcol-sa: rehashed {rewritten} baseline entrie(s) in "
+                  f"{os.path.relpath(bpath, root)}")
+            return 0
+
+        if args.race_surface or args.verify_race_surface:
+            import json as _json
+            report = build_race_surface(analyzed, facts)
+            if args.race_surface == "-":
+                _json.dump(report, sys.stdout, indent=1, sort_keys=True)
+                print()
+            elif args.race_surface:
+                with open(args.race_surface, "w", encoding="utf-8") as fh:
+                    _json.dump(report, fh, indent=1, sort_keys=True)
+                    fh.write("\n")
+                print(f"gcol-sa: wrote race surface "
+                      f"({report['summary']['sites']} site(s), "
+                      f"{report['summary']['flagged']} unjustified) to "
+                      f"{args.race_surface}")
+            if args.verify_race_surface:
+                problems = verify_race_surface(
+                    report,
+                    os.path.join(root, "docs", "race_surface.json"),
+                    os.path.join(root, "docs", "ANALYSIS.md"))
+                if problems:
+                    for prob in problems:
+                        print(f"gcol-sa: race-surface drift: {prob}",
+                              file=sys.stderr)
+                    print("gcol-sa: regenerate with `python3 tools/gcol_sa "
+                          "--race-surface docs/race_surface.json` and "
+                          "re-review the justifications", file=sys.stderr)
+                    return 2
+                print(f"gcol-sa: race surface in sync "
+                      f"({report['summary']['sites']} site(s), "
+                      f"{report['summary']['flagged']} unjustified)")
 
         if args.changed_only:
             changed = changed_rels(root, args.diff_base)
@@ -180,6 +253,17 @@ def main(argv: list[str] | None = None) -> int:
             print(f"gcol-sa: stats: {len(analyzed)} file(s), "
                   f"{hits} cache hit(s), {elapsed:.2f}s, "
                   f"findings {counts}", file=sys.stderr)
+            per_phase: dict[str, float] = {}
+            for a in analyzed:
+                if a.cached:
+                    continue
+                for k, v in a.payload.get("timings", {}).items():
+                    per_phase[k] = per_phase.get(k, 0.0) + v
+            per_phase.update(phase_timings)
+            breakdown = " ".join(f"{k}:{v * 1000:.0f}ms"
+                                 for k, v in per_phase.items())
+            print(f"gcol-sa: phases ({max(1, args.jobs)} job(s)): "
+                  f"{breakdown}", file=sys.stderr)
         if args.budget_seconds is not None and elapsed > args.budget_seconds:
             print(f"gcol-sa: wall-time budget exceeded: {elapsed:.2f}s > "
                   f"{args.budget_seconds:.2f}s — the gate must stay fast "

@@ -20,16 +20,18 @@ import sys
 from . import ENGINE_VERSION
 from .callgraph import FuncFact, ProgramFacts
 from .lexer import lex
-from .omp import RegionMap, apply_regions
+from .omp import mark_file
 from .parser import find_functions, parse_function_body
 from .rules import (ALLOC_FREE_FUNCS, Finding, KEYWORDS_NOT_CALLS,
-                    R009_METHODS, check_pragma_rules, check_region_rules,
-                    check_token_rules, check_trace_balance)
+                    R009_METHODS, check_pragma_rules, check_race_rules,
+                    check_region_rules, check_token_rules,
+                    check_trace_balance, sharing_model)
+from .symbols import ALIASING_KINDS, param_table, scan_accesses
 
 REPO_MARKERS = ("CMakeLists.txt", "CMakePresets.json")
 
 ALL_ROLES = frozenset({"core", "dist_guard", "marker_guard",
-                       "timing_guard", "trace_scope"})
+                       "timing_guard", "trace_scope", "race"})
 
 # All-caps identifiers are macro invocations by repo convention
 # (GCOL_TRACE_*, GCOL_CONTRACT, TEST, EXPECT_EQ...); they are not call
@@ -88,10 +90,20 @@ def collect_files(root: str, compile_commands: str | None) -> list[str]:
 
 
 def roles_for(rel: str, explicit: bool) -> frozenset:
-    if explicit:
-        return ALL_ROLES
     rel = rel.replace(os.sep, "/")
+    if explicit:
+        # R014's scope is architectural (src/core + src/dist), so the
+        # fixture corpus opts in by name — keeping the pre-existing
+        # R001-R012 fixtures (and their golden verdicts) byte-stable.
+        roles = set(ALL_ROLES)
+        if "r014" in os.path.basename(rel):
+            roles.add("sharing")
+        return frozenset(roles)
     roles = set()
+    if rel.startswith("src/core/") or rel.startswith("src/dist/"):
+        roles.add("sharing")
+    if rel.startswith("src/"):
+        roles.add("race")
     if rel.startswith("src/core/"):
         roles.add("core")
     if rel.startswith("src/") and not rel.startswith("src/dist/"):
@@ -113,18 +125,38 @@ class FileAnalysis:
     """One file's lexed/parsed view plus the helpers the rules use."""
 
     def __init__(self, path: str, rel: str, text: str):
+        import time
         self.path = path
         self.rel = rel
+        self.timings: dict[str, float] = {}
         self.lines = text.split("\n")
+        t0 = time.perf_counter()
         self.lexed = lex(text)
+        t1 = time.perf_counter()
         self.funcs = find_functions(self.lexed.tokens)
         self._trees = None
         self.atomic_ref_lines = {
             t.line for t in self.lexed.tokens
             if t.kind == "id" and t.val == "atomic_ref"}
-        self.regions = RegionMap(len(self.lexed.tokens))
-        for _, tree in self.func_trees():
-            apply_regions(tree, self.regions)
+        self.func_trees()
+        t2 = time.perf_counter()
+        self.regions = mark_file(self.func_trees(), self.lexed.tokens,
+                                 len(self.lexed.tokens))
+        # Token extents inside GCOL_COUNT(...) — the CounterSlots seam's
+        # access macro; increments it wraps target per-thread slots (and
+        # compile out with counters off), so the race rules bless them.
+        toks = self.lexed.tokens
+        self.counted = bytearray(len(toks))
+        for i, t in enumerate(toks):
+            if t.kind == "id" and t.val == "GCOL_COUNT" \
+                    and i + 1 < len(toks) and toks[i + 1].val == "(":
+                from .parser import skip_balanced
+                for j in range(i + 1, skip_balanced(toks, i + 1)):
+                    self.counted[j] = 1
+        t3 = time.perf_counter()
+        self.timings["lex"] = t1 - t0
+        self.timings["parse"] = t2 - t1
+        self.timings["regions"] = t3 - t2
 
     def func_trees(self):
         if self._trees is None:
@@ -156,10 +188,23 @@ def _function_facts(fa: FileAnalysis) -> list[FuncFact]:
             prev = toks[i - 1].val if i > 0 else ""
             if nxt == "(" and t.val not in KEYWORDS_NOT_CALLS \
                     and not _MACRO_ID.fullmatch(t.val):
+                prev_kind = toks[i - 1].kind if i > 0 else ""
                 calls.append({"name": t.val, "line": t.line,
                               "parallel": bool(fa.regions.parallel[i]),
                               "hot": bool(fa.regions.hot[i]),
-                              "dotted": prev in (".", "->")})
+                              "dotted": prev in (".", "->"),
+                              # `std::fill`, `steady_clock::now`, ... —
+                              # a library call spelled with its home
+                              # namespace is a deliberate, reviewable
+                              # choice; it must not widen a summary to
+                              # calls_unknown
+                              "qualified": prev == "::",
+                              # `Type name(args)` — a paren-init
+                              # declaration, not a call edge worth
+                              # widening an effect summary over
+                              "decl_like": prev == ">" or (
+                                  prev_kind == "id"
+                                  and prev not in KEYWORDS_NOT_CALLS)})
             what = None
             if t.val == "new":
                 what = "new"
@@ -175,8 +220,30 @@ def _function_facts(fa: FileAnalysis) -> list[FuncFact]:
             if t.val in ("c", "colors") and nxt == "[" \
                     and t.line not in fa.atomic_ref_lines:
                 colors.append(t.line)
+        params = param_table(toks, func)
+        writes, reads_shared, seen_writes = [], False, set()
+        for acc in scan_accesses(toks, func.lbrace + 1,
+                                 min(func.rbrace - 1, n)):
+            kind = params.get(acc.name)
+            if kind not in ALIASING_KINDS:
+                continue
+            # A ref touches caller memory on any access; ptr/view only
+            # through a deref/subscript/member chain (a direct store
+            # just rebinds the thread-local copy).
+            if not (kind == "ref" or acc.chained):
+                continue
+            if acc.write:
+                key = (acc.line, acc.name)
+                if key not in seen_writes:
+                    seen_writes.add(key)
+                    writes.append({"line": acc.line, "base": acc.name,
+                                   "idx": sorted(acc.subscript_ids),
+                                   "counted": bool(fa.counted[acc.tok])})
+            else:
+                reads_shared = True
         out.append(FuncFact(func.name, func.qual, func.line,
-                            calls, allocs, colors))
+                            calls, allocs, colors, params=params,
+                            writes=writes, reads_shared=reads_shared))
     return out
 
 
@@ -212,19 +279,24 @@ def _error_facts(fa: FileAnalysis, in_scope: bool) -> dict:
 
 def analyze_text(path: str, rel: str, text: str, explicit: bool) -> dict:
     """Full per-file analysis -> JSON-serializable payload."""
+    import time
     fa = FileAnalysis(path, rel, text)
     roles = roles_for(rel, explicit)
+    t0 = time.perf_counter()
+    sites = sharing_model(fa)
     findings: list[Finding] = []
     findings += check_pragma_rules(fa, roles)
     findings += check_region_rules(fa, roles)
     findings += check_token_rules(fa, roles)
     findings += check_trace_balance(fa, roles)
+    findings += check_race_rules(fa, roles, sites)
+    t1 = time.perf_counter()
     includes = []
     for d in fa.lexed.directives:
         p = d.include_path()
         if p:
             includes.append(p)
-    return {
+    payload = {
         "findings": [{"line": f.line, "rule": f.rule,
                       "message": f.message, "context": f.context}
                      for f in findings],
@@ -233,7 +305,13 @@ def analyze_text(path: str, rel: str, text: str, explicit: bool) -> dict:
                                or rel.replace(os.sep, "/")
                                      .startswith("src/")),
         "includes": includes,
+        "race_sites": sites,
     }
+    t2 = time.perf_counter()
+    fa.timings["rules"] = t1 - t0
+    fa.timings["facts"] = t2 - t1
+    payload["timings"] = dict(fa.timings)
+    return payload
 
 
 # ---------------------------------------------------------------------------
@@ -261,41 +339,51 @@ class AnalyzedFile:
         self.cached = cached
 
 
-def run_analysis(root: str, paths: list[str], explicit: bool,
-                 cache_dir: str | None) -> list[AnalyzedFile]:
-    out = []
-    for path in paths:
+def _analyze_one(task) -> AnalyzedFile:
+    """Worker for one file: read, cache-probe, compute, cache-store.
+    Module-level so multiprocessing can pickle it."""
+    root, path, explicit, cache_dir = task
+    try:
+        with open(path, encoding="utf-8", errors="replace") as fh:
+            text = fh.read()
+    except OSError as exc:
+        raise GateError(f"cannot read {path}: {exc}") from exc
+    rel = os.path.relpath(path, root).replace(os.sep, "/")
+    payload = None
+    cached = False
+    key = _cache_key(rel, text, explicit)
+    cpath = os.path.join(cache_dir, key + ".json") if cache_dir else None
+    if cpath and os.path.exists(cpath):
         try:
-            with open(path, encoding="utf-8", errors="replace") as fh:
-                text = fh.read()
-        except OSError as exc:
-            raise GateError(f"cannot read {path}: {exc}") from exc
-        rel = os.path.relpath(path, root).replace(os.sep, "/")
-        payload = None
-        cached = False
-        key = _cache_key(rel, text, explicit)
-        cpath = os.path.join(cache_dir, key + ".json") if cache_dir else None
-        if cpath and os.path.exists(cpath):
+            with open(cpath, encoding="utf-8") as fh:
+                payload = json.load(fh)
+            cached = True
+        except (OSError, ValueError):
+            payload = None  # corrupt cache entry: recompute
+    if payload is None:
+        payload = analyze_text(path, rel, text, explicit)
+        if cpath:
             try:
-                with open(cpath, encoding="utf-8") as fh:
-                    payload = json.load(fh)
-                cached = True
-            except (OSError, ValueError):
-                payload = None  # corrupt cache entry: recompute
-        if payload is None:
-            payload = analyze_text(path, rel, text, explicit)
-            if cpath:
-                try:
-                    os.makedirs(cache_dir, exist_ok=True)
-                    tmp = cpath + f".tmp{os.getpid()}"
-                    with open(tmp, "w", encoding="utf-8") as fh:
-                        json.dump(payload, fh)
-                    os.replace(tmp, cpath)
-                except OSError:
-                    pass  # cache is best-effort
-        out.append(AnalyzedFile(path, rel, text.split("\n"),
-                                payload, cached))
-    return out
+                os.makedirs(cache_dir, exist_ok=True)
+                tmp = cpath + f".tmp{os.getpid()}"
+                with open(tmp, "w", encoding="utf-8") as fh:
+                    json.dump(payload, fh)
+                os.replace(tmp, cpath)
+            except OSError:
+                pass  # cache is best-effort
+    return AnalyzedFile(path, rel, text.split("\n"), payload, cached)
+
+
+def run_analysis(root: str, paths: list[str], explicit: bool,
+                 cache_dir: str | None,
+                 jobs: int = 1) -> list[AnalyzedFile]:
+    tasks = [(root, path, explicit, cache_dir) for path in paths]
+    if jobs > 1 and len(tasks) > 1:
+        import multiprocessing
+        with multiprocessing.Pool(min(jobs, len(tasks))) as pool:
+            chunk = max(1, len(tasks) // (4 * jobs))
+            return pool.map(_analyze_one, tasks, chunksize=chunk)
+    return [_analyze_one(t) for t in tasks]
 
 
 def build_program(analyzed: list[AnalyzedFile],

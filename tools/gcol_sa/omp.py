@@ -16,11 +16,24 @@ governs, so region extents are a tree walk:
     statement, and nested braceless control flow inside it stays
     covered — no first-semicolon cutoff.
 
-The result is two boolean arrays over the file's code-token indices:
-`parallel[i]` / `hot[i]`.
+The result is two boolean arrays over the file's code-token indices
+(`parallel[i]` / `hot[i]`) plus — new with gcol-sa/race — a *region
+model*: every construct becomes a `Region` carrying its parsed
+data-sharing clauses (`shared` / `private` / `firstprivate` /
+`lastprivate` / `reduction` / `default(none)` / `schedule` /
+`num_threads`), its nesting parent, and the induction variables of an
+omp-for loop header, with `region_of[i]` mapping each token to its
+innermost enclosing construct. `critical[i]` / `atomic[i]` track the
+synchronized sub-extents the race rules treat as justified.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+# Clause spellings that take a plain variable list.
+_LIST_CLAUSES = ("shared", "private", "firstprivate", "lastprivate",
+                 "copyin", "copyprivate", "linear")
 
 
 def directive_omp_ids(directive) -> set[str] | None:
@@ -29,10 +42,187 @@ def directive_omp_ids(directive) -> set[str] | None:
     return set(directive.ids()[2:])
 
 
+@dataclass
+class Clauses:
+    """Parsed data-sharing clauses of one OpenMP directive."""
+    default: str | None = None        # "none" | "shared" | None
+    shared: set = field(default_factory=set)
+    private: set = field(default_factory=set)
+    firstprivate: set = field(default_factory=set)
+    lastprivate: set = field(default_factory=set)
+    reduction: set = field(default_factory=set)   # the reduced variables
+    has_schedule: bool = False
+    has_num_threads: bool = False
+    names: set = field(default_factory=set)       # every clause spelling
+
+    def privatized(self) -> set:
+        return self.private | self.firstprivate | self.lastprivate
+
+    def listed(self) -> set:
+        """Every variable named in any data-sharing clause."""
+        return (self.shared | self.privatized() | self.reduction)
+
+    def to_dict(self) -> dict:
+        return {"default": self.default,
+                "shared": sorted(self.shared),
+                "private": sorted(self.private),
+                "firstprivate": sorted(self.firstprivate),
+                "lastprivate": sorted(self.lastprivate),
+                "reduction": sorted(self.reduction),
+                "has_schedule": self.has_schedule,
+                "has_num_threads": self.has_num_threads,
+                "names": sorted(self.names)}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Clauses":
+        return cls(default=d.get("default"),
+                   shared=set(d.get("shared", ())),
+                   private=set(d.get("private", ())),
+                   firstprivate=set(d.get("firstprivate", ())),
+                   lastprivate=set(d.get("lastprivate", ())),
+                   reduction=set(d.get("reduction", ())),
+                   has_schedule=bool(d.get("has_schedule")),
+                   has_num_threads=bool(d.get("has_num_threads")),
+                   names=set(d.get("names", ())))
+
+
+def parse_clauses(directive) -> Clauses:
+    """Parse the clause list of an `#pragma omp ...` directive into a
+    `Clauses` model. Tolerant by construction: an unrecognized clause
+    contributes its spelling to `names` and nothing else."""
+    cl = Clauses()
+    toks = directive.tokens
+    n = len(toks)
+    i = 2  # past "pragma omp"
+    # Skip the directive-name tokens (parallel, for, critical, ...) up
+    # to the first clause head; clause heads are ids followed by "(" or
+    # known bare clauses. Directive names and clause heads can collide
+    # ("for" in "parallel for"), so just walk every id.
+    while i < n:
+        t = toks[i]
+        if t.kind != "id":
+            i += 1
+            continue
+        head = t.val
+        cl.names.add(head)
+        if i + 1 < n and toks[i + 1].val == "(":
+            args, j = _clause_args(toks, i + 1)
+            if head == "default":
+                ids = [a.val for a in args if a.kind == "id"]
+                cl.default = ids[0] if ids else None
+            elif head in _LIST_CLAUSES:
+                vars_ = _arg_vars(args)
+                if head == "shared":
+                    cl.shared |= vars_
+                elif head == "private":
+                    cl.private |= vars_
+                elif head == "firstprivate":
+                    cl.firstprivate |= vars_
+                elif head == "lastprivate":
+                    cl.lastprivate |= vars_
+            elif head == "reduction":
+                cl.reduction |= _reduction_vars(args)
+            elif head == "schedule":
+                cl.has_schedule = True
+            elif head == "num_threads":
+                cl.has_num_threads = True
+            i = j
+            continue
+        if head == "schedule":
+            cl.has_schedule = True
+        elif head == "num_threads":
+            cl.has_num_threads = True
+        i += 1
+    return cl
+
+
+def _clause_args(toks, lparen: int):
+    """Tokens inside the balanced `(...)` starting at `lparen`; returns
+    (inner_tokens, index_one_past_close)."""
+    depth = 0
+    out = []
+    i = lparen
+    n = len(toks)
+    while i < n:
+        v = toks[i].val
+        if v == "(":
+            depth += 1
+            if depth == 1:
+                i += 1
+                continue
+        elif v == ")":
+            depth -= 1
+            if depth == 0:
+                return out, i + 1
+        out.append(toks[i])
+        i += 1
+    return out, i
+
+
+def _arg_vars(args) -> set:
+    """Top-level comma-separated variable names of a list clause
+    (subscripts/array-section syntax is skipped)."""
+    out = set()
+    depth = 0
+    expect = True
+    for t in args:
+        if t.val in "([{":
+            depth += 1
+        elif t.val in ")]}":
+            depth -= 1
+        elif depth == 0 and t.val == ",":
+            expect = True
+            continue
+        if expect and depth == 0 and t.kind == "id":
+            out.add(t.val)
+            expect = False
+    return out
+
+
+def _reduction_vars(args) -> set:
+    """`reduction(op : list)` — the list after the last top-level ':'
+    (the operator can itself be an id like `min`)."""
+    depth = 0
+    colon = -1
+    for k, t in enumerate(args):
+        if t.val in "([{<":
+            depth += 1
+        elif t.val in ")]}>":
+            depth -= 1
+        elif depth == 0 and t.val == ":":
+            colon = k
+    if colon < 0:
+        return set()
+    return _arg_vars(args[colon + 1:])
+
+
+@dataclass
+class Region:
+    """One OpenMP construct instance in a file."""
+    kind: str                 # "parallel" | "for" | "parallel for"
+    line: int                 # pragma line
+    start: int                # first token of the governed statement
+    end: int                  # one past the last token
+    clauses: Clauses
+    induction: set = field(default_factory=set)  # omp-for loop variables
+    parent: int = -1          # index into RegionMap.regions, -1 = none
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "line": self.line,
+                "start": self.start, "end": self.end,
+                "clauses": self.clauses.to_dict(),
+                "induction": sorted(self.induction),
+                "parent": self.parent}
+
+
 class RegionMap:
     def __init__(self, ntokens: int):
         self.parallel = bytearray(ntokens)
         self.hot = bytearray(ntokens)
+        self.critical = bytearray(ntokens)
+        self.atomic = bytearray(ntokens)
+        self.region_of = [-1] * ntokens   # innermost Region index
+        self.regions: list[Region] = []
 
     def mark(self, start: int, end: int, parallel: bool, hot: bool) -> None:
         for i in range(start, min(end, len(self.parallel))):
@@ -41,14 +231,56 @@ class RegionMap:
             if hot:
                 self.hot[i] = 1
 
+    def mark_sync(self, start: int, end: int, kind: str) -> None:
+        arr = self.critical if kind == "critical" else self.atomic
+        for i in range(start, min(end, len(arr))):
+            arr[i] = 1
+
+    def add_region(self, region: Region) -> int:
+        self.regions.append(region)
+        rid = len(self.regions) - 1
+        for i in range(region.start, min(region.end, len(self.region_of))):
+            self.region_of[i] = rid
+        return rid
+
+    def enclosing(self, tok: int):
+        """Innermost-to-outermost Region chain for a token index."""
+        out = []
+        rid = self.region_of[tok] if 0 <= tok < len(self.region_of) else -1
+        while rid >= 0:
+            out.append(self.regions[rid])
+            rid = self.regions[rid].parent
+        return out
+
+
+def _loop_induction(tokens, st) -> set:
+    """Induction / range variables declared in a loop header: every id
+    directly followed by `=` (classic for-init) or `:` (range-for)."""
+    if st.cond is None:
+        return set()
+    lo, hi = st.cond
+    out = set()
+    for i in range(lo, min(hi, len(tokens))):
+        t = tokens[i]
+        if t.kind != "id":
+            continue
+        nxt = tokens[i + 1].val if i + 1 < len(tokens) else ""
+        if nxt in ("=", ":"):
+            out.add(t.val)
+    return out
+
 
 def apply_regions(stmts, regions: RegionMap,
-                  parallel: bool = False, hot: bool = False) -> None:
+                  parallel: bool = False, hot: bool = False,
+                  parent: int = -1) -> None:
     """Walk a statement list, propagating inherited flags and applying
     pragma-introduced ones to the governed subtrees."""
     for st in stmts:
         p, h = parallel, hot
         pragma_par = pragma_for = False
+        sync_kind = None
+        clauses = None
+        pragma_line = 0
         for d in st.pragmas:
             ids = directive_omp_ids(d)
             if ids is None:
@@ -57,14 +289,30 @@ def apply_regions(stmts, regions: RegionMap,
                 pragma_par = True
             if "for" in ids:
                 pragma_for = True
+            if "critical" in ids:
+                sync_kind = "critical"
+            if "atomic" in ids:
+                sync_kind = "atomic"
+            if pragma_par or pragma_for:
+                c = parse_clauses(d)
+                clauses = c if clauses is None else _merge_clauses(clauses, c)
+                pragma_line = d.line
+        if sync_kind is not None:
+            regions.mark_sync(st.start, st.end, sync_kind)
         if pragma_for and st.kind == "loop":
             # The loop header stays at the inherited flags; the body is
             # the omp-for extent.
             regions.mark(st.start, st.end, p or pragma_par, h)
+            kind = "parallel for" if pragma_par else "for"
+            rid = regions.add_region(Region(
+                kind=kind, line=pragma_line, start=st.start, end=st.end,
+                clauses=clauses or Clauses(),
+                induction=_loop_induction(_REGION_TOKENS, st),
+                parent=parent))
             body_p = p or pragma_par
             for body in st.children:
                 regions.mark(body.start, body.end, body_p, True)
-                apply_regions([body], regions, body_p, True)
+                apply_regions([body], regions, body_p, True, parent=rid)
             continue
         if pragma_par or pragma_for:
             # `omp parallel` with a structured block — or an omp-for
@@ -72,6 +320,45 @@ def apply_regions(stmts, regions: RegionMap,
             # conservatively treat the whole statement as the extent.
             p = True
             h = h or pragma_for
+            rid = regions.add_region(Region(
+                kind="parallel", line=pragma_line, start=st.start,
+                end=st.end, clauses=clauses or Clauses(), parent=parent))
+            regions.mark(st.start, st.end, p, h)
+            if st.children:
+                apply_regions(st.children, regions, p, h, parent=rid)
+            continue
         regions.mark(st.start, st.end, p, h)
         if st.children:
-            apply_regions(st.children, regions, p, h)
+            apply_regions(st.children, regions, p, h, parent=parent)
+
+
+def _merge_clauses(a: Clauses, b: Clauses) -> Clauses:
+    a.shared |= b.shared
+    a.private |= b.private
+    a.firstprivate |= b.firstprivate
+    a.lastprivate |= b.lastprivate
+    a.reduction |= b.reduction
+    a.names |= b.names
+    a.has_schedule = a.has_schedule or b.has_schedule
+    a.has_num_threads = a.has_num_threads or b.has_num_threads
+    if a.default is None:
+        a.default = b.default
+    return a
+
+
+# apply_regions needs the file's token list for loop-header induction
+# scanning, but its recursive signature predates the region model; the
+# module-level slot keeps the call sites (and the golden verdicts)
+# untouched. Set by mark_file() before the walk.
+_REGION_TOKENS: list = []
+
+
+def mark_file(func_trees, tokens, ntokens: int) -> RegionMap:
+    """Build the RegionMap for a whole file from its function trees."""
+    global _REGION_TOKENS
+    _REGION_TOKENS = tokens
+    regions = RegionMap(ntokens)
+    for _func, tree in func_trees:
+        apply_regions(tree, regions)
+    _REGION_TOKENS = []
+    return regions

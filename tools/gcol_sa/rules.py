@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from .parser import skip_balanced
+from .symbols import (_MACRO_ID, build_func_symbols, classify_access,
+                      scan_accesses)
 
 # ---------------------------------------------------------------------------
 # Catalog
@@ -90,6 +92,33 @@ RULES: list[RuleInfo] = [
              "`kernels_common.hpp` accessor seam — bypass the audit "
              "ledgers and gcol-mc schedule points invisibly",
              "r012_seam_escape.cpp"),
+    RuleInfo("R013", "unblessed-shared-write", "interprocedural, src/",
+             "every shared-state write inside (or reachable from) a "
+             "parallel region must flow through a blessed seam "
+             "(kernels_common accessors, CounterSlots, TraceBuffer), a "
+             "`reduction` clause, an omp critical/atomic section, or an "
+             "iteration-owned index — anything else is the unsanctioned "
+             "race the benign-race argument does not cover",
+             "r013_shared_write.cpp"),
+    RuleInfo("R014", "implicit-data-sharing", "src/core + src/dist",
+             "`omp parallel` constructs in the engine layers carry "
+             "`default(none)` or name every escaping variable in an "
+             "explicit clause; implicit `default(shared)` capture is how "
+             "a stack variable silently becomes a race",
+             "r014_default_sharing.cpp"),
+    RuleInfo("R015", "hot-call-effects", "interprocedural, src/",
+             "a call from an omp-for body resolves against the callee's "
+             "*effect summary* — blocking I/O or an unknown-effect callee "
+             "stalls or invalidates the whole team, not just the calling "
+             "thread (deepens R003/R009 from alloc-only to the effect "
+             "lattice)",
+             "r015_hot_blocking_call.cpp"),
+    RuleInfo("R016", "ref-capture-escape", "src/",
+             "a lambda inside a parallel region that captures enclosing "
+             "locals by reference aliases shared state invisibly to the "
+             "data-sharing clauses; capture by value or route the write "
+             "through a seam",
+             "r016_ref_capture.cpp"),
 ]
 
 RULE_NAMES = {r.id: r.name for r in RULES}
@@ -155,6 +184,25 @@ ALLOC_FREE_FUNCS = {"malloc", "calloc", "realloc", "make_unique",
 ATOMIC_SEAM_SUFFIX = "core/src/kernels_common.hpp"
 COUNTERS_SUFFIX = "util/include/greedcolor/util/counters.hpp"
 TRACE_MACROS = ("GCOL_TRACE_BEGIN", "GCOL_TRACE_END")
+
+# The blessed benign-race seams: the only places a shared-state write in
+# (or reachable from) a parallel region may live without further
+# justification. This list IS the race-surface report's seam inventory;
+# the race_surface ctest cross-checks it against docs/ANALYSIS.md.
+SEAM_FILES = (
+    ("color-accessor", "src/core/src/kernels_common.hpp"),
+    ("counter-slots", "src/util/include/greedcolor/util/counters.hpp"),
+    ("trace-buffer", "src/obs/include/greedcolor/obs/trace.hpp"),
+    ("trace-buffer", "src/obs/src/trace.cpp"),
+)
+
+
+def seam_of(rel: str) -> str | None:
+    rel = rel.replace("\\", "/")
+    for name, suffix in SEAM_FILES:
+        if rel.endswith(suffix):
+            return name
+    return None
 
 KEYWORDS_NOT_CALLS = {
     "if", "for", "while", "switch", "catch", "return", "sizeof",
@@ -469,6 +517,232 @@ def _walk_checked(w: _TraceWalker, st, cur: dict) -> _Flow:
                          diff)
         return flow
     return _Flow(normal=dict(cur))
+
+
+# ---------------------------------------------------------------------------
+# Data-sharing rules (R013 intraprocedural, R014, R016) over the clause
+# model + symbol resolver. R013's interprocedural half and R015 live in
+# effects.py, next to the effect summaries they consume.
+
+
+# Classifications that mean "this write lands in memory other threads
+# see" under the OpenMP data-sharing rules.
+_SHARED_WRITE_CLASSES = {"param", "escaping-shared", "shared-clause",
+                         "unknown", "reduction"}
+
+
+def sharing_model(fa) -> list[dict]:
+    """Every write site inside a parallel extent whose target is shared,
+    with the justification that blesses it ("" = unjustified -> R013).
+    This is the per-file slice of the race-surface report, so blessed
+    sites are recorded too, not just violations."""
+    toks = fa.lexed.tokens
+    regions = fa.regions
+    if not regions.regions:
+        return []
+    seam = seam_of(fa.rel)
+    sites: list[dict] = []
+    n = len(toks)
+    for func, _tree in fa.func_trees():
+        lo, hi = func.lbrace + 1, min(func.rbrace - 1, n)
+        if not any(regions.parallel[i] for i in range(lo, hi)):
+            continue
+        syms = build_func_symbols(toks, func)
+        for acc in scan_accesses(toks, lo, hi):
+            if not acc.write or not regions.parallel[acc.tok]:
+                continue
+            chain = regions.enclosing(acc.tok)
+            cls = classify_access(acc, syms, regions, chain)
+            if cls not in _SHARED_WRITE_CLASSES:
+                continue
+            induction: set = set()
+            for r in chain:
+                induction |= r.induction
+            just = ""
+            if seam:
+                just = f"seam:{seam}"
+            elif cls == "reduction":
+                just = "reduction-clause"
+            elif regions.critical[acc.tok]:
+                just = "omp-critical"
+            elif regions.atomic[acc.tok]:
+                just = "omp-atomic"
+            elif fa.counted[acc.tok]:
+                just = "counter-macro"
+            elif acc.name in ("c", "colors"):
+                just = "color-accessor-rule"   # R002/R012's domain
+            elif acc.line in fa.atomic_ref_lines:
+                just = "atomic-ref"
+            elif acc.subscript_ids & induction:
+                just = "iteration-owned-index"
+            sites.append({"line": acc.line, "func": func.qual,
+                          "var": acc.name, "cls": cls, "just": just,
+                          "region_line": chain[-1].line if chain else 0})
+    return sites
+
+
+def check_race_rules(fa, roles, sites) -> list[Finding]:
+    out: list[Finding] = []
+    if "race" in roles:
+        seen: set[int] = set()
+        for s in sites:
+            if s["just"] or s["line"] in seen:
+                continue
+            seen.add(s["line"])
+            out.append(fa.finding(
+                "R013", s["line"],
+                f"write to `{s['var']}` (classified {s['cls']}) in "
+                f"`{s['func']}` inside an OpenMP parallel region (pragma "
+                f"at line {s['region_line']}) is not routed through a "
+                f"blessed seam (kernels_common accessors / CounterSlots / "
+                f"TraceBuffer), a reduction clause, an omp "
+                f"critical/atomic section, or an iteration-owned index — "
+                f"this is exactly the write the benign-race argument does "
+                f"not cover"))
+        out += _check_ref_captures(fa)
+    if "sharing" in roles:
+        out += _check_default_sharing(fa)
+    return out
+
+
+def _check_default_sharing(fa) -> list[Finding]:
+    """R014: `omp parallel` constructs carry default(none) or name every
+    escaping variable explicitly."""
+    toks = fa.lexed.tokens
+    out: list[Finding] = []
+    for func, _tree in fa.func_trees():
+        regs = [r for r in fa.regions.regions
+                if r.kind in ("parallel", "parallel for")
+                and func.lbrace <= r.start < func.rbrace]
+        if not regs:
+            continue
+        syms = build_func_symbols(toks, func)
+        for r in regs:
+            if r.clauses.default == "none":
+                continue
+            listed = r.clauses.listed()
+            unlisted: set[str] = set()
+            for acc in scan_accesses(toks, r.start, r.end):
+                cls = classify_access(acc, syms, fa.regions)
+                if cls in ("param", "escaping-shared") \
+                        and acc.name not in listed:
+                    unlisted.add(acc.name)
+            if r.clauses.default is None and not unlisted:
+                continue   # every escaping variable has an explicit clause
+            names = ", ".join(f"`{v}`" for v in sorted(unlisted)[:4])
+            if len(unlisted) > 4:
+                names += ", ..."
+            if r.clauses.default is None:
+                msg = (f"`omp {r.kind}` has no `default(none)` and leaves "
+                       f"{names} implicitly shared; spell the data-sharing "
+                       f"contract (default(none) plus explicit clauses) so "
+                       f"the compiler and gcol-sa can check every capture")
+            else:
+                msg = (f"`omp {r.kind}` spells "
+                       f"`default({r.clauses.default})`; engine regions "
+                       f"must use default(none) so every escaping variable "
+                       f"is an explicit, reviewable decision")
+            out.append(fa.finding("R014", r.line, msg))
+    return out
+
+
+_LAMBDA_TAIL = {"(", "{", "mutable", "noexcept", "->", "constexpr"}
+
+
+def _check_ref_captures(fa) -> list[Finding]:
+    """R016: by-reference capture of enclosing-scope state escaping into
+    a parallel-region lambda."""
+    toks = fa.lexed.tokens
+    n = len(toks)
+    regions = fa.regions
+    out: list[Finding] = []
+    flagged: set[int] = set()
+    for func, _tree in fa.func_trees():
+        lo, hi = func.lbrace + 1, min(func.rbrace - 1, n)
+        if not any(regions.parallel[i] for i in range(lo, hi)):
+            continue
+        syms = None
+        i = lo
+        while i < hi:
+            t = toks[i]
+            if t.val != "[" or not regions.parallel[i]:
+                i += 1
+                continue
+            prev = toks[i - 1]
+            if prev.kind in ("id", "num", "str") or prev.val in (")", "]"):
+                i += 1
+                continue             # subscript, not a lambda-intro
+            if i + 1 < n and toks[i + 1].val == "[":
+                i = skip_balanced(toks, i)
+                continue             # [[attribute]]
+            close = skip_balanced(toks, i)       # one past ']'
+            if close >= n or toks[close].val not in _LAMBDA_TAIL:
+                i += 1
+                continue
+            if syms is None:
+                syms = build_func_symbols(toks, func)
+            culprit = _lambda_escape(fa, toks, syms, i, close, n)
+            if culprit and t.line not in flagged:
+                flagged.add(t.line)
+                out.append(fa.finding(
+                    "R016", t.line,
+                    f"lambda inside an OpenMP parallel region captures "
+                    f"`{culprit}` by reference, aliasing state declared "
+                    f"outside the region invisibly to the data-sharing "
+                    f"clauses; capture by value, or route the shared "
+                    f"write through a blessed seam"))
+            i = close
+    return out
+
+
+def _lambda_escape(fa, toks, syms, intro: int, close: int, n: int):
+    """Name of an escaping by-ref capture of the lambda at `intro`,
+    or None if the capture list is benign."""
+    from .symbols import Access
+
+    def escapes(name: str, at: int):
+        acc = Access(name=name, tok=at, line=toks[at].line,
+                     write=False, chained=False, is_call=False)
+        return classify_access(acc, syms, fa.regions) in (
+            "param", "escaping-shared")
+
+    default_ref = False
+    k = intro + 1
+    while k < close - 1:
+        v = toks[k].val
+        if v == "&":
+            if k + 1 < close - 1 and toks[k + 1].kind == "id":
+                if escapes(toks[k + 1].val, intro):
+                    return toks[k + 1].val
+                k += 2
+            else:
+                default_ref = True
+                k += 1
+        else:
+            k += 1
+    if not default_ref:
+        return None
+    # [&] aliases the entire enclosing frame: find the body and check
+    # whether any identifier it uses lives outside the region.
+    j = close
+    if j < n and toks[j].val == "(":
+        j = skip_balanced(toks, j)
+    while j < n and toks[j].val not in ("{", ";"):
+        j += 1
+    if j >= n or toks[j].val != "{":
+        return None
+    body_end = skip_balanced(toks, j)
+    for k in range(j + 1, min(body_end - 1, n)):
+        t = toks[k]
+        if t.kind != "id" or _MACRO_ID.fullmatch(t.val):
+            continue
+        p = toks[k - 1].val
+        if p in (".", "->", "::"):
+            continue
+        if t.val in syms.params or t.val in syms.decls:
+            if escapes(t.val, intro):
+                return t.val
+    return None
 
 
 # ---------------------------------------------------------------------------

@@ -222,6 +222,82 @@ def _t_error_facts_classification():
     assert len(findings) == 1 and "kLost" in findings[0].message
 
 
+def _t_clause_parsing():
+    src = ("#pragma omp parallel for schedule(static, 64) default(none) \\\n"
+           "    shared(g, c) firstprivate(chunk, n) reduction(+ : acc)\n"
+           "for (int i = 0; i < 4; ++i) {}\n")
+    from .omp import parse_clauses
+    cl = parse_clauses(lex(src).directives[0])
+    assert cl.default == "none"
+    assert cl.shared == {"g", "c"} and cl.firstprivate == {"chunk", "n"}
+    assert cl.reduction == {"acc"}, cl.reduction
+    assert cl.listed() == {"g", "c", "chunk", "n", "acc"}
+    assert cl.has_schedule and not cl.has_num_threads
+
+
+def _t_symbol_classification():
+    src = ("void k(int& total, int* out, const int* vals, int n) {\n"
+           "#pragma omp parallel for schedule(static) reduction(+ : red)\n"
+           "  for (int i = 0; i < n; ++i) {\n"
+           "    int t = vals[i];\n"
+           "    t += 1;\n"             # region-local: never a site
+           "    out[i] = t;\n"         # iteration-owned subscript
+           "    out[0] = t;\n"         # shared write, no justification
+           "    total += t;\n"         # shared write, no justification
+           "  }\n"
+           "}\n")
+    from .rules import sharing_model
+    fa = FileAnalysis("mem.cpp", "mem.cpp", src)
+    sites = {(s["var"], s["line"]): s["just"] for s in sharing_model(fa)}
+    assert ("t", 5) not in sites, "region-local write must not be a site"
+    assert sites[("out", 6)] == "iteration-owned-index"
+    assert sites[("out", 7)] == "", "out[0] write has no justification"
+    assert sites[("total", 8)] == "", "ref-param store has no justification"
+
+
+def _t_effects_fixpoint_cycle():
+    # a <-> b call cycle plus one blocking leaf: the fixpoint must
+    # converge and both cycle members must inherit blocks-I/O.
+    src = ("void a(int v);\n"
+           "void b(int v) { if (v > 0) a(v - 1); fopen(\"x\", \"r\"); }\n"
+           "void a(int v) { if (v > 0) b(v - 1); }\n")
+    from .effects import compute_summaries
+    payload = analyze_text("mem.cpp", "mem.cpp", src, explicit=True)
+
+    class _AF:
+        path, rel = "mem.cpp", "mem.cpp"
+        lines = src.split("\n")
+
+        def __init__(self, p):
+            self.payload = p
+    facts, _ = build_program([_AF(payload)], explicit=True)
+    summ = compute_summaries(facts)
+    by_name = {f.name: s for (_, f), s in summ.items()}
+    assert by_name["b"].blocks_io, "direct fopen caller"
+    assert by_name["a"].blocks_io, "cycle member inherits via b"
+    assert not by_name["a"].calls_unknown, "a and b both resolve"
+
+
+def _t_effects_unknown_widening():
+    src = ("void helper(int v) { mystery_external(v); }\n"
+           "void pure(int v) { (void)(v * 2); }\n")
+    from .effects import compute_summaries
+    payload = analyze_text("mem.cpp", "mem.cpp", src, explicit=True)
+
+    class _AF:
+        path, rel = "mem.cpp", "mem.cpp"
+        lines = src.split("\n")
+
+        def __init__(self, p):
+            self.payload = p
+    facts, _ = build_program([_AF(payload)], explicit=True)
+    summ = compute_summaries(facts)
+    by_name = {f.name: s for (_, f), s in summ.items()}
+    assert by_name["helper"].calls_unknown, \
+        "unresolved free-function call must widen to calls-unknown"
+    assert not by_name["pure"].calls_unknown
+
+
 ENGINE_TESTS = [
     ("lexer: raw string hides pragma", _t_raw_string_hides_pragma),
     ("lexer: multi-line pragma joins", _t_multiline_pragma_joins),
@@ -232,6 +308,10 @@ ENGINE_TESTS = [
     ("parser: lambda stays inside", _t_lambda_stays_inside),
     ("omp: braceless nested body", _t_omp_braceless_nested),
     ("omp: nested regions", _t_omp_nested_regions),
+    ("omp: data-sharing clauses", _t_clause_parsing),
+    ("symbols: access classification", _t_symbol_classification),
+    ("effects: cycle fixpoint", _t_effects_fixpoint_cycle),
+    ("effects: unknown-callee widening", _t_effects_unknown_widening),
     ("callgraph: region reachability", _t_callgraph_reachability),
     ("r011: balanced loop", _t_trace_balanced_loop),
     ("r011: open at return", _t_trace_unbalanced_return),
@@ -266,9 +346,13 @@ def _lint_fixture(root: str, path: str):
     findings = file_findings(analyzed)
     facts, _ = build_program(analyzed, explicit=True)
     findings += check_interproc_alloc(facts)
+    from .effects import (check_hot_call_effects, check_shared_write_chains,
+                          compute_summaries)
     from .rules import check_seam_escape
     findings += check_seam_escape(facts)
     findings += check_error_propagation(facts)
+    findings += check_shared_write_chains(facts)
+    findings += check_hot_call_effects(facts, compute_summaries(facts))
     return sorted(findings, key=lambda f: (f.path, f.line, f.rule))
 
 
@@ -318,7 +402,7 @@ def run_fixture_matrix(root: str) -> tuple[int, int]:
             golden_fail += 1
             print(f"  golden verdict MISSING: {line}")
     status = "ok" if golden_fail == 0 else "FAIL"
-    print(f"  {'golden verdict identity (R001-R008)':<34} "
+    print(f"  {'golden verdict identity (R001-R012)':<34} "
           f"{len(golden) - golden_fail}/{len(golden)} {status}")
     return failures + golden_fail, len(fixtures)
 

@@ -1,0 +1,426 @@
+"""Scope and symbol resolution over the token stream.
+
+This is the smallest resolver the data-sharing rules need, not a C++
+symbol table: per function it recovers the parameter list (with
+pointer/reference-ness), every local declaration position (including
+loop headers, range-for declarations, condition declarations, and
+structured bindings), and then classifies each identifier *access*
+inside an OpenMP construct as one of
+
+  loop-private     an omp-for induction / range variable
+  region-local     declared inside the parallel construct (private per
+                   thread by the OpenMP rules)
+  private-clause   named in private/firstprivate/lastprivate
+  reduction        named in a reduction clause
+  shared-clause    named in an explicit shared(...) clause
+  param            a parameter of the enclosing function (shared by
+                   default inside the region; a deref/subscript through
+                   a pointer or reference parameter aliases memory the
+                   caller shares)
+  escaping-shared  a function local declared before the construct —
+                   `default(shared)`'s silent capture
+  unknown          anything else (file-scope, member, macro residue) —
+                   static storage or member state, shared by nature
+
+Access scanning also recovers *writes*: an identifier whose postfix
+chain (subscripts, member selects) ends in an assignment or
+increment/decrement operator, plus `*p = ...` dereference stores and
+`++x` prefix forms. Each write carries the identifiers mentioned in its
+subscript expressions, which is what lets R013 bless the disjoint
+iteration-owned `out[i] = ...` pattern while still flagging a
+stale-index write `state[partner] = v`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .parser import OPENERS, skip_balanced
+
+TYPE_KEYWORDS = {
+    "auto", "void", "bool", "char", "short", "int", "long", "float",
+    "double", "signed", "unsigned", "wchar_t", "char8_t", "char16_t",
+    "char32_t", "size_t", "ssize_t", "int8_t", "int16_t", "int32_t",
+    "int64_t", "uint8_t", "uint16_t", "uint32_t", "uint64_t",
+    "ptrdiff_t", "intptr_t", "uintptr_t",
+}
+
+# Specifiers that may precede the type in a declaration.
+_DECL_SPECIFIERS = {"const", "constexpr", "consteval", "constinit",
+                    "static", "inline", "mutable", "volatile", "register",
+                    "thread_local", "typename", "struct", "class", "enum",
+                    "extern", "using"}
+
+_NOT_A_DECL_HEAD = {
+    "if", "for", "while", "switch", "return", "break", "continue", "do",
+    "else", "case", "default", "goto", "throw", "try", "catch", "new",
+    "delete", "sizeof", "co_await", "co_return", "co_yield", "this",
+    "operator", "public", "private", "protected", "namespace", "template",
+    "static_assert", "asm",
+}
+
+# Tokens after which a write-target chain counts as a store.
+ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+              "<<=", ">>=", "++", "--"}
+
+# An all-caps identifier is a macro invocation by repo convention.
+import re
+_MACRO_ID = re.compile(r"[A-Z][A-Z0-9_]*\Z")
+
+
+@dataclass
+class Access:
+    name: str          # base identifier of the postfix chain
+    tok: int           # token index of the base identifier
+    line: int
+    write: bool
+    chained: bool      # the chain went through [], ., ->, or * deref
+    is_call: bool      # the chain ended in a call
+    subscript_ids: set = field(default_factory=set)
+    cls: str = ""      # filled by classify_accesses
+
+
+@dataclass
+class FuncSymbols:
+    """Parameters and local-declaration positions of one function."""
+    params: dict = field(default_factory=dict)   # name -> bool(ptr/ref)
+    decls: dict = field(default_factory=dict)    # name -> [token index]
+
+
+# ---------------------------------------------------------------------------
+# Parameters
+
+
+def param_table(tokens, func) -> dict:
+    """name -> parameter kind:
+
+      "ref"    reference — any store through it lands in caller memory
+      "ptr"    pointer or array decay — deref/subscript stores are shared
+      "view"   by-value view type (span) — subscript stores are shared
+      "value"  plain by-value — a thread-owned copy per call frame
+    """
+    close = skip_balanced(tokens, func.lparen)   # one past ')'
+    params: dict = {}
+    depth = 0
+    seg: list = []
+    for i in range(func.lparen + 1, close - 1):
+        t = tokens[i]
+        if t.val in OPENERS:
+            depth += 1
+        elif t.val in (")", "]", "}"):
+            depth -= 1
+        if depth == 0 and t.val == ",":
+            _add_param(seg, params)
+            seg = []
+        else:
+            seg.append(t)
+    _add_param(seg, params)
+    return params
+
+
+# By-value types that still alias caller memory through operator[].
+_VIEW_TYPES = {"span", "string_view", "Span"}
+
+# Parameter kinds through which a store can reach shared memory.
+ALIASING_KINDS = ("ref", "ptr", "view")
+
+
+def _add_param(seg, params: dict) -> None:
+    if not seg:
+        return
+    if any(t.val in ("&", "&&") for t in seg):
+        kind = "ref"
+    elif any(t.val in ("*", "[") for t in seg):
+        kind = "ptr"
+    elif any(t.kind == "id" and t.val in _VIEW_TYPES for t in seg):
+        kind = "view"
+    else:
+        kind = "value"
+    # The parameter name: the last id before '=' (default argument) or
+    # the end — skipping ids that are part of template args.
+    depth = 0
+    name = None
+    for t in seg:
+        if t.val in ("<", "(", "["):
+            depth += 1
+        elif t.val in (">", ")", "]"):
+            depth -= 1
+        elif depth == 0 and t.val == "=":
+            break
+        elif depth == 0 and t.kind == "id" \
+                and t.val not in _DECL_SPECIFIERS \
+                and t.val not in TYPE_KEYWORDS:
+            name = t.val
+    if name is not None:
+        params[name] = kind
+
+
+# ---------------------------------------------------------------------------
+# Local declarations
+
+
+def collect_decls(tokens, lo: int, hi: int) -> dict:
+    """name -> [token indices] of local declarations in [lo, hi).
+
+    Statement-boundary driven: after `;` / `{` / `}`, inside `for(`/
+    `if(`/`while(`/`switch(` headers, and after top-level `,` in a
+    multi-declarator statement, try to parse `specifiers type declarator`.
+    Over-approximation is the right bias here: a phantom declaration
+    makes an access *more* local, which under-reports shared writes in
+    degenerate code but never invents one.
+    """
+    decls: dict = {}
+    n = min(hi, len(tokens))
+    i = lo
+    at_start = True
+    while i < n:
+        t = tokens[i]
+        v = t.val
+        if v in (";", "{", "}"):
+            at_start = True
+            i += 1
+            continue
+        if t.kind == "id" and v in ("for", "if", "while", "switch"):
+            j = i + 1
+            if j < n and tokens[j].val == "constexpr":
+                j += 1
+            if j < n and tokens[j].val == "(":
+                # Parse the header interior for declarations (for-init,
+                # range-for, condition declarations).
+                hdr_end = skip_balanced(tokens, j)
+                _scan_decl_at(tokens, j + 1, min(hdr_end - 1, n), decls,
+                              header=True)
+                i = j
+                at_start = False
+                continue
+        if at_start:
+            i = _scan_decl_at(tokens, i, n, decls)
+            at_start = False
+            continue
+        if v in OPENERS:
+            i = skip_balanced(tokens, i)
+            # A '{' group ended: the next token starts a statement.
+            at_start = tokens[i - 1].val == "}" if i - 1 < n else False
+            continue
+        i += 1
+    return decls
+
+
+def _scan_decl_at(tokens, i: int, hi: int, decls: dict,
+                  header: bool = False) -> int:
+    """Try to parse one declaration starting at `i`; record declarator
+    names. Returns an index at or after `i` (never loops)."""
+    start = i
+    # Attributes and specifiers.
+    while i < hi:
+        t = tokens[i]
+        if t.val == "[" and i + 1 < hi and tokens[i + 1].val == "[":
+            i = skip_balanced(tokens, i)
+            continue
+        if t.kind == "id" and t.val in _DECL_SPECIFIERS:
+            i += 1
+            continue
+        break
+    if i >= hi or tokens[i].kind != "id" \
+            or tokens[i].val in _NOT_A_DECL_HEAD:
+        return start + 1 if start == i else i
+    # The type head: id (:: id)* (<...>)? — or a builtin keyword run.
+    type_end = i
+    if tokens[i].val in TYPE_KEYWORDS:
+        while type_end < hi and tokens[type_end].kind == "id" \
+                and tokens[type_end].val in TYPE_KEYWORDS:
+            type_end += 1
+    else:
+        type_end = i + 1
+        while type_end + 1 < hi and tokens[type_end].val == "::" \
+                and tokens[type_end + 1].kind == "id":
+            type_end += 2
+        if type_end < hi and tokens[type_end].val == "<":
+            closed = _skip_template_args(tokens, type_end, hi)
+            if closed < 0:
+                return i + 1        # comparison, not template args
+            type_end = closed
+    # auto [a, b] structured binding.
+    j = type_end
+    while j < hi and tokens[j].val in ("*", "&", "&&", "const"):
+        j += 1
+    if j < hi and tokens[j].val == "[" and tokens[i].val == "auto":
+        close = skip_balanced(tokens, j)
+        for k in range(j + 1, close - 1):
+            if tokens[k].kind == "id":
+                decls.setdefault(tokens[k].val, []).append(k)
+        return close
+    # Declarator list: name (= init | {init} | (init))? (, name ...)*
+    found = False
+    while j < hi:
+        if tokens[j].kind != "id" or tokens[j].val in _NOT_A_DECL_HEAD:
+            break
+        name_idx = j
+        nxt = tokens[j + 1].val if j + 1 < hi else ""
+        if nxt in ("=", ";", ",", "{", "(", "[", ":", ")"):
+            decls.setdefault(tokens[name_idx].val, []).append(name_idx)
+            found = True
+            j += 1
+            # Skip the initializer up to a top-level ',' or ';'.
+            while j < hi:
+                v = tokens[j].val
+                if v in (";", ")"):
+                    return j
+                if v == ",":
+                    j += 1
+                    break
+                if v == ":" and header:
+                    return j         # range-for: done after the name
+                if v in OPENERS:
+                    j = skip_balanced(tokens, j)
+                else:
+                    j += 1
+            # After ',', allow `*`/`&` before the next declarator.
+            while j < hi and tokens[j].val in ("*", "&", "&&"):
+                j += 1
+            continue
+        break
+    if found:
+        return j
+    return i + 1 if not found else j
+
+
+def _skip_template_args(tokens, i: int, hi: int) -> int:
+    """`tokens[i]` is '<'; return index one past the matching '>', or
+    -1 if this cannot be a template argument list."""
+    depth = 0
+    j = i
+    while j < hi and j - i < 128:
+        v = tokens[j].val
+        if v == "<":
+            depth += 1
+        elif v == ">":
+            depth -= 1
+            if depth == 0:
+                return j + 1
+        elif v == ">>":
+            depth -= 2
+            if depth <= 0:
+                return j + 1
+        elif v in (";", "{", "}") or v in ("&&", "||"):
+            return -1
+        elif v in ("(", "["):
+            j = skip_balanced(tokens, j)
+            continue
+        j += 1
+    return -1
+
+
+def build_func_symbols(tokens, func) -> FuncSymbols:
+    syms = FuncSymbols()
+    syms.params = param_table(tokens, func)
+    syms.decls = collect_decls(tokens, func.lbrace + 1, func.rbrace - 1)
+    return syms
+
+
+# ---------------------------------------------------------------------------
+# Access scanning
+
+
+_CHAIN_STOP = {"(", ")"}
+
+_KEYWORDS_SKIP = {
+    "if", "for", "while", "switch", "catch", "return", "sizeof",
+    "alignof", "decltype", "new", "delete", "throw", "case", "do",
+    "else", "break", "continue", "goto", "true", "false", "nullptr",
+    "const", "constexpr", "static", "auto", "void", "bool", "char",
+    "short", "int", "long", "float", "double", "signed", "unsigned",
+    "this", "operator", "template", "typename", "using", "namespace",
+    "static_cast", "const_cast", "reinterpret_cast", "dynamic_cast",
+    "co_await", "co_return", "co_yield", "try", "default", "public",
+    "private", "protected", "struct", "class", "enum", "noexcept",
+    "static_assert", "mutable", "volatile", "inline", "requires",
+}
+
+
+def scan_accesses(tokens, lo: int, hi: int):
+    """Yield an Access for every base identifier in [lo, hi)."""
+    n = min(hi, len(tokens))
+    i = lo
+    while i < n:
+        t = tokens[i]
+        if t.kind != "id" or t.val in _KEYWORDS_SKIP \
+                or _MACRO_ID.fullmatch(t.val):
+            i += 1
+            continue
+        prev = tokens[i - 1].val if i > 0 else ""
+        if prev in (".", "->", "::"):
+            i += 1
+            continue            # member / qualified part, base seen earlier
+        nxt = tokens[i + 1].val if i + 1 < n else ""
+        if nxt == "::":
+            i += 1
+            continue            # namespace / class qualifier
+        # Walk the postfix chain.
+        j = i + 1
+        chained = False
+        is_call = False
+        subscript_ids: set = set()
+        while j < n:
+            v = tokens[j].val
+            if v == "[":
+                close = skip_balanced(tokens, j)
+                for k in range(j + 1, close - 1):
+                    if tokens[k].kind == "id":
+                        subscript_ids.add(tokens[k].val)
+                chained = True
+                j = close
+                continue
+            if v in (".", "->") and j + 1 < n and tokens[j + 1].kind == "id":
+                chained = True
+                j += 2
+                continue
+            if v == "(":
+                is_call = True
+            break
+        after = tokens[j].val if j < n else ""
+        write = after in ASSIGN_OPS and not is_call
+        if not write and prev in ("++", "--"):
+            write = True
+        deref = False
+        if not write and prev == "*" and not chained and not is_call \
+                and nxt in ASSIGN_OPS:
+            write = deref = True
+        yield Access(name=t.val, tok=i, line=t.line, write=write,
+                     chained=chained or deref, is_call=is_call,
+                     subscript_ids=subscript_ids)
+        i += 1
+
+
+def classify_access(acc: Access, syms: FuncSymbols, regions,
+                    region_chain=None) -> str:
+    """Assign the data-sharing classification for an access inside an
+    OpenMP construct (see module docstring for the lattice)."""
+    chain = (region_chain if region_chain is not None
+             else regions.enclosing(acc.tok))
+    if not chain:
+        return "outside"
+    induction: set = set()
+    for r in chain:
+        induction |= r.induction
+    if acc.name in induction:
+        return "loop-private"
+    for r in chain:
+        if acc.name in r.clauses.reduction:
+            return "reduction"
+        if acc.name in r.clauses.privatized():
+            return "private-clause"
+    outermost = chain[-1]
+    positions = syms.decls.get(acc.name, ())
+    for p in positions:
+        if outermost.start <= p <= acc.tok:
+            return "region-local"
+    for r in chain:
+        if acc.name in r.clauses.shared:
+            return "shared-clause"
+    if acc.name in syms.params:
+        return "param"
+    for p in positions:
+        if p <= acc.tok:
+            return "escaping-shared"
+    return "unknown"

@@ -1,0 +1,12 @@
+// Lint fixture: the R013-clean counterpart — the same accumulate
+// shape as r013_shared_write.cpp, but the pragma carries a
+// reduction(+:) clause, so each thread owns a private copy and the
+// combine is the runtime's job. No finding.
+int fixture_clean_r013(const int* vals, int n) {
+  int total = 0;
+#pragma omp parallel for schedule(static) reduction(+ : total)
+  for (int i = 0; i < n; ++i) {
+    if (vals[i] > 0) total += vals[i];  // blessed: reduction private copy
+  }
+  return total;
+}

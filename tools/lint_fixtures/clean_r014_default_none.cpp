@@ -1,0 +1,13 @@
+// Lint fixture: the R014-clean counterpart — same loop as
+// r014_default_sharing.cpp with the data-sharing contract fully
+// spelled: default(none) forces every capture to be listed, and every
+// capture is. No finding.
+int fixture_clean_r014(const int* vals, int n) {
+  int acc = 0;
+#pragma omp parallel for schedule(static) default(none) \
+    reduction(+ : acc) firstprivate(vals, n)
+  for (int i = 0; i < n; ++i) {
+    if (vals[i] > 0) acc += 1;
+  }
+  return acc;
+}

@@ -1,0 +1,16 @@
+// Lint fixture: the R015-clean counterpart — the hot loop calls a
+// helper whose effect summary is empty (pure arithmetic, no I/O, no
+// allocation, no unknown callees), so the call is free to inline and
+// free of serialization. No finding.
+int saturate(int v, int lo, int hi) {
+  if (v < lo) return lo;
+  if (v > hi) return hi;
+  return v;
+}
+
+void fixture_clean_r015(const int* vals, int* out, int n) {
+#pragma omp parallel for schedule(static)
+  for (int i = 0; i < n; ++i) {
+    out[i] = saturate(vals[i], 0, 255);
+  }
+}

@@ -1,0 +1,13 @@
+// Lint fixture: the R016-clean counterpart — the lambda still captures
+// by reference, but everything it touches is declared inside the
+// region (thread-private by construction), so nothing shared escapes
+// into the closure. No finding.
+void fixture_clean_r016(int* out, const int* vals, int n) {
+#pragma omp parallel for schedule(static)
+  for (int i = 0; i < n; ++i) {
+    int acc = 0;
+    auto add = [&acc](int v) { acc += v; };  // region-local: thread-owned
+    add(vals[i]);
+    out[i] = acc;
+  }
+}

@@ -1,0 +1,11 @@
+// Lint fixture: must trigger exactly one R013 finding. Decoy: the
+// pragma spells a full default(none) data-sharing contract — which
+// satisfies R014 — but an explicit shared() clause only *names* the
+// sharing, it does not make the store safe. R013 must see through it.
+void fixture_r013_decoy(int& total, const int* vals, int n) {
+#pragma omp parallel for schedule(static) default(none) \
+    shared(total) firstprivate(vals, n)
+  for (int i = 0; i < n; ++i) {
+    if (vals[i] > 0) total += vals[i];  // R013: shared() is not a blessing
+  }
+}

@@ -1,0 +1,19 @@
+// Lint fixture: must trigger exactly one R013 finding — two call
+// levels below the region. The loop body calls tally(), tally() calls
+// bump(), and bump() stores through the shared reference. No single
+// function shows both the pragma and the store, so only the
+// interprocedural effect propagation can see the race.
+void bump(int& slot) {
+  slot += 1;  // the shared store, two frames from the pragma
+}
+
+void tally(int& slot) {
+  bump(slot);
+}
+
+void fixture_r013_chain(int& total, int n) {
+#pragma omp parallel for schedule(static)
+  for (int i = 0; i < n; ++i) {
+    tally(total);
+  }
+}

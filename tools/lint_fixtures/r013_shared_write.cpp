@@ -1,0 +1,10 @@
+// Lint fixture: must trigger exactly one R013 (unblessed-shared-write)
+// finding. `total` is a reference parameter — every thread in the
+// parallel loop stores through it with no reduction, atomic, critical,
+// or seam justification: the textbook lost-update race.
+void fixture_r013(int& total, const int* vals, int n) {
+#pragma omp parallel for schedule(static)
+  for (int i = 0; i < n; ++i) {
+    if (vals[i] > 0) total += vals[i];  // R013: racy accumulate
+  }
+}

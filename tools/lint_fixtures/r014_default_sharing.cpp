@@ -1,0 +1,12 @@
+// Lint fixture: must trigger exactly one R014 (implicit-data-sharing)
+// finding. The pragma names the reduction but says nothing about
+// `vals` or `n` — they ride in as implicitly shared, invisible to
+// review. The write itself is blessed (reduction), so only R014 fires.
+int fixture_r014(const int* vals, int n) {
+  int acc = 0;
+#pragma omp parallel for schedule(static) reduction(+ : acc)
+  for (int i = 0; i < n; ++i) {
+    if (vals[i] > 0) acc += 1;  // R014: vals, n implicitly shared
+  }
+  return acc;
+}

@@ -1,0 +1,18 @@
+// Lint fixture: must trigger exactly one R015 (hot-call-effects)
+// finding. The omp-for body calls log_progress(), which looks cheap at
+// the call site — but its summary carries blocks-I/O (fprintf), so
+// every iteration can serialize on the stdio lock. The finding lands
+// on the hot call site, where the decision to call is made.
+#include <cstdio>
+
+void log_progress(int i) {
+  std::fprintf(stderr, "at %d\n", i);  // the effect R015 propagates up
+}
+
+void fixture_r015(const int* vals, int* out, int n) {
+#pragma omp parallel for schedule(static)
+  for (int i = 0; i < n; ++i) {
+    out[i] = vals[i] * 2;
+    if (vals[i] < 0) log_progress(i);  // R015: blocking callee in hot loop
+  }
+}

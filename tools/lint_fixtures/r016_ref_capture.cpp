@@ -1,0 +1,14 @@
+// Lint fixture: must trigger exactly one R016 (ref-capture-escape)
+// finding. The lambda's capture list grabs the shared `shared_flags`
+// parameter by reference inside the parallel loop — the closure
+// smuggles shared state past the data-sharing clauses, where neither
+// the compiler's default(none) check nor a clause audit can see it.
+void fixture_r016(const int* shared_flags, int* out, int n) {
+#pragma omp parallel for schedule(static)
+  for (int i = 0; i < n; ++i) {
+    auto probe = [&shared_flags](int v) {  // R016: &-capture of shared state
+      return shared_flags[v % 8];
+    };
+    out[i] = probe(i);
+  }
+}
